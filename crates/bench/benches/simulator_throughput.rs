@@ -1,0 +1,42 @@
+//! End-to-end simulation throughput: cycles per second of the timing
+//! core alone and of the full core→power→thermal loop.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tdtm_power::{PowerConfig, PowerModel};
+use tdtm_thermal::block_model::{table3_blocks, BlockModel};
+use tdtm_uarch::{Core, CoreConfig};
+use tdtm_workloads::by_name;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(1));
+
+    for bench in ["gcc", "crafty"] {
+        let w = by_name(bench).expect("suite workload");
+        let mut core = Core::with_skip(CoreConfig::alpha21264_like(), w.program(), w.warmup_insts);
+        group.bench_function(format!("core_cycle_{bench}"), |b| {
+            b.iter(|| {
+                black_box(core.cycle());
+            })
+        });
+    }
+
+    let w = by_name("gcc").expect("suite workload");
+    let core_cfg = CoreConfig::alpha21264_like();
+    let mut core = Core::with_skip(core_cfg, w.program(), w.warmup_insts);
+    let power = PowerModel::new(&PowerConfig::default(), &core_cfg);
+    let mut thermal = BlockModel::new(table3_blocks(), 103.0, core_cfg.cycle_time());
+    group.bench_function("full_loop_cycle_gcc", |b| {
+        b.iter(|| {
+            let activity = core.cycle();
+            let sample = power.cycle_power(activity);
+            thermal.step(&sample.thermal_powers());
+            black_box(thermal.temperatures()[0])
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Dumps the synthetic benchmark suite: per-workload static statistics
+//! and, with `--source <name>`, the full generated assembly of one
+//! program. Useful for inspecting what the SPEC2000 stand-ins actually
+//! execute.
+
+use tdtm_core::report::TextTable;
+use tdtm_isa::OpClass;
+use tdtm_workloads::{by_name, suite};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 3 && args[1] == "--source" {
+        match by_name(&args[2]) {
+            Some(w) => {
+                println!("# {} ({} category, {} warmup instructions)", w.name, w.category, w.warmup_insts);
+                for (i, inst) in w.program().insts.iter().enumerate() {
+                    println!("{:6}:  {}", i * 4 + 0x1000, inst);
+                }
+            }
+            None => {
+                eprintln!("unknown workload `{}`", args[2]);
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    println!("== the 18 synthetic SPEC CPU2000 stand-ins ==\n");
+    let mut t = TextTable::new([
+        "benchmark",
+        "category",
+        "static insts",
+        "data bytes",
+        "warmup insts",
+        "int%",
+        "fp%",
+        "mem%",
+        "ctrl%",
+    ]);
+    for w in suite() {
+        let insts = &w.program().insts;
+        let n = insts.len() as f64;
+        let frac = |pred: &dyn Fn(OpClass) -> bool| -> String {
+            let c = insts.iter().filter(|i| pred(i.op.class())).count();
+            format!("{:.0}%", 100.0 * c as f64 / n)
+        };
+        t.row([
+            w.name.to_string(),
+            w.category.to_string(),
+            insts.len().to_string(),
+            w.program().data_bytes().to_string(),
+            w.warmup_insts.to_string(),
+            frac(&|c| matches!(c, OpClass::IntAlu | OpClass::IntMul | OpClass::IntDiv)),
+            frac(&|c| matches!(c, OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv)),
+            frac(&|c| matches!(c, OpClass::Load | OpClass::Store)),
+            frac(&|c| matches!(c, OpClass::Branch | OpClass::Jump)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(static mix; dynamic behavior is in Table 4. Use --source <name> for assembly.)");
+}

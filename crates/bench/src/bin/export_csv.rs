@@ -1,0 +1,36 @@
+//! Exports machine-readable CSVs of the main experiments into `results/`:
+//! `characterization.csv` (the Table 4-8 source data) and `dtm.csv` (the
+//! Section 7 policy comparison), for external plotting.
+
+use tdtm_bench::banner;
+use tdtm_core::experiments::{characterize_suite, compare_policies_suite, ExperimentScale};
+use tdtm_core::report::reports_to_csv;
+use tdtm_dtm::PolicyKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = ExperimentScale::from_env();
+    banner("CSV export", scale);
+    std::fs::create_dir_all("results")?;
+
+    let characterization = characterize_suite(scale);
+    std::fs::write("results/characterization.csv", reports_to_csv(&characterization))?;
+    println!("wrote results/characterization.csv ({} rows)", characterization.len());
+
+    let policies = [
+        PolicyKind::Toggle1,
+        PolicyKind::Toggle2,
+        PolicyKind::Manual,
+        PolicyKind::P,
+        PolicyKind::Pi,
+        PolicyKind::Pid,
+    ];
+    let rows = compare_policies_suite(scale, &policies);
+    let mut all = Vec::new();
+    for row in rows {
+        all.push(row.baseline);
+        all.extend(row.runs);
+    }
+    std::fs::write("results/dtm.csv", reports_to_csv(&all))?;
+    println!("wrote results/dtm.csv ({} rows)", all.len());
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Regenerates Table 1 (the thermal-electrical duality) and the Section
+//! 4.1 worked package example (Figure 2): steady-state die temperature and
+//! heating/cooling time constants for a 25 W die behind a 2 K/W package.
+
+use tdtm_core::report::TextTable;
+use tdtm_thermal::duality::{HeatFlow, ThermalCapacitance, ThermalResistance};
+use tdtm_thermal::network::RcNetwork;
+
+fn main() {
+    println!("== Table 1: equivalence between thermal and electrical quantities ==\n");
+    let mut t = TextTable::new(["Thermal quantity", "unit", "Electrical quantity", "unit"]);
+    t.row(["Heat flow, power P", "W", "Current flow I", "A"]);
+    t.row(["Temperature difference dT", "K", "Voltage V", "V"]);
+    t.row(["Thermal resistance Rth", "K/W", "Electrical resistance R", "Ohm"]);
+    t.row(["Thermal mass, capacitance Cth", "J/K", "Electrical capacitance C", "F"]);
+    t.row(["Thermal RC constant", "s", "Electrical RC constant", "s"]);
+    println!("{}", t.render());
+
+    println!("== Section 4.1 worked example (Figure 2) ==\n");
+    let r_die_case = ThermalResistance(1.0);
+    let r_heatsink = ThermalResistance(1.0);
+    let c_heatsink = ThermalCapacitance(60.0);
+    let power = HeatFlow(25.0);
+    let ambient = 27.0;
+
+    let dt = power * r_die_case.series(r_heatsink);
+    println!(
+        "steady state: {} W x ({} + {}) + {} C ambient = {:.1} C",
+        power.0, r_die_case, r_heatsink, ambient, dt.0 + ambient
+    );
+    let tau = r_heatsink * c_heatsink;
+    println!("package time constant: {} x {} = {} (about a minute)", r_heatsink, c_heatsink, tau);
+
+    // Confirm with the dynamic network model.
+    let mut net = RcNetwork::new(ambient);
+    let die = net.add_node(0.5, ambient);
+    let sink = net.add_node(c_heatsink.0, ambient);
+    net.connect(die, sink, r_die_case.0);
+    net.connect_to_ambient(sink, r_heatsink.0);
+    net.set_power(die, power.0);
+    let mut reach_time = None;
+    let dt_step = 0.01;
+    let target = dt.0 + ambient - 0.5;
+    let mut elapsed = 0.0;
+    while elapsed < 1200.0 {
+        net.step(dt_step);
+        elapsed += dt_step;
+        if reach_time.is_none() && net.temperature(die) >= target {
+            reach_time = Some(elapsed);
+        }
+    }
+    println!(
+        "dynamic model: die settles at {:.1} C; within 0.5 C of steady state after {:.0} s",
+        net.temperature(die),
+        reach_time.unwrap_or(f64::NAN)
+    );
+}

@@ -1,0 +1,77 @@
+//! Regenerates Table 2: the simulated processor configuration.
+
+use tdtm_core::report::TextTable;
+use tdtm_uarch::CoreConfig;
+
+fn main() {
+    let c = CoreConfig::alpha21264_like();
+    println!("== Table 2: configuration of simulated processor microarchitecture ==\n");
+
+    let mut t = TextTable::new(["Parameter", "Value"]);
+    t.row(["Instruction window".to_string(), format!("{}-RUU, {}-LSQ", c.ruu_size, c.lsq_size)]);
+    t.row(["Fetch width".to_string(), format!("{} instructions per cycle", c.fetch_width)]);
+    t.row(["Issue width".to_string(), format!("{} instructions per cycle", c.issue_width)]);
+    t.row([
+        "Functional units".to_string(),
+        format!(
+            "{} IntALU, {} IntMult/Div, {} FPALU, {} FPMult/Div, {} mem ports",
+            c.int_alu_count, c.int_mult_count, c.fp_alu_count, c.fp_mult_count, c.mem_ports
+        ),
+    ]);
+    t.row([
+        "Extra pipe stages".to_string(),
+        format!("{} (decode + 3 rename/enqueue, per the paper)", c.frontend_depth),
+    ]);
+    t.row([
+        "L1 D-cache".to_string(),
+        format!(
+            "{} KB, {}-way LRU, {} B blocks, {}-cycle latency",
+            c.l1d.size / 1024,
+            c.l1d.assoc,
+            c.l1d.line,
+            c.l1d.latency
+        ),
+    ]);
+    t.row([
+        "L1 I-cache".to_string(),
+        format!(
+            "{} KB, {}-way LRU, {} B blocks, {}-cycle latency",
+            c.l1i.size / 1024,
+            c.l1i.assoc,
+            c.l1i.line,
+            c.l1i.latency
+        ),
+    ]);
+    t.row([
+        "L2".to_string(),
+        format!(
+            "Unified, {} MB, {}-way LRU, {} B blocks, {}-cycle latency, WB",
+            c.l2.size / (1024 * 1024),
+            c.l2.assoc,
+            c.l2.line,
+            c.l2.latency
+        ),
+    ]);
+    t.row(["Memory".to_string(), format!("{} cycles", c.mem_latency)]);
+    t.row([
+        "TLB".to_string(),
+        format!(
+            "{}-entry, fully assoc., {}-cycle miss penalty",
+            c.tlb_entries, c.tlb_miss_penalty
+        ),
+    ]);
+    t.row([
+        "Branch predictor".to_string(),
+        format!(
+            "Hybrid: {} bimod + {}/{}-bit GAg, {} bimod-style chooser",
+            c.bpred.bimod_entries, c.bpred.gag_entries, c.bpred.history_bits, c.bpred.chooser_entries
+        ),
+    ]);
+    t.row([
+        "Branch target buffer".to_string(),
+        format!("{}-entry, {}-way", c.bpred.btb_sets * c.bpred.btb_assoc, c.bpred.btb_assoc),
+    ]);
+    t.row(["Return-address stack".to_string(), format!("{}-entry", c.bpred.ras_entries)]);
+    t.row(["Clock".to_string(), format!("{:.1} GHz", c.clock_hz / 1e9)]);
+    println!("{}", t.render());
+}

@@ -1,0 +1,68 @@
+//! Regenerates Tables 9 and 10: how well boxcar power averages (the prior
+//! work's temperature proxy) track the RC thermal model — missed
+//! emergencies and false triggers, for per-structure proxies (Table 9)
+//! and the chip-wide proxy with a 47 W trigger (Table 10), at 10 K- and
+//! 500 K-cycle windows.
+
+use tdtm_bench::banner;
+use tdtm_core::experiments::{proxy_comparison, ExperimentScale};
+use tdtm_core::report::TextTable;
+use tdtm_workloads::suite;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    banner("Tables 9 and 10: boxcar power proxies vs the RC thermal model", scale);
+
+    let windows = [10_000usize, 500_000];
+    let mut per_structure = TextTable::new([
+        "benchmark",
+        "window",
+        "true emerg %",
+        "missed %",
+        "false trig %",
+    ]);
+    let mut chip_wide = TextTable::new([
+        "benchmark",
+        "window",
+        "true emerg %",
+        "missed %",
+        "false trig %",
+    ]);
+
+    // The paper's 47 W chip-wide trigger sat just below its hottest
+    // programs' average power. Our power model is calibrated to a higher
+    // absolute scale (25-77 W averages), so the analogous operating point
+    // is ~70 W; 47 W at our scale would simply be "always triggered".
+    let chip_threshold_w = 70.0;
+    for w in suite() {
+        let (report, proxies) = proxy_comparison(&w, scale, &windows, &windows, chip_threshold_w);
+        let true_pct = 100.0 * report.emergency_fraction();
+        for p in &proxies {
+            // Aggregate blocks for the per-structure proxy; the chip-wide
+            // proxy has a single entry.
+            let mut agg = tdtm_thermal::comparison::AgreementCounts::new();
+            for (_, c) in &p.per_block {
+                agg.merge(c);
+            }
+            let row = [
+                w.name.to_string(),
+                p.label.split_whitespace().last().unwrap_or("?").to_string(),
+                format!("{true_pct:.2}%"),
+                format!("{:.2}%", 100.0 * agg.miss_cycle_rate()),
+                format!("{:.2}%", 100.0 * agg.false_trigger_rate()),
+            ];
+            if p.label.starts_with("structure") {
+                per_structure.row(row);
+            } else {
+                chip_wide.row(row);
+            }
+        }
+    }
+
+    println!("-- Table 9: per-structure boxcar power proxy --\n");
+    println!("{}", per_structure.render());
+    println!("-- Table 10: chip-wide boxcar power proxy ({chip_threshold_w} W trigger; the analogue of the paper's 47 W at our power scale) --\n");
+    println!("{}", chip_wide.render());
+    println!("missed %: cycles the RC model says are emergencies that the proxy fails to flag,");
+    println!("as a fraction of all (block-)cycles; false trig %: proxy triggers with no emergency.");
+}

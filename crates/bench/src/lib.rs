@@ -1,0 +1,36 @@
+//! # tdtm-bench — benchmark harness and table/figure regeneration
+//!
+//! One binary per table/figure of the paper (see `DESIGN.md` §3 for the
+//! index), plus Criterion microbenchmarks backing the "computationally
+//! efficient" claims:
+//!
+//! ```text
+//! cargo run -p tdtm-bench --release --bin table04_benchmarks
+//! TDTM_INSTS=4000000 cargo run -p tdtm-bench --release --bin fig_dtm_performance
+//! cargo bench -p tdtm-bench
+//! ```
+//!
+//! Every binary reads the `TDTM_INSTS` environment variable to scale the
+//! per-benchmark instruction budget (default 1,000,000).
+
+use tdtm_core::experiments::ExperimentScale;
+
+/// Prints the standard header used by all regeneration binaries.
+pub fn banner(title: &str, scale: ExperimentScale) {
+    println!("== {title} ==");
+    println!(
+        "(per-benchmark budget: {} committed instructions after {}-cycle warmup; set TDTM_INSTS to rescale)",
+        scale.insts, scale.warmup_cycles
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banner_prints() {
+        banner("smoke", ExperimentScale::quick());
+    }
+}

@@ -1,0 +1,267 @@
+//! Discrete-time (z-domain) transfer functions and Tustin discretization.
+//!
+//! The paper designs its controllers in the continuous (Laplace) domain and
+//! argues that is valid because the 667 ns sampling period is far below the
+//! thermal time constants ("for all practical purposes, the system behaves
+//! in a continuous manner"). This module makes that argument checkable: it
+//! discretizes the continuous designs with the bilinear (Tustin) transform
+//! and verifies — in tests — that the discrete loop matches the continuous
+//! one where it matters.
+
+use crate::complex::Complex;
+use crate::design::PidGains;
+use crate::poly::Polynomial;
+use crate::tf::TransferFunction;
+
+/// A discrete transfer function `num(z⁻¹)/den(z⁻¹)` at a fixed sampling
+/// period, in negative powers of `z` (direct form):
+/// `y[k] = (Σ b_i·u[k-i] − Σ_{i≥1} a_i·y[k-i]) / a_0`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DiscreteTransferFunction {
+    /// Numerator coefficients `b_0..b_n` (of `z⁻ⁱ`).
+    pub num: Vec<f64>,
+    /// Denominator coefficients `a_0..a_m` (of `z⁻ⁱ`), `a_0 != 0`.
+    pub den: Vec<f64>,
+    /// Sampling period in seconds.
+    pub period: f64,
+}
+
+impl DiscreteTransferFunction {
+    /// Creates a discrete transfer function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the denominator is empty or has a zero leading
+    /// coefficient, or if `period` is not positive.
+    pub fn new(num: Vec<f64>, den: Vec<f64>, period: f64) -> DiscreteTransferFunction {
+        assert!(period > 0.0, "period must be positive");
+        assert!(den.first().map_or(false, |&a| a != 0.0), "a_0 must be nonzero");
+        DiscreteTransferFunction { num, den, period }
+    }
+
+    /// Frequency response at `ω` rad/s: evaluate at `z = e^{jωT}`.
+    pub fn freq_response(&self, w: f64) -> Complex {
+        let zinv = Complex::jw(-w * self.period).exp(); // z⁻¹ = e^{-jωT}
+        let eval = |c: &[f64]| {
+            let mut acc = Complex::ZERO;
+            let mut p = Complex::ONE;
+            for &coef in c {
+                acc = acc + p * coef;
+                p = p * zinv;
+            }
+            acc
+        };
+        eval(&self.num) / eval(&self.den)
+    }
+
+    /// Runs the difference equation over an input sequence.
+    pub fn simulate(&self, input: &[f64]) -> Vec<f64> {
+        let mut output = vec![0.0; input.len()];
+        for k in 0..input.len() {
+            let mut acc = 0.0;
+            for (i, &b) in self.num.iter().enumerate() {
+                if k >= i {
+                    acc += b * input[k - i];
+                }
+            }
+            for (i, &a) in self.den.iter().enumerate().skip(1) {
+                if k >= i {
+                    acc -= a * output[k - i];
+                }
+            }
+            output[k] = acc / self.den[0];
+        }
+        output
+    }
+
+    /// Whether all poles are inside the unit circle (Jury-style check via
+    /// the reflection-coefficient recursion).
+    pub fn is_stable(&self) -> bool {
+        // Denominator in ascending powers of z⁻¹ == descending powers of
+        // z: a_0·z^m + a_1·z^{m-1} + ... Schur-Cohn recursion on that.
+        let mut a: Vec<f64> = self.den.clone();
+        while a.last() == Some(&0.0) {
+            a.pop();
+        }
+        if a.len() <= 1 {
+            return true;
+        }
+        // Normalize to monic in z (a_0 leading).
+        let mut coeffs = a;
+        while coeffs.len() > 1 {
+            let n = coeffs.len();
+            let k = coeffs[n - 1] / coeffs[0];
+            if k.abs() >= 1.0 {
+                return false;
+            }
+            let mut next = Vec::with_capacity(n - 1);
+            for i in 0..n - 1 {
+                next.push(coeffs[i] - k * coeffs[n - 1 - i]);
+            }
+            coeffs = next;
+        }
+        true
+    }
+}
+
+/// Discretizes a delay-free continuous transfer function with the bilinear
+/// (Tustin) transform `s = (2/T)·(1 − z⁻¹)/(1 + z⁻¹)`.
+///
+/// # Panics
+///
+/// Panics if the transfer function has dead time (approximate it with
+/// [`TransferFunction::pade1`] first) or `period` is not positive.
+pub fn tustin(tf: &TransferFunction, period: f64) -> DiscreteTransferFunction {
+    assert!(tf.delay == 0.0, "discretize the Padé approximation of a dead-time system");
+    assert!(period > 0.0, "period must be positive");
+    // Substitute s = c·(1−z⁻¹)/(1+z⁻¹), c = 2/T, and clear denominators:
+    // for a polynomial p(s) of degree n, p -> Σ p_i cⁱ (1−z⁻¹)ⁱ (1+z⁻¹)^{n−i}.
+    let n = tf.num.degree().unwrap_or(0).max(tf.den.degree().unwrap_or(0));
+    let c = 2.0 / period;
+    let expand = |p: &Polynomial| -> Vec<f64> {
+        let mut acc = vec![0.0; n + 1];
+        let one_minus = [1.0, -1.0];
+        let one_plus = [1.0, 1.0];
+        for (i, &coef) in p.coeffs().iter().enumerate() {
+            // term = coef · cⁱ · (1−z⁻¹)ⁱ · (1+z⁻¹)^{n−i}
+            let mut poly = vec![coef * c.powi(i as i32)];
+            for _ in 0..i {
+                poly = conv(&poly, &one_minus);
+            }
+            for _ in 0..(n - i) {
+                poly = conv(&poly, &one_plus);
+            }
+            for (k, v) in poly.into_iter().enumerate() {
+                acc[k] += v;
+            }
+        }
+        acc
+    };
+    DiscreteTransferFunction::new(expand(&tf.num), expand(&tf.den), period)
+}
+
+/// Discretizes PID gains directly (trapezoidal integral, backward-difference
+/// derivative — the textbook "velocity form" coefficients).
+pub fn discretize_pid(gains: &PidGains, period: f64) -> DiscreteTransferFunction {
+    let (kp, ki, kd, t) = (gains.kp, gains.ki, gains.kd, period);
+    // u[k] = u[k-1] + b0·e[k] + b1·e[k-1] + b2·e[k-2]
+    let b0 = kp + ki * t / 2.0 + kd / t;
+    let b1 = -kp + ki * t / 2.0 - 2.0 * kd / t;
+    let b2 = kd / t;
+    DiscreteTransferFunction::new(vec![b0, b1, b2], vec![1.0, -1.0], period)
+}
+
+fn conv(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] += x * y;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{design_controller, ControllerKind, FopdtPlant};
+
+    #[test]
+    fn tustin_matches_continuous_response_below_nyquist() {
+        let tf = TransferFunction::first_order(2.0, 1e-3, 0.0);
+        let period = 1e-5;
+        let d = tustin(&tf, period);
+        for w in [10.0, 100.0, 1000.0, 10_000.0] {
+            let c = tf.freq_response(w);
+            let z = d.freq_response(w);
+            assert!(
+                (c - z).abs() < 0.02 * c.abs().max(0.01),
+                "w={w}: continuous {c} vs discrete {z}"
+            );
+        }
+    }
+
+    #[test]
+    fn tustin_preserves_dc_gain() {
+        let tf = TransferFunction::first_order(3.5, 0.2, 0.0);
+        let d = tustin(&tf, 1e-3);
+        let dc = d.freq_response(1e-6).abs();
+        assert!((dc - 3.5).abs() < 1e-6, "dc {dc}");
+    }
+
+    #[test]
+    fn discrete_first_order_step_response_matches_analytic() {
+        let (k, tau) = (2.0, 1e-3);
+        let tf = TransferFunction::first_order(k, tau, 0.0);
+        let period = 1e-5;
+        let d = tustin(&tf, period);
+        let steps = 400;
+        let out = d.simulate(&vec![1.0; steps]);
+        for (i, &y) in out.iter().enumerate().skip(5) {
+            let t = (i as f64 + 0.5) * period;
+            let expect = k * (1.0 - (-t / tau).exp());
+            assert!((y - expect).abs() < 0.01, "t={t}: {y} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn stability_check_flags_unit_circle() {
+        // y[k] = 0.5 y[k-1] + u: stable.
+        let stable = DiscreteTransferFunction::new(vec![1.0], vec![1.0, -0.5], 1.0);
+        assert!(stable.is_stable());
+        // y[k] = 1.5 y[k-1] + u: unstable.
+        let unstable = DiscreteTransferFunction::new(vec![1.0], vec![1.0, -1.5], 1.0);
+        assert!(!unstable.is_stable());
+        // Integrator (pole at 1): marginal, reported unstable.
+        let integrator = DiscreteTransferFunction::new(vec![1.0], vec![1.0, -1.0], 1.0);
+        assert!(!integrator.is_stable());
+    }
+
+    #[test]
+    fn discretized_design_tracks_continuous_pid() {
+        // The paper's argument: at 667 ns sampling the discrete controller
+        // is indistinguishable from the continuous design.
+        let plant = FopdtPlant { gain: 8.0, time_constant: 8.4e-5, delay: 333e-9 };
+        let gains = design_controller(&plant, ControllerKind::Pid);
+        let period = 667e-9;
+        let d = discretize_pid(&gains, period);
+        let c = gains.transfer_function();
+        // Compare frequency responses across the loop's active band: tight
+        // agreement well below Nyquist (π/T ≈ 4.7e6 rad/s), and still
+        // within ~10% approaching the crossover region where the
+        // backward-difference derivative starts to bend.
+        for (w, tol) in [(1e3, 0.02), (1e4, 0.02), (1e5, 0.02), (1e6, 0.12)] {
+            let fc = c.freq_response(w);
+            let fd = d.freq_response(w);
+            let err = (fc - fd).abs() / fc.abs();
+            assert!(err < tol, "w={w}: relative error {err}");
+        }
+    }
+
+    #[test]
+    fn closed_loop_discrete_pid_is_stable_at_paper_sampling() {
+        let plant = FopdtPlant { gain: 8.0, time_constant: 8.4e-5, delay: 333e-9 };
+        let gains = design_controller(&plant, ControllerKind::Pid);
+        let period = 667e-9;
+        // Discretize the whole open loop (plant via Padé+Tustin, PID
+        // directly), close it, and Jury-test the characteristic poly.
+        let plant_d = tustin(&plant.transfer_function().pade1(), period);
+        let pid_d = discretize_pid(&gains, period);
+        // Closed-loop denominator: den_c·den_p + num_c·num_p (in z⁻¹).
+        let num = conv(&pid_d.num, &plant_d.num);
+        let den = {
+            let a = conv(&pid_d.den, &plant_d.den);
+            let mut d = a.clone();
+            for (i, &v) in num.iter().enumerate() {
+                if i < d.len() {
+                    d[i] += v;
+                } else {
+                    d.push(v);
+                }
+            }
+            d
+        };
+        let closed = DiscreteTransferFunction::new(num, den, period);
+        assert!(closed.is_stable(), "the paper's continuous design survives discretization");
+    }
+}

@@ -1,0 +1,52 @@
+//! # tdtm-control — feedback-control machinery for DTM
+//!
+//! Implements the control-theoretic half of the paper (Section 3): the
+//! PID-family controller that drives fetch toggling, and the Laplace-domain
+//! design methodology used to pick its gains against a first-order-plus-
+//! dead-time model of a block's thermal dynamics.
+//!
+//! * [`complex`], [`poly`] — small numeric substrate (no external deps);
+//! * [`tf`] — transfer functions `num(s)/den(s)·e^{-sL}` with frequency
+//!   response, series composition, and unity feedback closure;
+//! * [`stability`] — Routh-Hurwitz criterion and gain/phase margins;
+//! * [`design`] — the paper's plant model (thermal R as DC gain, the
+//!   longest block RC as the time constant, half the sampling period as the
+//!   loop delay) and phase-constant loop-shaping of P/PD/PI/PID gains;
+//! * [`pid`] — the discrete controller with the paper's anti-windup rules
+//!   (integrator freeze while the actuator saturates; the integral is kept
+//!   non-negative);
+//! * [`response`] — closed-loop time-domain simulation used to validate
+//!   designs (settling time, overshoot).
+//!
+//! # Examples
+//!
+//! Design a PID controller for a thermal block and check the closed loop
+//! settles without sustained oscillation:
+//!
+//! ```
+//! use tdtm_control::design::{ControllerKind, FopdtPlant, design_controller};
+//! use tdtm_control::response::{simulate_step, ResponseMetrics};
+//!
+//! // 2 K/W block with an 84 us time constant, 333 ns loop delay.
+//! let plant = FopdtPlant { gain: 2.0, time_constant: 84e-6, delay: 333e-9 };
+//! let gains = design_controller(&plant, ControllerKind::Pid);
+//! let metrics = ResponseMetrics::from_response(&simulate_step(&plant, &gains, 1.0, 0.02));
+//! assert!(metrics.overshoot_fraction < 0.40);
+//! assert!(metrics.settled);
+//! ```
+
+pub mod complex;
+pub mod design;
+pub mod discrete;
+pub mod pid;
+pub mod poly;
+pub mod response;
+pub mod roots;
+pub mod stability;
+pub mod tf;
+
+pub use complex::Complex;
+pub use design::{ControllerKind, FopdtPlant, PidGains};
+pub use pid::PidController;
+pub use poly::Polynomial;
+pub use tf::TransferFunction;

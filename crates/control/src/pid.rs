@@ -1,0 +1,245 @@
+//! The discrete PID controller that runs in the DTM loop.
+//!
+//! Every sampling interval (1000 cycles in the paper) the controller
+//! receives the current error `e = T_target − T_measured` and produces an
+//! actuator command, which the DTM layer maps onto the fetch-toggling duty
+//! cycle. The output is clamped to the actuator range, and two anti-windup
+//! measures from the paper's Section 3.3 are applied:
+//!
+//! 1. **Integrator freeze on saturation** ("integral windup can be easily
+//!    avoided by freezing the integrator when controller output saturates
+//!    the actuator") — implemented as integral clamping: `Ki·∫e` is held
+//!    inside the actuator range, so saturation never accumulates excess
+//!    integral, and the controller "immediately decrease[s] below
+//!    saturation" once the error changes sign.
+//! 2. **Non-negative integral** ("we implemented this mechanism in our PI
+//!    and PID controllers by preventing the integral from taking on a
+//!    negative value").
+
+use crate::design::PidGains;
+
+/// A discrete PID controller with output clamping and anti-windup.
+#[derive(Clone, Debug)]
+pub struct PidController {
+    gains: PidGains,
+    /// Sampling period in seconds.
+    period: f64,
+    /// Actuator range.
+    out_min: f64,
+    out_max: f64,
+    /// Accumulated integral `∫e dt` (before multiplication by Ki).
+    integral: f64,
+    prev_error: Option<f64>,
+    /// Anti-windup enable (on by default; off for the windup ablation).
+    anti_windup: bool,
+    /// Clamp the integral at zero from below (the paper's rule).
+    nonnegative_integral: bool,
+}
+
+impl PidController {
+    /// Creates a controller sampling every `period` seconds with actuator
+    /// range `[out_min, out_max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not positive or the range is empty.
+    pub fn new(gains: PidGains, period: f64, out_min: f64, out_max: f64) -> PidController {
+        assert!(period > 0.0, "sampling period must be positive");
+        assert!(out_min < out_max, "actuator range must be nonempty");
+        PidController {
+            gains,
+            period,
+            out_min,
+            out_max,
+            integral: 0.0,
+            prev_error: None,
+            anti_windup: true,
+            nonnegative_integral: true,
+        }
+    }
+
+    /// Disables both anti-windup measures (for the windup ablation, which
+    /// reproduces the failure mode Section 3.3 describes).
+    pub fn without_anti_windup(mut self) -> PidController {
+        self.anti_windup = false;
+        self.nonnegative_integral = false;
+        self
+    }
+
+    /// The configured gains.
+    pub fn gains(&self) -> PidGains {
+        self.gains
+    }
+
+    /// The sampling period in seconds.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Current integral state (∫e dt), exposed for tests and tracing.
+    pub fn integral(&self) -> f64 {
+        self.integral
+    }
+
+    /// Resets dynamic state (integral and derivative history).
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+        self.prev_error = None;
+    }
+
+    /// Consumes one error sample and produces the clamped actuator command.
+    ///
+    /// Anti-windup is implemented as integral clamping: the integral term
+    /// `Ki·∫e` is never allowed outside the actuator range, which is
+    /// exactly the effect of freezing the integrator once the actuator
+    /// saturates, while letting it unwind instantly when the error changes
+    /// sign (the behavior Section 3.3 asks for).
+    pub fn sample(&mut self, error: f64) -> f64 {
+        let derivative = match self.prev_error {
+            Some(prev) => (error - prev) / self.period,
+            None => 0.0,
+        };
+        self.prev_error = Some(error);
+
+        self.integral += error * self.period;
+        if self.anti_windup && self.gains.ki > 0.0 {
+            let i_max = self.out_max / self.gains.ki;
+            let i_min = self.out_min / self.gains.ki;
+            self.integral = self.integral.clamp(i_min, i_max);
+        }
+        if self.nonnegative_integral && self.integral < 0.0 {
+            self.integral = 0.0;
+        }
+
+        let output =
+            self.gains.kp * error + self.gains.ki * self.integral + self.gains.kd * derivative;
+        output.clamp(self.out_min, self.out_max)
+    }
+}
+
+/// Quantizes a continuous actuator command in `[0, 1]` to one of
+/// `levels + 1` evenly spaced settings (the paper's actuator exposes
+/// "eight discrete values distributed evenly across the range from 0% to
+/// 100%").
+///
+/// # Panics
+///
+/// Panics if `levels` is zero.
+pub fn quantize(command: f64, levels: u32) -> f64 {
+    assert!(levels > 0, "need at least one level");
+    let clamped = command.clamp(0.0, 1.0);
+    (clamped * levels as f64).round() / levels as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gains() -> PidGains {
+        PidGains { kp: 2.0, ki: 10.0, kd: 0.01 }
+    }
+
+    #[test]
+    fn proportional_action_direction() {
+        let mut c = PidController::new(PidGains { kp: 3.0, ..PidGains::default() }, 0.1, -10.0, 10.0);
+        assert_eq!(c.sample(2.0), 6.0);
+        assert_eq!(c.sample(-1.0), -3.0);
+    }
+
+    #[test]
+    fn integral_accumulates_to_remove_steady_error() {
+        let mut c = PidController::new(PidGains { ki: 1.0, ..PidGains::default() }, 0.5, -10.0, 10.0);
+        let o1 = c.sample(1.0);
+        let o2 = c.sample(1.0);
+        assert!(o2 > o1, "integral action grows under persistent error");
+        assert!((c.integral() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivative_damps_fast_changes() {
+        let mut c = PidController::new(PidGains { kd: 1.0, ..PidGains::default() }, 0.1, -100.0, 100.0);
+        c.sample(0.0);
+        let o = c.sample(1.0); // de/dt = 10
+        assert!((o - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_sample_has_no_derivative_kick() {
+        let mut c = PidController::new(PidGains { kd: 5.0, ..PidGains::default() }, 0.1, -100.0, 100.0);
+        assert_eq!(c.sample(3.0), 0.0);
+    }
+
+    #[test]
+    fn output_clamped_to_actuator_range() {
+        let mut c = PidController::new(gains(), 0.1, 0.0, 1.0);
+        assert_eq!(c.sample(100.0), 1.0);
+        let mut c2 = PidController::new(gains(), 0.1, 0.0, 1.0);
+        // Large negative error: clamp low, and the non-negative integral
+        // rule keeps ∫e at zero.
+        assert_eq!(c2.sample(-100.0), 0.0);
+        assert_eq!(c2.integral(), 0.0);
+    }
+
+    #[test]
+    fn anti_windup_freezes_integrator_while_saturated() {
+        let mut with = PidController::new(PidGains { ki: 1.0, ..PidGains::default() }, 1.0, 0.0, 1.0);
+        let mut without =
+            PidController::new(PidGains { ki: 1.0, ..PidGains::default() }, 1.0, 0.0, 1.0)
+                .without_anti_windup();
+        // Long stretch of positive error: both saturate at 1.0, but only
+        // the unprotected one accumulates a huge integral.
+        for _ in 0..100 {
+            assert_eq!(with.sample(5.0), 1.0);
+            assert_eq!(without.sample(5.0), 1.0);
+        }
+        assert!(with.integral() <= 1.0 + 1e-9, "clamped: {}", with.integral());
+        assert!(without.integral() > 400.0, "wound up: {}", without.integral());
+
+        // Error flips sign: the protected controller responds immediately;
+        // the wound-up one stays saturated ("it will take the integral
+        // output a long time to unwind").
+        let with_out = with.sample(-2.0);
+        let without_out = without.sample(-2.0);
+        assert!(with_out < 1.0, "protected controller leaves saturation at once");
+        assert_eq!(without_out, 1.0, "unprotected controller is still wound up");
+    }
+
+    #[test]
+    fn integral_never_negative_with_paper_rule() {
+        let mut c = PidController::new(PidGains { ki: 1.0, kp: 0.1, ..PidGains::default() }, 1.0, 0.0, 1.0);
+        for _ in 0..50 {
+            c.sample(-3.0);
+            assert!(c.integral() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = PidController::new(gains(), 0.1, 0.0, 1.0);
+        c.sample(0.3);
+        c.sample(0.1);
+        c.reset();
+        assert_eq!(c.integral(), 0.0);
+        // No derivative kick after reset.
+        let out = c.sample(0.0);
+        assert_eq!(out, 0.0);
+    }
+
+    #[test]
+    fn quantize_to_eight_levels() {
+        assert_eq!(quantize(0.0, 8), 0.0);
+        assert_eq!(quantize(1.0, 8), 1.0);
+        assert_eq!(quantize(0.5, 8), 0.5); // toggle2
+        assert_eq!(quantize(0.49, 8), 0.5);
+        assert_eq!(quantize(0.07, 8), 0.125);
+        assert_eq!(quantize(0.05, 8), 0.0);
+        assert_eq!(quantize(7.0, 8), 1.0);
+        assert_eq!(quantize(-3.0, 8), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_period_rejected() {
+        let _ = PidController::new(gains(), 0.0, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Real polynomials in one variable (ascending coefficient order).
+
+use crate::complex::Complex;
+use std::fmt;
+use std::ops::{Add, Mul};
+
+/// A polynomial `c[0] + c[1]·s + c[2]·s² + …` over `f64`.
+///
+/// The zero polynomial is represented by an empty coefficient vector;
+/// construction trims trailing zero coefficients so `degree` is meaningful.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from ascending coefficients, trimming trailing
+    /// zeros.
+    pub fn new(coeffs: impl Into<Vec<f64>>) -> Polynomial {
+        let mut coeffs = coeffs.into();
+        while coeffs.last() == Some(&0.0) {
+            coeffs.pop();
+        }
+        Polynomial { coeffs }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: f64) -> Polynomial {
+        Polynomial::new(vec![c])
+    }
+
+    /// The monomial `s`.
+    pub fn s() -> Polynomial {
+        Polynomial::new(vec![0.0, 1.0])
+    }
+
+    /// Ascending coefficients (empty for the zero polynomial).
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Degree; `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Evaluates at a real point (Horner).
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Evaluates at a complex point (Horner).
+    pub fn eval_complex(&self, s: Complex) -> Complex {
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(Complex::ZERO, |acc, &c| acc * s + Complex::from(c))
+    }
+
+    /// The derivative polynomial.
+    pub fn derivative(&self) -> Polynomial {
+        if self.coeffs.len() <= 1 {
+            return Polynomial::default();
+        }
+        Polynomial::new(
+            self.coeffs[1..]
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| c * (i + 1) as f64)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Multiplies by `s^n` (shifts coefficients up).
+    pub fn shift(&self, n: usize) -> Polynomial {
+        if self.is_zero() {
+            return Polynomial::default();
+        }
+        let mut coeffs = vec![0.0; n];
+        coeffs.extend_from_slice(&self.coeffs);
+        Polynomial::new(coeffs)
+    }
+}
+
+impl Add for &Polynomial {
+    type Output = Polynomial;
+    fn add(self, o: &Polynomial) -> Polynomial {
+        let n = self.coeffs.len().max(o.coeffs.len());
+        let mut out = vec![0.0; n];
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            out[i] += c;
+        }
+        for (i, &c) in o.coeffs.iter().enumerate() {
+            out[i] += c;
+        }
+        Polynomial::new(out)
+    }
+}
+
+impl Mul for &Polynomial {
+    type Output = Polynomial;
+    fn mul(self, o: &Polynomial) -> Polynomial {
+        if self.is_zero() || o.is_zero() {
+            return Polynomial::default();
+        }
+        let mut out = vec![0.0; self.coeffs.len() + o.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in o.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        Polynomial::new(out)
+    }
+}
+
+impl Mul<f64> for &Polynomial {
+    type Output = Polynomial;
+    fn mul(self, k: f64) -> Polynomial {
+        Polynomial::new(self.coeffs.iter().map(|&c| c * k).collect::<Vec<_>>())
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let mut first = true;
+        for (i, &c) in self.coeffs.iter().enumerate().rev() {
+            if c == 0.0 {
+                continue;
+            }
+            if !first {
+                f.write_str(if c < 0.0 { " - " } else { " + " })?;
+            } else if c < 0.0 {
+                f.write_str("-")?;
+            }
+            let a = c.abs();
+            match i {
+                0 => write!(f, "{a}")?,
+                1 => {
+                    if a == 1.0 {
+                        f.write_str("s")?;
+                    } else {
+                        write!(f, "{a}·s")?;
+                    }
+                }
+                _ => {
+                    if a == 1.0 {
+                        write!(f, "s^{i}")?;
+                    } else {
+                        write!(f, "{a}·s^{i}")?;
+                    }
+                }
+            }
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_trims_trailing_zeros() {
+        let p = Polynomial::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), Some(1));
+        assert_eq!(Polynomial::new(vec![0.0]).degree(), None);
+    }
+
+    #[test]
+    fn evaluation_horner() {
+        let p = Polynomial::new(vec![1.0, -3.0, 2.0]); // 1 - 3s + 2s²
+        assert_eq!(p.eval(0.0), 1.0);
+        assert_eq!(p.eval(2.0), 3.0);
+        let z = p.eval_complex(Complex::jw(1.0)); // 1 - 3j - 2 = -1 - 3j
+        assert!((z - Complex::new(-1.0, -3.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn multiplication_and_addition() {
+        let a = Polynomial::new(vec![1.0, 1.0]); // 1 + s
+        let b = Polynomial::new(vec![-1.0, 1.0]); // -1 + s
+        assert_eq!(&a * &b, Polynomial::new(vec![-1.0, 0.0, 1.0])); // s² - 1
+        assert_eq!(&a + &b, Polynomial::new(vec![0.0, 2.0]));
+    }
+
+    #[test]
+    fn derivative_rules() {
+        let p = Polynomial::new(vec![5.0, 0.0, 3.0, 1.0]); // 5 + 3s² + s³
+        assert_eq!(p.derivative(), Polynomial::new(vec![0.0, 6.0, 3.0]));
+        assert!(Polynomial::constant(7.0).derivative().is_zero());
+    }
+
+    #[test]
+    fn shift_multiplies_by_s_power() {
+        let p = Polynomial::new(vec![2.0, 1.0]);
+        assert_eq!(p.shift(2), Polynomial::new(vec![0.0, 0.0, 2.0, 1.0]));
+        assert_eq!(&p.shift(1), &(&p * &Polynomial::s()));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = Polynomial::new(vec![-1.0, 0.0, 2.0]);
+        assert_eq!(p.to_string(), "2·s^2 - 1");
+        assert_eq!(Polynomial::default().to_string(), "0");
+    }
+}

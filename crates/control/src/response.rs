@@ -1,0 +1,192 @@
+//! Closed-loop time-domain simulation for validating controller designs.
+//!
+//! Simulates the unity-feedback loop of Figure 1 — controller followed by
+//! the FOPDT plant — against a setpoint step, and extracts the metrics the
+//! paper's methodology cares about: maximum overshoot (used to choose how
+//! close the setpoint may sit to the emergency threshold) and settling
+//! time.
+
+use crate::design::{FopdtPlant, PidGains};
+use crate::pid::PidController;
+
+/// A sampled closed-loop response.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Simulation step in seconds.
+    pub dt: f64,
+    /// Plant output at each step.
+    pub output: Vec<f64>,
+    /// Setpoint amplitude.
+    pub setpoint: f64,
+}
+
+/// Summary metrics of a step response.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ResponseMetrics {
+    /// Peak overshoot above the setpoint, as a fraction of the step size.
+    pub overshoot_fraction: f64,
+    /// Time to enter and stay within ±2% of the setpoint (seconds);
+    /// `f64::INFINITY` if it never settles.
+    pub settling_time: f64,
+    /// Whether the response settled within the simulated horizon.
+    pub settled: bool,
+    /// Final value reached.
+    pub final_value: f64,
+}
+
+impl ResponseMetrics {
+    /// Computes metrics from a simulated response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the response is empty or has a zero setpoint.
+    pub fn from_response(r: &Response) -> ResponseMetrics {
+        assert!(!r.output.is_empty(), "empty response");
+        assert!(r.setpoint != 0.0, "zero setpoint step");
+        let peak = r.output.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let overshoot_fraction = ((peak - r.setpoint) / r.setpoint).max(0.0);
+        let band = 0.02 * r.setpoint.abs();
+        // Last index outside the band determines settling.
+        let mut settle_idx = None;
+        for (i, &y) in r.output.iter().enumerate().rev() {
+            if (y - r.setpoint).abs() > band {
+                settle_idx = Some(i + 1);
+                break;
+            }
+        }
+        let settle_idx = settle_idx.unwrap_or(0);
+        let settled = settle_idx < r.output.len();
+        ResponseMetrics {
+            overshoot_fraction,
+            settling_time: if settled { settle_idx as f64 * r.dt } else { f64::INFINITY },
+            settled,
+            final_value: *r.output.last().expect("nonempty"),
+        }
+    }
+}
+
+/// Simulates the closed loop against a setpoint step of `setpoint`,
+/// for `duration` seconds.
+///
+/// The plant is integrated with an exact first-order update per simulation
+/// step; the dead time is modeled with a delay line on the controller
+/// output. The controller runs at the same rate (a conservative stand-in
+/// for the much faster-than-τ sampling the paper uses).
+///
+/// # Panics
+///
+/// Panics if plant parameters are non-positive.
+pub fn simulate_step(
+    plant: &FopdtPlant,
+    gains: &PidGains,
+    setpoint: f64,
+    duration: f64,
+) -> Response {
+    assert!(plant.time_constant > 0.0 && plant.gain > 0.0, "bad plant");
+    // Resolve both the time constant and the dead time.
+    let dt = (plant.time_constant / 400.0).min(if plant.delay > 0.0 {
+        plant.delay / 8.0
+    } else {
+        f64::INFINITY
+    });
+    let steps = (duration / dt).ceil() as usize;
+    let delay_steps = (plant.delay / dt).round() as usize;
+    let mut delay_line = std::collections::VecDeque::from(vec![0.0f64; delay_steps]);
+
+    let mut controller = PidController::new(*gains, dt, -1e12, 1e12);
+    let mut y = 0.0f64;
+    let decay = (-dt / plant.time_constant).exp();
+    let mut output = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let u = controller.sample(setpoint - y);
+        delay_line.push_back(u);
+        let u_delayed = delay_line.pop_front().unwrap_or(u);
+        let y_ss = plant.gain * u_delayed;
+        y = y_ss + (y - y_ss) * decay;
+        output.push(y);
+    }
+    Response { dt, output, setpoint }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{design_controller, ControllerKind};
+
+    fn paper_plant() -> FopdtPlant {
+        FopdtPlant { gain: 2.0, time_constant: 84e-6, delay: 333e-9 }
+    }
+
+    #[test]
+    fn pi_and_pid_track_the_setpoint_without_offset() {
+        let plant = paper_plant();
+        for kind in [ControllerKind::Pi, ControllerKind::Pid] {
+            let gains = design_controller(&plant, kind);
+            let r = simulate_step(&plant, &gains, 1.0, 0.02);
+            let m = ResponseMetrics::from_response(&r);
+            assert!(m.settled, "{kind:?} must settle");
+            assert!(
+                (m.final_value - 1.0).abs() < 0.02,
+                "{kind:?}: integral action should remove offset, final {}",
+                m.final_value
+            );
+            assert!(m.overshoot_fraction < 0.40, "{kind:?}: overshoot {}", m.overshoot_fraction);
+        }
+    }
+
+    #[test]
+    fn p_controller_has_steady_state_offset() {
+        let plant = paper_plant();
+        let gains = design_controller(&plant, ControllerKind::P);
+        let r = simulate_step(&plant, &gains, 1.0, 0.01);
+        let m = ResponseMetrics::from_response(&r);
+        let expect = gains.kp * plant.gain / (1.0 + gains.kp * plant.gain);
+        assert!(
+            (m.final_value - expect).abs() < 0.03,
+            "P loop settles at K·Kp/(1+K·Kp): {} vs {expect}",
+            m.final_value
+        );
+    }
+
+    #[test]
+    fn settling_is_fast_relative_to_the_time_constant() {
+        // The whole point of feedback: the closed loop responds much faster
+        // than the 84 µs open-loop constant.
+        let plant = paper_plant();
+        let gains = design_controller(&plant, ControllerKind::Pid);
+        let r = simulate_step(&plant, &gains, 1.0, 0.02);
+        let m = ResponseMetrics::from_response(&r);
+        assert!(
+            m.settling_time < plant.time_constant,
+            "closed-loop settling {} should beat open-loop tau {}",
+            m.settling_time,
+            plant.time_constant
+        );
+    }
+
+    #[test]
+    fn excessive_gain_oscillates() {
+        let plant = paper_plant();
+        let mut gains = design_controller(&plant, ControllerKind::Pi);
+        // The dead time is tiny next to tau, so the gain margin is large;
+        // 1000x is comfortably past it.
+        gains.kp *= 1000.0;
+        gains.ki *= 1000.0;
+        let r = simulate_step(&plant, &gains, 1.0, 0.005);
+        let m = ResponseMetrics::from_response(&r);
+        assert!(
+            !m.settled || m.overshoot_fraction > 0.5,
+            "1000x gain should destroy the designed margins: {m:?}"
+        );
+    }
+
+    #[test]
+    fn delay_free_plant_is_simulable() {
+        let plant = FopdtPlant { gain: 1.0, time_constant: 1e-3, delay: 0.0 };
+        let gains = PidGains { kp: 2.0, ki: 500.0, kd: 0.0 };
+        let r = simulate_step(&plant, &gains, 2.0, 0.05);
+        let m = ResponseMetrics::from_response(&r);
+        assert!(m.settled);
+        assert!((m.final_value - 2.0).abs() < 0.05);
+    }
+}

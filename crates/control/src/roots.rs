@@ -1,0 +1,231 @@
+//! Polynomial root finding (Durand-Kerner) and pole analysis.
+//!
+//! Routh-Hurwitz answers *whether* a characteristic polynomial is stable;
+//! the roots say *how* stable: dominant pole location sets the settling
+//! rate, and the damping ratio of the dominant complex pair predicts the
+//! overshoot the paper's setpoint-placement argument depends on.
+
+use crate::complex::Complex;
+use crate::poly::Polynomial;
+
+/// All complex roots of `p`, found with the Durand-Kerner (Weierstrass)
+/// simultaneous iteration.
+///
+/// Returns `None` if the iteration fails to converge (rare for the
+/// well-conditioned characteristic polynomials this crate produces).
+///
+/// # Panics
+///
+/// Panics on the zero polynomial.
+pub fn roots(p: &Polynomial) -> Option<Vec<Complex>> {
+    assert!(!p.is_zero(), "zero polynomial has no defined roots");
+    let n = p.degree().expect("nonzero");
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    // Balance the polynomial with the substitution s = σ·x, choosing σ so
+    // the constant and leading coefficients match in magnitude — thermal
+    // characteristic polynomials mix ~1e-14 and ~1e6 coefficients, which
+    // defeats the iteration in raw form. Roots are rescaled afterwards.
+    let raw = p.coeffs();
+    let sigma = if raw[0] != 0.0 {
+        (raw[0].abs() / raw[n].abs()).powf(1.0 / n as f64)
+    } else {
+        1.0
+    };
+    let scaled: Vec<f64> = raw
+        .iter()
+        .enumerate()
+        .map(|(k, &c)| c * sigma.powi(k as i32))
+        .collect();
+    // Monic coefficients.
+    let lead = *scaled.last().expect("nonzero");
+    let coeffs: Vec<f64> = scaled.iter().map(|c| c / lead).collect();
+    let poly_eval = |z: Complex| -> Complex {
+        coeffs
+            .iter()
+            .rev()
+            .fold(Complex::ZERO, |acc, &c| acc * z + Complex::from(c))
+    };
+
+    // Initial guesses on a non-real circle (the classic (0.4+0.9j)^k).
+    let seed = Complex::new(0.4, 0.9);
+    let mut zs: Vec<Complex> = Vec::with_capacity(n);
+    let mut acc = Complex::ONE;
+    for _ in 0..n {
+        acc = acc * seed;
+        zs.push(acc);
+    }
+    // Scale guesses by a root bound to help big/small roots.
+    let bound = 1.0
+        + coeffs[..n]
+            .iter()
+            .fold(0.0f64, |m, &c| m.max(c.abs()));
+    for z in &mut zs {
+        *z = *z * bound;
+    }
+
+    for _ in 0..500 {
+        let mut worst = 0.0f64;
+        for i in 0..n {
+            let zi = zs[i];
+            let mut denom = Complex::ONE;
+            for (j, &zj) in zs.iter().enumerate() {
+                if j != i {
+                    denom = denom * (zi - zj);
+                }
+            }
+            if denom.abs() == 0.0 {
+                // Perturb coincident iterates.
+                zs[i] = zi + Complex::new(1e-6, 1e-6);
+                worst = f64::INFINITY;
+                continue;
+            }
+            let delta = poly_eval(zi) / denom;
+            zs[i] = zi - delta;
+            worst = worst.max(delta.abs());
+        }
+        if worst < 1e-12 * bound {
+            return Some(zs.into_iter().map(|z| z * sigma).collect());
+        }
+    }
+    // Accept looser convergence before giving up.
+    let residual_ok = zs.iter().all(|&z| poly_eval(z).abs() < 1e-6 * bound.max(1.0));
+    if residual_ok {
+        Some(zs.into_iter().map(|z| z * sigma).collect())
+    } else {
+        None
+    }
+}
+
+/// Summary of a stable system's dominant dynamics.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DominantPole {
+    /// The dominant (slowest-decaying) pole.
+    pub pole: Complex,
+    /// Damping ratio ζ of the dominant pole (1 for real poles).
+    pub damping: f64,
+    /// `4/|Re|`: the classical 2%-settling-time estimate, seconds.
+    pub settling_time_estimate: f64,
+}
+
+/// Analyzes the dominant pole of a characteristic polynomial.
+///
+/// Returns `None` if root finding fails or any pole lies in the right
+/// half-plane (unstable systems have no settling time).
+pub fn dominant_pole(p: &Polynomial) -> Option<DominantPole> {
+    let rs = roots(p)?;
+    if rs.is_empty() || rs.iter().any(|r| r.re >= 0.0) {
+        return None;
+    }
+    let pole = rs
+        .iter()
+        .copied()
+        .max_by(|a, b| a.re.total_cmp(&b.re))
+        .expect("nonempty");
+    let damping = if pole.im.abs() < 1e-12 * pole.abs().max(1.0) {
+        1.0
+    } else {
+        -pole.re / pole.abs()
+    };
+    Some(DominantPole { pole, damping, settling_time_estimate: 4.0 / (-pole.re) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_real_parts(p: &Polynomial) -> Vec<f64> {
+        let mut re: Vec<f64> = roots(p).expect("converges").iter().map(|z| z.re).collect();
+        re.sort_by(f64::total_cmp);
+        re
+    }
+
+    #[test]
+    fn finds_real_roots() {
+        // (s+1)(s+2)(s+5) = s³ + 8s² + 17s + 10
+        let p = Polynomial::new(vec![10.0, 17.0, 8.0, 1.0]);
+        let re = sorted_real_parts(&p);
+        assert!((re[0] + 5.0).abs() < 1e-8);
+        assert!((re[1] + 2.0).abs() < 1e-8);
+        assert!((re[2] + 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn finds_complex_pairs() {
+        // (s² + 2s + 5): roots -1 ± 2j.
+        let p = Polynomial::new(vec![5.0, 2.0, 1.0]);
+        let rs = roots(&p).expect("converges");
+        assert_eq!(rs.len(), 2);
+        for r in rs {
+            assert!((r.re + 1.0).abs() < 1e-8);
+            assert!((r.im.abs() - 2.0).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn roots_reconstruct_the_polynomial() {
+        let p = Polynomial::new(vec![3.0, -7.0, 0.5, 2.0, 1.0]);
+        let rs = roots(&p).expect("converges");
+        // Π(s - r_i) evaluated at a probe point equals p(probe)/lead.
+        let probe = Complex::new(0.7, -1.3);
+        let lead = *p.coeffs().last().unwrap();
+        let product = rs
+            .iter()
+            .fold(Complex::ONE, |acc, &r| acc * (probe - r));
+        let direct = p.eval_complex(probe);
+        assert!((product * lead - direct).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dominant_pole_of_second_order_system() {
+        // s² + 2ζω s + ω²  with ζ=0.5, ω=10.
+        let (zeta, w) = (0.5, 10.0);
+        let p = Polynomial::new(vec![w * w, 2.0 * zeta * w, 1.0]);
+        let d = dominant_pole(&p).expect("stable");
+        assert!((d.damping - zeta).abs() < 1e-8, "damping {}", d.damping);
+        assert!((d.settling_time_estimate - 4.0 / (zeta * w)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unstable_polynomials_have_no_dominant_pole() {
+        // (s-1)(s+2)
+        let p = Polynomial::new(vec![-2.0, 1.0, 1.0]);
+        assert!(dominant_pole(&p).is_none());
+    }
+
+    #[test]
+    fn agrees_with_routh_hurwitz() {
+        use crate::stability::routh_hurwitz;
+        for coeffs in [
+            vec![10.0, 17.0, 8.0, 1.0],       // stable
+            vec![-2.0, 1.0, 1.0],             // one RHP root
+            vec![10.0, 1.0, 1.0, 1.0],        // complex RHP pair
+            vec![1.0, 2.0, 3.0, 2.0, 1.0],    // stable quartic
+        ] {
+            let p = Polynomial::new(coeffs);
+            let rh = routh_hurwitz(&p);
+            let rs = roots(&p).expect("converges");
+            let rhp = rs.iter().filter(|r| r.re > 1e-9).count();
+            assert_eq!(rh.rhp_roots, rhp, "poly {p}");
+        }
+    }
+
+    #[test]
+    fn designed_pid_loop_is_well_damped() {
+        use crate::design::{design_controller, ControllerKind, FopdtPlant};
+        let plant = FopdtPlant { gain: 8.0, time_constant: 8.4e-5, delay: 333e-9 };
+        let gains = design_controller(&plant, ControllerKind::Pid);
+        let cp = gains
+            .transfer_function()
+            .series(&plant.transfer_function())
+            .pade1()
+            .characteristic_polynomial();
+        let d = dominant_pole(&cp).expect("stable design");
+        assert!(d.damping > 0.3, "dominant damping {} too oscillatory", d.damping);
+        assert!(
+            d.settling_time_estimate < plant.time_constant,
+            "closed loop settles faster than the open-loop tau"
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Continuous transfer functions with dead time:
+//! `H(s) = num(s)/den(s) · e^{-s·L}`.
+
+use crate::complex::Complex;
+use crate::poly::Polynomial;
+use std::fmt;
+
+/// A rational transfer function with an optional pure delay.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TransferFunction {
+    /// Numerator polynomial.
+    pub num: Polynomial,
+    /// Denominator polynomial.
+    pub den: Polynomial,
+    /// Dead time (seconds).
+    pub delay: f64,
+}
+
+impl TransferFunction {
+    /// Creates `num/den · e^{-s·delay}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the denominator is the zero polynomial or `delay` is
+    /// negative.
+    pub fn new(num: Polynomial, den: Polynomial, delay: f64) -> TransferFunction {
+        assert!(!den.is_zero(), "denominator must be nonzero");
+        assert!(delay >= 0.0, "delay must be nonnegative");
+        TransferFunction { num, den, delay }
+    }
+
+    /// A static gain `k`.
+    pub fn gain(k: f64) -> TransferFunction {
+        TransferFunction::new(Polynomial::constant(k), Polynomial::constant(1.0), 0.0)
+    }
+
+    /// First-order lag `k / (τ·s + 1)` with dead time `delay`.
+    ///
+    /// This is the paper's plant model: `k` is the steady-state gain (the
+    /// thermal R here), `τ` the block thermal time constant, and the delay
+    /// half the sampling period introduced by sampling.
+    pub fn first_order(k: f64, tau: f64, delay: f64) -> TransferFunction {
+        TransferFunction::new(Polynomial::constant(k), Polynomial::new(vec![1.0, tau]), delay)
+    }
+
+    /// An ideal PID controller `Kp + Ki/s + Kd·s = (Kd·s² + Kp·s + Ki)/s`.
+    pub fn pid(kp: f64, ki: f64, kd: f64) -> TransferFunction {
+        TransferFunction::new(
+            Polynomial::new(vec![ki, kp, kd]),
+            Polynomial::new(vec![0.0, 1.0]),
+            0.0,
+        )
+    }
+
+    /// Frequency response `H(jω)`.
+    pub fn freq_response(&self, w: f64) -> Complex {
+        let s = Complex::jw(w);
+        let h = self.num.eval_complex(s) / self.den.eval_complex(s);
+        if self.delay == 0.0 {
+            h
+        } else {
+            h * Complex::jw(-w * self.delay).exp()
+        }
+    }
+
+    /// Magnitude of the frequency response at `ω`.
+    pub fn magnitude(&self, w: f64) -> f64 {
+        self.freq_response(w).abs()
+    }
+
+    /// Phase of the frequency response at `ω`, in radians, **unwrapped for
+    /// the delay term** (the rational part uses the principal value; the
+    /// `-ω·L` delay contribution is added exactly, so it can go below -π).
+    pub fn phase(&self, w: f64) -> f64 {
+        let s = Complex::jw(w);
+        let rational = (self.num.eval_complex(s) / self.den.eval_complex(s)).arg();
+        rational - w * self.delay
+    }
+
+    /// DC gain `H(0)` (may be infinite for integrating systems).
+    pub fn dc_gain(&self) -> f64 {
+        let d = self.den.eval(0.0);
+        if d == 0.0 {
+            f64::INFINITY * self.num.eval(0.0).signum()
+        } else {
+            self.num.eval(0.0) / d
+        }
+    }
+
+    /// Series (cascade) composition `self · other`: delays add, rational
+    /// parts multiply.
+    pub fn series(&self, other: &TransferFunction) -> TransferFunction {
+        TransferFunction::new(
+            &self.num * &other.num,
+            &self.den * &other.den,
+            self.delay + other.delay,
+        )
+    }
+
+    /// Closes a unity negative-feedback loop around this open-loop transfer
+    /// function, returning the closed-loop *characteristic polynomial*
+    /// `den(s) + num(s)` — valid only when the dead time is zero (use a
+    /// Padé approximation first otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transfer function has dead time.
+    pub fn characteristic_polynomial(&self) -> Polynomial {
+        assert!(
+            self.delay == 0.0,
+            "characteristic polynomial of a dead-time system needs a Padé approximation"
+        );
+        &self.den + &self.num
+    }
+
+    /// Replaces the dead time with its first-order Padé approximation
+    /// `e^{-sL} ≈ (1 - sL/2)/(1 + sL/2)`, returning a rational
+    /// (delay-free) transfer function suitable for Routh-Hurwitz analysis.
+    pub fn pade1(&self) -> TransferFunction {
+        if self.delay == 0.0 {
+            return self.clone();
+        }
+        let half = self.delay / 2.0;
+        let num = &self.num * &Polynomial::new(vec![1.0, -half]);
+        let den = &self.den * &Polynomial::new(vec![1.0, half]);
+        TransferFunction::new(num, den, 0.0)
+    }
+}
+
+impl fmt::Display for TransferFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}) / ({})", self.num, self.den)?;
+        if self.delay > 0.0 {
+            write!(f, " · e^(-{}s)", self.delay)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_order_bode_points() {
+        let h = TransferFunction::first_order(2.0, 1.0, 0.0);
+        assert_eq!(h.dc_gain(), 2.0);
+        // At the corner frequency, |H| = k/√2 and phase = -45°.
+        let w = 1.0;
+        assert!((h.magnitude(w) - 2.0 / 2f64.sqrt()).abs() < 1e-12);
+        assert!((h.phase(w) + std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_contributes_linear_phase_only() {
+        let h0 = TransferFunction::first_order(1.0, 0.5, 0.0);
+        let h1 = TransferFunction::first_order(1.0, 0.5, 0.1);
+        let w = 3.0;
+        assert!((h0.magnitude(w) - h1.magnitude(w)).abs() < 1e-12);
+        assert!((h0.phase(w) - 0.3 - h1.phase(w)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pid_transfer_function() {
+        let c = TransferFunction::pid(2.0, 8.0, 0.5);
+        // At ω = 4: C(j4) = 2 + 8/(4j) + 0.5·4j = 2 + j(2 - 2) = 2.
+        let z = c.freq_response(4.0);
+        assert!((z - Complex::new(2.0, 0.0)).abs() < 1e-12);
+        assert!(c.dc_gain().is_infinite());
+    }
+
+    #[test]
+    fn series_composes() {
+        let a = TransferFunction::first_order(2.0, 1.0, 0.05);
+        let b = TransferFunction::gain(3.0);
+        let ab = a.series(&b);
+        assert_eq!(ab.dc_gain(), 6.0);
+        assert_eq!(ab.delay, 0.05);
+        let w = 0.7;
+        let direct = a.freq_response(w) * b.freq_response(w);
+        assert!((ab.freq_response(w) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn characteristic_polynomial_of_unity_loop() {
+        // Open loop k/(s+1): char poly s + 1 + k.
+        let ol = TransferFunction::new(
+            Polynomial::constant(4.0),
+            Polynomial::new(vec![1.0, 1.0]),
+            0.0,
+        );
+        assert_eq!(ol.characteristic_polynomial(), Polynomial::new(vec![5.0, 1.0]));
+    }
+
+    #[test]
+    fn pade_matches_delay_at_low_frequency() {
+        let h = TransferFunction::first_order(1.0, 1.0, 0.2);
+        let p = h.pade1();
+        assert_eq!(p.delay, 0.0);
+        for w in [0.01, 0.1, 0.5] {
+            let d = (h.freq_response(w) - p.freq_response(w)).abs();
+            assert!(d < 2e-3 * (1.0 + w), "w={w}: pade error {d}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Padé")]
+    fn char_poly_rejects_dead_time() {
+        let h = TransferFunction::first_order(1.0, 1.0, 0.1);
+        let _ = h.characteristic_polynomial();
+    }
+}

@@ -1,0 +1,106 @@
+//! Top-level simulation configuration.
+
+use tdtm_dtm::DtmConfig;
+use tdtm_power::PowerConfig;
+use tdtm_thermal::block_model::{table3_blocks, BlockParams};
+use tdtm_uarch::CoreConfig;
+
+/// Everything one simulation run needs.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Core microarchitecture (paper Table 2).
+    pub core: CoreConfig,
+    /// Power model settings.
+    pub power: PowerConfig,
+    /// DTM policy and thresholds.
+    pub dtm: DtmConfig,
+    /// Thermal parameters of the tracked blocks (paper Table 3). Must
+    /// stay in `THERMAL_BLOCKS` order.
+    pub blocks: Vec<BlockParams>,
+    /// Heatsink temperature during the run (C). The paper holds the
+    /// heatsink constant — its time constant is minutes — at a
+    /// "has-risen-to" operating value for the DTM experiments.
+    pub heatsink_temp: f64,
+    /// Committed instructions to simulate (after warmups).
+    pub max_insts: u64,
+    /// Hard cycle bound (safety net for fully-gated runs).
+    pub max_cycles: u64,
+    /// Cycles of thermal/pipeline warmup excluded from metrics. During
+    /// warmup the thermal state evolves and DTM runs, but nothing is
+    /// counted.
+    pub thermal_warmup_cycles: u64,
+    /// Whether to jump-start block temperatures at the steady state of
+    /// the power observed over the first sampling interval (in addition
+    /// to the warmup window).
+    pub warm_start: bool,
+    /// Optional temperature-dependent leakage (an extension — the paper's
+    /// 0.18 µm model is dynamic-power only; `None` reproduces it).
+    pub leakage: Option<tdtm_power::LeakageModel>,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            core: CoreConfig::alpha21264_like(),
+            power: PowerConfig::default(),
+            dtm: DtmConfig::default(),
+            blocks: table3_blocks(),
+            heatsink_temp: 103.0,
+            max_insts: 1_000_000,
+            max_cycles: 200_000_000,
+            thermal_warmup_cycles: 100_000,
+            warm_start: true,
+            leakage: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Cycle time in seconds at nominal frequency.
+    pub fn cycle_time(&self) -> f64 {
+        self.core.cycle_time()
+    }
+
+    /// A configuration scaled for quick tests: small instruction budget
+    /// and short warmup.
+    pub fn quick_test() -> SimConfig {
+        SimConfig {
+            max_insts: 30_000,
+            thermal_warmup_cycles: 2_000,
+            ..SimConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdtm_uarch::activity::THERMAL_BLOCKS;
+
+    #[test]
+    fn default_blocks_match_thermal_block_order() {
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.blocks.len(), THERMAL_BLOCKS.len());
+        // Names line up pairwise (table3 uses the paper's table names).
+        let pairs = [
+            ("LSQ", "LSQ"),
+            ("inst. window", "window"),
+            ("regfile", "regfile"),
+            ("bpred", "bpred"),
+            ("D-cache", "D-cache"),
+            ("int exec. unit", "IntALU"),
+            ("FP exec. unit", "FPALU"),
+        ];
+        for ((b, t), (bn, tn)) in cfg.blocks.iter().zip(THERMAL_BLOCKS).zip(pairs) {
+            assert_eq!(b.name, bn);
+            assert_eq!(t.name(), tn);
+        }
+    }
+
+    #[test]
+    fn defaults_are_runnable() {
+        let cfg = SimConfig::default();
+        assert!(cfg.heatsink_temp < cfg.dtm.emergency);
+        assert!(cfg.max_cycles > cfg.max_insts);
+    }
+}

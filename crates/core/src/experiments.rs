@@ -1,0 +1,287 @@
+//! Experiment drivers: one function per paper table/figure family.
+//!
+//! The `tdtm-bench` binaries are thin wrappers that call these drivers and
+//! print tables; keeping the logic here makes it testable.
+
+use crate::config::SimConfig;
+use crate::metrics::RunReport;
+use crate::simulator::Simulator;
+use tdtm_dtm::PolicyKind;
+use tdtm_thermal::comparison::AgreementCounts;
+use tdtm_workloads::{suite, ThermalCategory, Workload};
+
+/// How much simulation to run per benchmark (scale knob for every
+/// experiment driver).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ExperimentScale {
+    /// Committed instructions per run (post-warmup).
+    pub insts: u64,
+    /// Cycles excluded from metrics at the start of each run.
+    pub warmup_cycles: u64,
+}
+
+impl ExperimentScale {
+    /// Tiny runs for unit tests.
+    pub fn quick() -> ExperimentScale {
+        ExperimentScale { insts: 30_000, warmup_cycles: 2_000 }
+    }
+
+    /// The default used by the table binaries (~1M instructions each).
+    pub fn standard() -> ExperimentScale {
+        ExperimentScale { insts: 1_000_000, warmup_cycles: 100_000 }
+    }
+
+    /// Longer runs for final numbers.
+    pub fn full() -> ExperimentScale {
+        ExperimentScale { insts: 4_000_000, warmup_cycles: 200_000 }
+    }
+
+    /// Reads the scale from the `TDTM_INSTS` environment variable, falling
+    /// back to [`ExperimentScale::standard`].
+    pub fn from_env() -> ExperimentScale {
+        let mut scale = ExperimentScale::standard();
+        if let Ok(v) = std::env::var("TDTM_INSTS") {
+            if let Ok(n) = v.trim().parse::<u64>() {
+                scale.insts = n.max(1);
+                scale.warmup_cycles = (n / 10).min(200_000);
+            }
+        }
+        scale
+    }
+
+    /// A [`SimConfig`] at this scale with the given policy.
+    pub fn config(&self, policy: PolicyKind) -> SimConfig {
+        let mut cfg = SimConfig::default();
+        cfg.max_insts = self.insts;
+        cfg.thermal_warmup_cycles = self.warmup_cycles;
+        cfg.dtm.policy = policy;
+        cfg
+    }
+}
+
+/// Runs one workload with no DTM (the characterization configuration
+/// behind Tables 4-8).
+pub fn characterize(workload: &Workload, scale: ExperimentScale) -> RunReport {
+    let mut sim = Simulator::for_workload(scale.config(PolicyKind::None), workload);
+    sim.run()
+}
+
+/// Characterizes the whole 18-benchmark suite without DTM.
+pub fn characterize_suite(scale: ExperimentScale) -> Vec<RunReport> {
+    suite().iter().map(|w| characterize(w, scale)).collect()
+}
+
+/// Assigns a measured thermal category from a characterization run,
+/// using the paper's Table 4/5 structure: emergencies ⇒ extreme; heavy
+/// time above the stress threshold (emergency − 1 K) ⇒ high; coming
+/// within 2 K of the emergency threshold ⇒ medium; else low.
+pub fn categorize(report: &RunReport) -> ThermalCategory {
+    categorize_against(report, 111.0)
+}
+
+/// [`categorize`] with an explicit emergency threshold.
+pub fn categorize_against(report: &RunReport, emergency: f64) -> ThermalCategory {
+    if report.emergency_fraction() > 0.001 {
+        ThermalCategory::Extreme
+    } else if report.stress_fraction() > 0.30 {
+        ThermalCategory::High
+    } else if report.stress_fraction() > 0.0005
+        || report.hottest_block().max_temp > emergency - 2.0
+    {
+        ThermalCategory::Medium
+    } else {
+        ThermalCategory::Low
+    }
+}
+
+/// Per-proxy agreement results for one benchmark (Tables 9 and 10).
+#[derive(Clone, Debug)]
+pub struct ProxyReport {
+    /// Proxy label (e.g. "structure 10000", "chip-wide 500000").
+    pub label: String,
+    /// Per-block agreement counts (single entry for chip-wide proxies),
+    /// labeled with block names.
+    pub per_block: Vec<(String, AgreementCounts)>,
+}
+
+/// Runs one workload with no DTM while scoring boxcar power proxies
+/// against the RC thermal model.
+pub fn proxy_comparison(
+    workload: &Workload,
+    scale: ExperimentScale,
+    structure_windows: &[usize],
+    chipwide_windows: &[usize],
+    chip_threshold_w: f64,
+) -> (RunReport, Vec<ProxyReport>) {
+    let mut cfg = scale.config(PolicyKind::None);
+    // Cold-start the thermal state: the proxy comparison is about how the
+    // boxcar lags real heating *transients*, so the jump-started steady
+    // state would hide exactly the dynamics Tables 9/10 measure.
+    cfg.warm_start = false;
+    let block_names: Vec<String> = cfg.blocks.iter().map(|b| b.name.clone()).collect();
+    let mut sim = Simulator::for_workload(cfg, workload);
+    for &w in structure_windows {
+        sim.add_structure_proxy(w);
+    }
+    for &w in chipwide_windows {
+        sim.add_chipwide_proxy(w, chip_threshold_w);
+    }
+    let report = sim.run();
+    let proxies = sim
+        .proxies()
+        .iter()
+        .map(|p| ProxyReport {
+            label: p.label.clone(),
+            per_block: p
+                .counts
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let name = if p.counts.len() == 1 {
+                        "chip".to_string()
+                    } else {
+                        block_names[i].clone()
+                    };
+                    (name, *c)
+                })
+                .collect(),
+        })
+        .collect();
+    (report, proxies)
+}
+
+/// One benchmark's DTM-policy comparison (the Section 7 results).
+#[derive(Clone, Debug)]
+pub struct DtmComparison {
+    /// Benchmark name.
+    pub bench: String,
+    /// The non-DTM baseline.
+    pub baseline: RunReport,
+    /// One report per evaluated policy.
+    pub runs: Vec<RunReport>,
+}
+
+impl DtmComparison {
+    /// Performance of `policy` as % of the non-DTM baseline.
+    pub fn percent_of_baseline(&self, policy: PolicyKind) -> Option<f64> {
+        self.runs
+            .iter()
+            .find(|r| r.policy == policy.to_string())
+            .map(|r| r.percent_of(&self.baseline))
+    }
+}
+
+/// Runs one workload under the baseline and each listed policy.
+pub fn compare_policies(
+    workload: &Workload,
+    scale: ExperimentScale,
+    policies: &[PolicyKind],
+) -> DtmComparison {
+    let baseline = characterize(workload, scale);
+    let runs = policies
+        .iter()
+        .map(|&p| {
+            let mut sim = Simulator::for_workload(scale.config(p), workload);
+            sim.run()
+        })
+        .collect();
+    DtmComparison { bench: workload.name.to_string(), baseline, runs }
+}
+
+/// Runs the policy comparison across the whole suite.
+pub fn compare_policies_suite(
+    scale: ExperimentScale,
+    policies: &[PolicyKind],
+) -> Vec<DtmComparison> {
+    suite()
+        .iter()
+        .map(|w| compare_policies(w, scale, policies))
+        .collect()
+}
+
+/// Mean performance loss (100 − %-of-baseline) across comparisons for one
+/// policy, counting only benchmarks where the policy ever engaged (the
+/// paper reports losses over the thermally active programs).
+pub fn mean_performance_loss(rows: &[DtmComparison], policy: PolicyKind) -> f64 {
+    let mut losses = Vec::new();
+    for row in rows {
+        if let Some(pct) = row.percent_of_baseline(policy) {
+            let engaged = row
+                .runs
+                .iter()
+                .find(|r| r.policy == policy.to_string())
+                .map(|r| r.engaged_samples > 0)
+                .unwrap_or(false);
+            if engaged {
+                losses.push(100.0 - pct);
+            }
+        }
+    }
+    if losses.is_empty() {
+        0.0
+    } else {
+        losses.iter().sum::<f64>() / losses.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdtm_workloads::by_name;
+
+    #[test]
+    fn characterize_reports_cover_the_blocks() {
+        let w = by_name("gcc").unwrap();
+        let r = characterize(&w, ExperimentScale::quick());
+        assert_eq!(r.blocks.len(), 7);
+        assert!(r.ipc > 0.5, "gcc stand-in should have decent IPC, got {}", r.ipc);
+        assert_eq!(r.policy, "none");
+    }
+
+    #[test]
+    fn categorize_thresholds() {
+        let w = by_name("vpr").unwrap();
+        let mut r = characterize(&w, ExperimentScale::quick());
+        r.emergency_cycles = 0;
+        r.stress_cycles = 0;
+        assert_eq!(categorize(&r), ThermalCategory::Low);
+        r.stress_cycles = r.cycles / 2;
+        assert_eq!(categorize(&r), ThermalCategory::High);
+        r.emergency_cycles = r.cycles / 10;
+        assert_eq!(categorize(&r), ThermalCategory::Extreme);
+    }
+
+    #[test]
+    fn proxy_comparison_produces_reports() {
+        let w = by_name("gcc").unwrap();
+        let (report, proxies) =
+            proxy_comparison(&w, ExperimentScale::quick(), &[10_000], &[10_000], 47.0);
+        assert_eq!(proxies.len(), 2);
+        assert_eq!(proxies[0].per_block.len(), 7);
+        assert_eq!(proxies[1].per_block.len(), 1);
+        let total: u64 = proxies[1].per_block[0].1.total();
+        assert_eq!(total, report.cycles);
+    }
+
+    #[test]
+    fn compare_policies_runs_all_requested() {
+        let w = by_name("gcc").unwrap();
+        let cmp = compare_policies(
+            &w,
+            ExperimentScale::quick(),
+            &[PolicyKind::Toggle1, PolicyKind::Pid],
+        );
+        assert_eq!(cmp.runs.len(), 2);
+        let pct = cmp.percent_of_baseline(PolicyKind::Pid).unwrap();
+        assert!(pct > 0.0 && pct <= 100.0 + 1e-9, "pct {pct}");
+        assert!(cmp.percent_of_baseline(PolicyKind::Manual).is_none());
+    }
+
+    #[test]
+    fn scale_from_env_parses() {
+        std::env::set_var("TDTM_INSTS", "12345");
+        let s = ExperimentScale::from_env();
+        assert_eq!(s.insts, 12345);
+        std::env::remove_var("TDTM_INSTS");
+    }
+}

@@ -1,0 +1,178 @@
+//! Run metrics: the paper's success measures.
+//!
+//! "Our metrics of success are the percentage of cycles spent in thermal
+//! emergency and percentage of the non-DTM IPC."
+
+use serde::Serialize;
+
+/// Per-structure results of one run.
+#[derive(Clone, PartialEq, Debug, Serialize)]
+pub struct BlockMetrics {
+    /// Structure name (paper Table 3 naming).
+    pub name: String,
+    /// Mean temperature over counted cycles (C).
+    pub avg_temp: f64,
+    /// Maximum temperature observed (C).
+    pub max_temp: f64,
+    /// Cycles this structure exceeded the emergency threshold.
+    pub emergency_cycles: u64,
+    /// Cycles this structure exceeded the stress threshold
+    /// (emergency − 1 K).
+    pub stress_cycles: u64,
+    /// Mean power (W).
+    pub avg_power: f64,
+    /// Maximum single-cycle power (W).
+    pub max_power: f64,
+}
+
+/// Results of one simulation run.
+#[derive(Clone, PartialEq, Debug, Serialize)]
+pub struct RunReport {
+    /// Workload name.
+    pub name: String,
+    /// Policy name.
+    pub policy: String,
+    /// Cycles counted (after warmup).
+    pub cycles: u64,
+    /// Instructions committed over counted cycles.
+    pub committed: u64,
+    /// Wall-clock seconds of counted simulated time (accounts for
+    /// frequency scaling).
+    pub wall_time: f64,
+    /// Committed IPC over counted cycles.
+    pub ipc: f64,
+    /// Mean total chip power (W).
+    pub avg_power: f64,
+    /// Maximum single-cycle chip power (W).
+    pub max_power: f64,
+    /// Chip-average temperature in the paper's Table 4 convention:
+    /// 27 C ambient + chip-wide R (0.34 K/W) × average power.
+    pub avg_chip_temp: f64,
+    /// Cycles during which *any* block exceeded the emergency threshold.
+    pub emergency_cycles: u64,
+    /// Cycles during which any block exceeded the stress threshold.
+    pub stress_cycles: u64,
+    /// Per-structure breakdown.
+    pub blocks: Vec<BlockMetrics>,
+    /// DTM samples taken.
+    pub samples: u64,
+    /// DTM samples on which the policy restricted the machine.
+    pub engaged_samples: u64,
+    /// Branch mispredictions recovered.
+    pub recoveries: u64,
+    /// Conditional-branch prediction accuracy.
+    pub bpred_accuracy: f64,
+    /// Cycles fetch was gated by DTM.
+    pub gated_cycles: u64,
+}
+
+impl RunReport {
+    /// Fraction of counted cycles spent in thermal emergency.
+    pub fn emergency_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.emergency_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of counted cycles spent above the stress threshold.
+    pub fn stress_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.stress_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Committed instructions per second of simulated wall time (the
+    /// performance measure that stays meaningful under V/f scaling).
+    pub fn insts_per_second(&self) -> f64 {
+        if self.wall_time == 0.0 {
+            0.0
+        } else {
+            self.committed as f64 / self.wall_time
+        }
+    }
+
+    /// This run's performance as a fraction of a baseline (non-DTM) run,
+    /// the paper's "% of non-DTM IPC".
+    pub fn percent_of(&self, baseline: &RunReport) -> f64 {
+        let base = baseline.insts_per_second();
+        if base == 0.0 {
+            0.0
+        } else {
+            100.0 * self.insts_per_second() / base
+        }
+    }
+
+    /// The hottest structure (by max temperature).
+    pub fn hottest_block(&self) -> &BlockMetrics {
+        self.blocks
+            .iter()
+            .max_by(|a, b| a.max_temp.total_cmp(&b.max_temp))
+            .expect("runs track at least one block")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64, committed: u64, emergency: u64) -> RunReport {
+        RunReport {
+            name: "t".into(),
+            policy: "none".into(),
+            cycles,
+            committed,
+            wall_time: cycles as f64 / 1.5e9,
+            ipc: committed as f64 / cycles as f64,
+            avg_power: 40.0,
+            max_power: 80.0,
+            avg_chip_temp: 27.0 + 0.34 * 40.0,
+            emergency_cycles: emergency,
+            stress_cycles: emergency * 2,
+            blocks: vec![BlockMetrics {
+                name: "bpred".into(),
+                avg_temp: 105.0,
+                max_temp: 110.0,
+                emergency_cycles: emergency,
+                stress_cycles: emergency * 2,
+                avg_power: 3.0,
+                max_power: 5.6,
+            }],
+            samples: cycles / 1000,
+            engaged_samples: 0,
+            recoveries: 0,
+            bpred_accuracy: 0.95,
+            gated_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn fractions() {
+        let r = report(1000, 2000, 50);
+        assert!((r.emergency_fraction() - 0.05).abs() < 1e-12);
+        assert!((r.stress_fraction() - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percent_of_baseline() {
+        let base = report(1000, 2000, 0);
+        let slower = report(1250, 2000, 0); // same work, 25% more cycles
+        assert!((slower.percent_of(&base) - 80.0).abs() < 1e-9);
+        assert!((base.percent_of(&base) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chip_temp_convention() {
+        let r = report(10, 10, 0);
+        assert!((r.avg_chip_temp - 40.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hottest_block_found() {
+        let r = report(10, 10, 0);
+        assert_eq!(r.hottest_block().name, "bpred");
+    }
+}

@@ -1,0 +1,239 @@
+//! Open-loop thermal replay from recorded power traces.
+//!
+//! A [`PowerTrace`] holds stride-mean per-block powers captured during one
+//! (expensive) cycle-level simulation. Replaying it through the thermal
+//! model is ~1000× cheaper than re-simulating the core, which makes
+//! parameter sweeps that do not feed back into execution — emergency
+//! thresholds, R/C what-ifs, heatsink temperatures — essentially free.
+//! (Anything that changes the *actuators* is closed-loop and still needs
+//! full simulation; see `Simulator`.)
+//!
+//! The batching error of stride-mean replay is bounded in
+//! `ablation_integration`: millikelvins out to thousands of cycles per
+//! step.
+
+use tdtm_thermal::block_model::BlockParams;
+use tdtm_thermal::BlockModel;
+
+/// Number of thermally tracked blocks.
+pub const NUM_THERMAL: usize = 7;
+
+/// A recorded per-block power trace at fixed stride.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PowerTrace {
+    /// Seconds per sample (cycle time × stride).
+    pub dt: f64,
+    /// Cycles per sample.
+    pub stride: u64,
+    samples: Vec<[f64; NUM_THERMAL]>,
+    totals: Vec<f64>,
+}
+
+impl PowerTrace {
+    /// Creates an empty trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `dt` is positive and `stride` nonzero.
+    pub fn new(dt: f64, stride: u64) -> PowerTrace {
+        assert!(dt > 0.0 && stride > 0, "bad trace geometry");
+        PowerTrace { dt, stride, samples: Vec::new(), totals: Vec::new() }
+    }
+
+    /// Appends one stride-mean sample.
+    pub fn push(&mut self, block_powers: [f64; NUM_THERMAL], total: f64) {
+        self.samples.push(block_powers);
+        self.totals.push(total);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The per-block samples.
+    pub fn samples(&self) -> &[[f64; NUM_THERMAL]] {
+        &self.samples
+    }
+
+    /// Total chip power per sample.
+    pub fn totals(&self) -> &[f64] {
+        &self.totals
+    }
+
+    /// Mean per-block power over the whole trace.
+    pub fn mean_block_powers(&self) -> [f64; NUM_THERMAL] {
+        let mut mean = [0.0; NUM_THERMAL];
+        for s in &self.samples {
+            for i in 0..NUM_THERMAL {
+                mean[i] += s[i];
+            }
+        }
+        let n = self.samples.len().max(1) as f64;
+        mean.map(|m| m / n)
+    }
+}
+
+/// Results of replaying a trace through the thermal model against a
+/// threshold.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ReplayOutcome {
+    /// Samples during which any block exceeded the threshold.
+    pub hot_samples: u64,
+    /// Total samples replayed.
+    pub total_samples: u64,
+    /// Highest temperature reached by any block.
+    pub max_temp: f64,
+}
+
+impl ReplayOutcome {
+    /// Fraction of replayed time above the threshold.
+    pub fn hot_fraction(&self) -> f64 {
+        if self.total_samples == 0 {
+            0.0
+        } else {
+            self.hot_samples as f64 / self.total_samples as f64
+        }
+    }
+}
+
+/// Replays a power trace through a fresh per-block thermal model and
+/// counts threshold crossings.
+///
+/// # Panics
+///
+/// Panics if `blocks` does not have [`NUM_THERMAL`] entries.
+pub fn replay(
+    trace: &PowerTrace,
+    blocks: &[BlockParams],
+    heatsink: f64,
+    threshold: f64,
+    warm_start: bool,
+) -> ReplayOutcome {
+    assert_eq!(blocks.len(), NUM_THERMAL, "replay expects the 7 thermal blocks");
+    let mut model = BlockModel::new(blocks.to_vec(), heatsink, trace.dt);
+    if warm_start {
+        model.warm_start(&trace.mean_block_powers());
+    }
+    let mut hot = 0u64;
+    let mut max_temp = f64::NEG_INFINITY;
+    for s in trace.samples() {
+        model.step(s);
+        let mut any = false;
+        for &t in model.temperatures() {
+            max_temp = max_temp.max(t);
+            any |= t > threshold;
+        }
+        if any {
+            hot += 1;
+        }
+    }
+    ReplayOutcome {
+        hot_samples: hot,
+        total_samples: trace.len() as u64,
+        max_temp: if max_temp.is_finite() { max_temp } else { heatsink },
+    }
+}
+
+/// Replays the trace across a sweep of thresholds (one thermal pass per
+/// threshold; still trivially cheap next to re-simulation).
+pub fn threshold_sweep(
+    trace: &PowerTrace,
+    blocks: &[BlockParams],
+    heatsink: f64,
+    thresholds: &[f64],
+    warm_start: bool,
+) -> Vec<(f64, ReplayOutcome)> {
+    thresholds
+        .iter()
+        .map(|&th| (th, replay(trace, blocks, heatsink, th, warm_start)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdtm_thermal::block_model::table3_blocks;
+
+    fn square_wave_trace() -> PowerTrace {
+        let mut t = PowerTrace::new(256.0 / 1.5e9, 256);
+        for k in 0..4000 {
+            let hot = (k / 1000) % 2 == 0;
+            let p = if hot { [2.0, 6.0, 4.0, 3.0, 5.0, 7.0, 1.0] } else { [0.5; 7] };
+            t.push(p, p.iter().sum::<f64>() + 20.0);
+        }
+        t
+    }
+
+    #[test]
+    fn trace_accumulates() {
+        let t = square_wave_trace();
+        assert_eq!(t.len(), 4000);
+        let mean = t.mean_block_powers();
+        assert!((mean[5] - (7.0 + 0.5) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replay_counts_threshold_crossings_monotonically() {
+        let t = square_wave_trace();
+        let blocks = table3_blocks();
+        let sweep = threshold_sweep(&t, &blocks, 103.0, &[105.0, 108.0, 111.0, 120.0], false);
+        for w in sweep.windows(2) {
+            assert!(
+                w[0].1.hot_samples >= w[1].1.hot_samples,
+                "higher thresholds cannot be hotter"
+            );
+        }
+        assert_eq!(sweep.last().unwrap().1.hot_samples, 0, "120 C is unreachable");
+        assert!(sweep[0].1.hot_samples > 0, "105 C is easily exceeded");
+        // Max temp is threshold-independent.
+        assert_eq!(sweep[0].1.max_temp, sweep[3].1.max_temp);
+    }
+
+    #[test]
+    fn warm_start_raises_early_temperatures() {
+        let t = square_wave_trace();
+        let blocks = table3_blocks();
+        let cold = replay(&t, &blocks, 103.0, 108.0, false);
+        let warm = replay(&t, &blocks, 103.0, 108.0, true);
+        assert!(warm.hot_samples >= cold.hot_samples);
+    }
+
+    #[test]
+    fn recorded_trace_replays_close_to_the_live_run() {
+        // Record a live simulation's power and reported max temperature,
+        // then check the replay reproduces the max within the batching
+        // error bound.
+        use crate::config::SimConfig;
+        use crate::simulator::Simulator;
+        use tdtm_dtm::PolicyKind;
+
+        let w = tdtm_workloads::by_name("gcc").expect("suite");
+        let mut cfg = SimConfig::quick_test();
+        cfg.max_insts = 120_000;
+        cfg.dtm.policy = PolicyKind::None;
+        // Cold-start both sides so the trajectories are directly
+        // comparable (the live warm start uses first-interval power, the
+        // replay's uses the trace mean — different by construction).
+        cfg.warm_start = false;
+        let mut sim = Simulator::for_workload(cfg.clone(), &w);
+        sim.record_power_trace(256);
+        let report = sim.run();
+        let trace = sim.power_trace().expect("recorded").clone();
+        assert!(!trace.is_empty());
+
+        let outcome = replay(&trace, &cfg.blocks, cfg.heatsink_temp, cfg.dtm.emergency, false);
+        let live_max = report.hottest_block().max_temp;
+        assert!(
+            (outcome.max_temp - live_max).abs() < 0.2,
+            "replay max {:.3} vs live max {:.3}",
+            outcome.max_temp,
+            live_max
+        );
+    }
+}

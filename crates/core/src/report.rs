@@ -1,0 +1,189 @@
+//! Plain-text table formatting shared by the table-regeneration binaries.
+
+/// A simple fixed-width text table.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> TextTable {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut TextTable {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i].saturating_sub(cells[i].len());
+                if i == 0 {
+                    line.push_str(&cells[i]);
+                    line.push_str(&" ".repeat(pad));
+                } else {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(&cells[i]);
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.2}%", fraction * 100.0)
+}
+
+/// Renders run reports as CSV (header + one row per report), for feeding
+/// external plotting tools.
+pub fn reports_to_csv(reports: &[crate::RunReport]) -> String {
+    let mut out = String::from(
+        "benchmark,policy,cycles,committed,ipc,avg_power_w,max_power_w,avg_chip_temp_c,\
+         emergency_fraction,stress_fraction,samples,engaged_samples,recoveries,bpred_accuracy",
+    );
+    if let Some(first) = reports.first() {
+        for b in &first.blocks {
+            let slug = b.name.replace([' ', '.'], "_");
+            out.push_str(&format!(",{slug}_avg_t,{slug}_max_t"));
+        }
+    }
+    out.push('\n');
+    for r in reports {
+        out.push_str(&format!(
+            "{},{},{},{},{:.4},{:.2},{:.2},{:.2},{:.6},{:.6},{},{},{},{:.4}",
+            r.name,
+            r.policy,
+            r.cycles,
+            r.committed,
+            r.ipc,
+            r.avg_power,
+            r.max_power,
+            r.avg_chip_temp,
+            r.emergency_fraction(),
+            r.stress_fraction(),
+            r.samples,
+            r.engaged_samples,
+            r.recoveries,
+            r.bpred_accuracy,
+        ));
+        for b in &r.blocks {
+            out.push_str(&format!(",{:.3},{:.3}", b.avg_temp, b.max_temp));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with the given number of decimals.
+pub fn f(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["bench", "IPC", "emerg"]);
+        t.row(["gzip", "2.31", "0.00%"]);
+        t.row(["a-longer-name", "0.40", "12.34%"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("bench"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right-aligned numeric columns line up at the end.
+        assert!(lines[2].ends_with("0.00%"));
+        assert!(lines[3].ends_with("12.34%"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.1234), "12.34%");
+        assert_eq!(f(3.14159, 2), "3.14");
+    }
+
+    #[test]
+    fn csv_has_header_and_block_columns() {
+        use crate::metrics::{BlockMetrics, RunReport};
+        let r = RunReport {
+            name: "gcc".into(),
+            policy: "PID".into(),
+            cycles: 100,
+            committed: 300,
+            wall_time: 100.0 / 1.5e9,
+            ipc: 3.0,
+            avg_power: 50.0,
+            max_power: 70.0,
+            avg_chip_temp: 44.0,
+            emergency_cycles: 0,
+            stress_cycles: 10,
+            blocks: vec![BlockMetrics {
+                name: "int exec. unit".into(),
+                avg_temp: 108.0,
+                max_temp: 110.0,
+                emergency_cycles: 0,
+                stress_cycles: 10,
+                avg_power: 5.0,
+                max_power: 8.0,
+            }],
+            samples: 1,
+            engaged_samples: 0,
+            recoveries: 2,
+            bpred_accuracy: 0.99,
+            gated_cycles: 0,
+        };
+        let csv = reports_to_csv(&[r]);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        let row = lines.next().unwrap();
+        assert!(header.contains("int_exec__unit_avg_t"));
+        assert_eq!(header.split(',').count(), row.split(',').count());
+        assert!(row.starts_with("gcc,PID,100,300,3.0000,"));
+        assert!(lines.next().is_none());
+    }
+}

@@ -1,0 +1,710 @@
+//! The cycle loop: core → power → thermal → (every interval) DTM.
+
+use crate::config::SimConfig;
+use crate::metrics::{BlockMetrics, RunReport};
+use tdtm_dtm::{build_policy_at, DtmCommand, DtmPolicy, SensorModel, TriggerMechanism};
+use tdtm_isa::Program;
+use tdtm_power::PowerModel;
+use tdtm_thermal::boxcar::BoxcarProxy;
+use tdtm_thermal::comparison::AgreementCounts;
+use tdtm_thermal::BlockModel;
+use tdtm_uarch::{Core, CoreControl};
+use tdtm_workloads::Workload;
+use std::collections::VecDeque;
+
+const NUM_THERMAL: usize = 7;
+
+/// A temperature-proxy attachment for the Tables 9/10 comparison.
+#[derive(Clone, Debug)]
+pub struct ProxyAttachment {
+    /// Label used in reports ("structure 10K", "chip-wide 500K", ...).
+    pub label: String,
+    kind: ProxyKind,
+    /// Agreement with the RC reference, per block (one entry for
+    /// chip-wide proxies).
+    pub counts: Vec<AgreementCounts>,
+}
+
+#[derive(Clone, Debug)]
+enum ProxyKind {
+    /// One boxcar per thermal block; triggers through the per-structure
+    /// thermal rule (avg power × R + heatsink vs. threshold).
+    PerStructure { boxcars: Vec<BoxcarProxy> },
+    /// One boxcar over total chip power with a watts threshold.
+    ChipWide { boxcar: BoxcarProxy, threshold_w: f64 },
+}
+
+/// A full simulation of one program under one configuration.
+pub struct Simulator {
+    cfg: SimConfig,
+    core: Core,
+    power: PowerModel,
+    thermal: BlockModel,
+    policy: Box<dyn DtmPolicy>,
+    sensors: SensorModel,
+    proxies: Vec<ProxyAttachment>,
+    name: String,
+    /// Commands awaiting their (interrupt-delayed) application cycle.
+    pending: VecDeque<(u64, DtmCommand)>,
+    /// Remaining stall cycles from a V/f resynchronization.
+    resync_remaining: u64,
+    /// Current V/f power scale (1.0 at nominal).
+    vf_power_scale: f64,
+    /// Current frequency scale (1.0 at nominal).
+    vf_freq_scale: f64,
+    vf_engaged: bool,
+    /// Per-run duty trace (sampled), for diagnostics.
+    duty_history: Vec<f64>,
+    /// Optional downsampled trace recording.
+    trace: Option<Trace>,
+    /// Optional power-trace recording (stride-mean block powers).
+    power_trace: Option<PowerTraceRecorder>,
+}
+
+#[derive(Clone, Debug)]
+struct PowerTraceRecorder {
+    stride: u64,
+    acc: [f64; NUM_THERMAL],
+    acc_total: f64,
+    count: u64,
+    trace: crate::replay::PowerTrace,
+}
+
+/// A downsampled time series of the run: block temperatures, total power,
+/// and fetch duty, sampled every `stride` cycles.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// Cycles between samples.
+    pub stride: u64,
+    /// Cycle numbers of the samples.
+    pub cycles: Vec<u64>,
+    /// Per-sample block temperatures, in `THERMAL_BLOCKS` order.
+    pub temperatures: Vec<[f64; NUM_THERMAL]>,
+    /// Per-sample total chip power (W).
+    pub power: Vec<f64>,
+    /// Per-sample fetch duty currently applied.
+    pub duty: Vec<f64>,
+}
+
+impl Trace {
+    fn new(stride: u64) -> Trace {
+        Trace { stride, cycles: Vec::new(), temperatures: Vec::new(), power: Vec::new(), duty: Vec::new() }
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+
+    /// The maximum temperature of block `i` across the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty or `i` out of range.
+    pub fn max_temperature(&self, i: usize) -> f64 {
+        self.temperatures
+            .iter()
+            .map(|t| t[i])
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+impl Simulator {
+    /// Builds a simulator over an arbitrary program (no warmup skip).
+    pub fn new(cfg: SimConfig, program: Program) -> Simulator {
+        Simulator::build(cfg, &program, &program.name.clone(), 0)
+    }
+
+    /// Builds a simulator for a suite workload, honoring its functional
+    /// warmup skip.
+    pub fn for_workload(cfg: SimConfig, workload: &Workload) -> Simulator {
+        Simulator::build(cfg, workload.program(), workload.name, workload.warmup_insts)
+    }
+
+    fn build(cfg: SimConfig, program: &Program, name: &str, skip: u64) -> Simulator {
+        let core = Core::with_skip(cfg.core, program, skip);
+        let power = PowerModel::new(&cfg.power, &cfg.core);
+        let thermal = BlockModel::new(cfg.blocks.clone(), cfg.heatsink_temp, cfg.cycle_time());
+        let policy = build_policy_at(&cfg.dtm, cfg.core.clock_hz);
+        Simulator {
+            core,
+            power,
+            thermal,
+            policy,
+            sensors: SensorModel::ideal(),
+            proxies: Vec::new(),
+            name: name.to_string(),
+            pending: VecDeque::new(),
+            resync_remaining: 0,
+            vf_power_scale: 1.0,
+            vf_freq_scale: 1.0,
+            vf_engaged: false,
+            duty_history: Vec::new(),
+            trace: None,
+            power_trace: None,
+            cfg,
+        }
+    }
+
+    /// Enables downsampled trace recording (one sample every `stride`
+    /// cycles). Call before [`run`](Simulator::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn record_trace(&mut self, stride: u64) {
+        assert!(stride > 0, "stride must be nonzero");
+        self.trace = Some(Trace::new(stride));
+    }
+
+    /// The recorded trace, if [`record_trace`](Simulator::record_trace)
+    /// was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Enables power-trace recording: stride-mean per-block powers
+    /// suitable for open-loop thermal replay (see [`crate::replay`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn record_power_trace(&mut self, stride: u64) {
+        assert!(stride > 0, "stride must be nonzero");
+        self.power_trace = Some(PowerTraceRecorder {
+            stride,
+            acc: [0.0; NUM_THERMAL],
+            acc_total: 0.0,
+            count: 0,
+            trace: crate::replay::PowerTrace::new(
+                self.cfg.cycle_time() * stride as f64,
+                stride,
+            ),
+        });
+    }
+
+    /// The recorded power trace, if enabled.
+    pub fn power_trace(&self) -> Option<&crate::replay::PowerTrace> {
+        self.power_trace.as_ref().map(|r| &r.trace)
+    }
+
+    /// Replaces the ideal sensors (for the sensor-fidelity ablation).
+    pub fn set_sensors(&mut self, sensors: SensorModel) {
+        self.sensors = sensors;
+    }
+
+    /// Attaches a per-structure boxcar power proxy with the given window,
+    /// for the Tables 9/10 comparison.
+    pub fn add_structure_proxy(&mut self, window: usize) {
+        self.proxies.push(ProxyAttachment {
+            label: format!("structure {window}"),
+            kind: ProxyKind::PerStructure {
+                boxcars: vec![BoxcarProxy::new(window); NUM_THERMAL],
+            },
+            counts: vec![AgreementCounts::new(); NUM_THERMAL],
+        });
+    }
+
+    /// Attaches a chip-wide boxcar power proxy triggering at
+    /// `threshold_w` watts.
+    pub fn add_chipwide_proxy(&mut self, window: usize, threshold_w: f64) {
+        self.proxies.push(ProxyAttachment {
+            label: format!("chip-wide {window}"),
+            kind: ProxyKind::ChipWide { boxcar: BoxcarProxy::new(window), threshold_w },
+            counts: vec![AgreementCounts::new()],
+        });
+    }
+
+    /// The attached proxies and their agreement counts (after [`run`]).
+    ///
+    /// [`run`]: Simulator::run
+    pub fn proxies(&self) -> &[ProxyAttachment] {
+        &self.proxies
+    }
+
+    /// Sampled fetch-duty history (one entry per DTM sample).
+    pub fn duty_history(&self) -> &[f64] {
+        &self.duty_history
+    }
+
+    /// Current block temperatures (for tracing examples).
+    pub fn temperatures(&self) -> &[f64] {
+        self.thermal.temperatures()
+    }
+
+    /// Runs to the configured instruction budget and returns the report.
+    #[allow(clippy::too_many_lines)]
+    pub fn run(&mut self) -> RunReport {
+        let interval = self.cfg.dtm.sample_interval.max(1);
+        let emergency = self.cfg.dtm.emergency;
+        let stress = emergency - 1.0;
+        let nominal_dt = self.cfg.cycle_time();
+
+        // Accumulators (post-warmup only).
+        let mut counted_cycles = 0u64;
+        let mut committed_at_count_start = 0u64;
+        let mut wall_time = 0.0f64;
+        let mut sum_power = 0.0f64;
+        let mut max_power = 0.0f64;
+        let mut emergency_cycles = 0u64;
+        let mut stress_cycles = 0u64;
+        let mut block_sum_t = [0.0f64; NUM_THERMAL];
+        let mut block_max_t = [f64::NEG_INFINITY; NUM_THERMAL];
+        let mut block_emerg = [0u64; NUM_THERMAL];
+        let mut block_stress = [0u64; NUM_THERMAL];
+        let mut block_sum_p = [0.0f64; NUM_THERMAL];
+        let mut block_max_p = [0.0f64; NUM_THERMAL];
+        let mut samples = 0u64;
+        let mut warm_start_power = [0.0f64; NUM_THERMAL];
+
+        let mut cycle = 0u64;
+        let warmup = self.cfg.thermal_warmup_cycles;
+        let idle_sample = self.power.cycle_power(&tdtm_uarch::Activity::new());
+        let mut sensed = [0.0f64; NUM_THERMAL];
+
+        loop {
+            let counting = cycle >= warmup;
+            if counting && counted_cycles == 0 {
+                committed_at_count_start = self.core.stats().committed;
+            }
+            // Stop conditions.
+            if self.core.stats().committed.saturating_sub(committed_at_count_start)
+                >= self.cfg.max_insts
+                && counting
+            {
+                break;
+            }
+            if cycle >= self.cfg.max_cycles || self.core.finished() {
+                break;
+            }
+
+            // One machine cycle (or a resync-stall cycle).
+            let sample = if self.resync_remaining > 0 {
+                self.resync_remaining -= 1;
+                idle_sample
+            } else {
+                let activity = self.core.cycle();
+                self.power.cycle_power(activity)
+            };
+            let scale = self.vf_power_scale;
+            let mut thermal_powers = sample.thermal_powers();
+            for p in &mut thermal_powers {
+                *p *= scale;
+            }
+            let mut total_power = sample.total * scale;
+            // Optional temperature-dependent leakage (extension): leakage
+            // at the block's *current* temperature adds to the power that
+            // heats it this cycle — the feedback loop.
+            if let Some(leak) = self.cfg.leakage {
+                let temps_now = self.thermal.temperatures();
+                for (i, b) in tdtm_uarch::activity::THERMAL_BLOCKS.iter().enumerate() {
+                    // Leakage scales with V (roughly linearly through
+                    // V·I_leak); reuse the dynamic scale conservatively.
+                    let lp = leak.leakage_power(self.power.peak(*b), temps_now[i]) * scale;
+                    thermal_powers[i] += lp;
+                    total_power += lp;
+                }
+            }
+            self.thermal.step(&thermal_powers);
+
+            // Warm start: after the first sampling interval, jump blocks
+            // to the steady state of the observed average power.
+            if self.cfg.warm_start && cycle < interval {
+                for i in 0..NUM_THERMAL {
+                    warm_start_power[i] += thermal_powers[i];
+                }
+                if cycle + 1 == interval {
+                    for p in &mut warm_start_power {
+                        *p /= interval as f64;
+                    }
+                    self.thermal.warm_start(&warm_start_power);
+                    // Under DTM, the machine could never have reached a
+                    // temperature the policy would have prevented; cap the
+                    // jump-started state at the policy's control ceiling
+                    // (the setpoint for CT policies, the trigger for the
+                    // threshold policies).
+                    if self.cfg.dtm.policy != tdtm_dtm::PolicyKind::None {
+                        let ceiling = if self.cfg.dtm.policy.is_control_theoretic() {
+                            self.cfg.dtm.setpoint
+                        } else {
+                            self.cfg.dtm.trigger
+                        };
+                        for i in 0..NUM_THERMAL {
+                            let t = self.thermal.temperatures()[i];
+                            if t > ceiling {
+                                self.thermal.set_temperature(i, ceiling);
+                            }
+                        }
+                    }
+                }
+            }
+
+            let temps = self.thermal.temperatures();
+            if counting {
+                counted_cycles += 1;
+                wall_time += nominal_dt / self.vf_freq_scale;
+                sum_power += total_power;
+                max_power = max_power.max(total_power);
+                let mut any_e = false;
+                let mut any_s = false;
+                for i in 0..NUM_THERMAL {
+                    let t = temps[i];
+                    block_sum_t[i] += t;
+                    block_max_t[i] = block_max_t[i].max(t);
+                    if t > emergency {
+                        block_emerg[i] += 1;
+                        any_e = true;
+                    }
+                    if t > stress {
+                        block_stress[i] += 1;
+                        any_s = true;
+                    }
+                    block_sum_p[i] += thermal_powers[i];
+                    block_max_p[i] = block_max_p[i].max(thermal_powers[i]);
+                }
+                if any_e {
+                    emergency_cycles += 1;
+                }
+                if any_s {
+                    stress_cycles += 1;
+                }
+            }
+
+            // Proxy bookkeeping (Tables 9/10).
+            if !self.proxies.is_empty() {
+                let heatsink = self.thermal.heatsink();
+                let rs: Vec<f64> = self.thermal.params().iter().map(|p| p.r).collect();
+                for proxy in &mut self.proxies {
+                    match &mut proxy.kind {
+                        ProxyKind::PerStructure { boxcars } => {
+                            for i in 0..NUM_THERMAL {
+                                boxcars[i].push(thermal_powers[i]);
+                                if counting {
+                                    let proxy_hot = boxcars[i]
+                                        .triggered_thermal(rs[i], heatsink, emergency);
+                                    proxy.counts[i].record(temps[i] > emergency, proxy_hot);
+                                }
+                            }
+                        }
+                        ProxyKind::ChipWide { boxcar, threshold_w } => {
+                            boxcar.push(total_power);
+                            if counting {
+                                let reference_hot = temps.iter().any(|&t| t > emergency);
+                                proxy.counts[0].record(reference_hot, boxcar.triggered(*threshold_w));
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Power-trace recording.
+            if let Some(rec) = &mut self.power_trace {
+                for i in 0..NUM_THERMAL {
+                    rec.acc[i] += thermal_powers[i];
+                }
+                rec.acc_total += total_power;
+                rec.count += 1;
+                if rec.count == rec.stride {
+                    let mean = rec.acc.map(|a| a / rec.stride as f64);
+                    rec.trace.push(mean, rec.acc_total / rec.stride as f64);
+                    rec.acc = [0.0; NUM_THERMAL];
+                    rec.acc_total = 0.0;
+                    rec.count = 0;
+                }
+            }
+
+            // Trace recording.
+            if let Some(trace) = &mut self.trace {
+                if cycle % trace.stride == 0 {
+                    let mut temps_arr = [0.0; NUM_THERMAL];
+                    temps_arr.copy_from_slice(temps);
+                    trace.cycles.push(cycle);
+                    trace.temperatures.push(temps_arr);
+                    trace.power.push(total_power);
+                    trace.duty.push(self.core.control().fetch_duty);
+                }
+            }
+
+            // DTM sampling.
+            if (cycle + 1) % interval == 0 {
+                self.sensors.read_all(temps, &mut sensed);
+                let cmd = self.policy.sample(&sensed);
+                samples += 1;
+                self.duty_history.push(cmd.fetch_duty);
+                match self.cfg.dtm.mechanism {
+                    TriggerMechanism::Direct => self.apply(cmd),
+                    TriggerMechanism::Interrupt { latency_cycles } => {
+                        self.pending.push_back((cycle + latency_cycles, cmd));
+                    }
+                }
+            }
+            while self.pending.front().is_some_and(|&(at, _)| at <= cycle) {
+                let (_, cmd) = self.pending.pop_front().expect("checked");
+                self.apply(cmd);
+            }
+
+            cycle += 1;
+        }
+
+        let stats = *self.core.stats();
+        let committed = stats.committed.saturating_sub(committed_at_count_start);
+        let n = counted_cycles.max(1) as f64;
+        let blocks = (0..NUM_THERMAL)
+            .map(|i| BlockMetrics {
+                name: self.thermal.params()[i].name.clone(),
+                avg_temp: block_sum_t[i] / n,
+                max_temp: if block_max_t[i].is_finite() { block_max_t[i] } else { 0.0 },
+                emergency_cycles: block_emerg[i],
+                stress_cycles: block_stress[i],
+                avg_power: block_sum_p[i] / n,
+                max_power: block_max_p[i],
+            })
+            .collect();
+        let avg_power = sum_power / n;
+        RunReport {
+            name: self.name.clone(),
+            policy: self.policy.kind().to_string(),
+            cycles: counted_cycles,
+            committed,
+            wall_time,
+            ipc: committed as f64 / n,
+            avg_power,
+            max_power,
+            avg_chip_temp: 27.0 + 0.34 * avg_power,
+            emergency_cycles,
+            stress_cycles,
+            blocks,
+            samples,
+            engaged_samples: self.policy.engaged_samples(),
+            recoveries: stats.recoveries,
+            bpred_accuracy: self.core.bpred().accuracy(),
+            gated_cycles: stats.gated_cycles,
+        }
+    }
+
+    fn apply(&mut self, cmd: DtmCommand) {
+        self.core.set_control(CoreControl {
+            fetch_duty: cmd.fetch_duty,
+            fetch_width_limit: cmd.fetch_width_limit,
+            max_unresolved_branches: cmd.max_unresolved_branches,
+        });
+        match (cmd.vf, self.vf_engaged) {
+            (Some(vf), false) => {
+                self.vf_engaged = true;
+                self.vf_power_scale = vf.power_scale();
+                self.vf_freq_scale = vf.freq_scale;
+                self.thermal.set_dt(self.cfg.cycle_time() / vf.freq_scale);
+                self.resync_remaining = self.cfg.dtm.vf_resync_cycles;
+            }
+            (None, true) => {
+                self.vf_engaged = false;
+                self.vf_power_scale = 1.0;
+                self.vf_freq_scale = 1.0;
+                self.thermal.set_dt(self.cfg.cycle_time());
+                self.resync_remaining = self.cfg.dtm.vf_resync_cycles;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use tdtm_dtm::PolicyKind;
+    use tdtm_isa::asm::assemble;
+
+    fn hot_loop_program() -> Program {
+        // Dense independent integer work: the hottest easy kernel.
+        assemble(
+            "     li x31, 2000000000
+             l:   addi x5, x5, 1
+                  addi x6, x6, 2
+                  xor  x7, x7, x5
+                  add  x8, x8, x6
+                  addi x9, x9, 1
+                  xor  x10, x10, x8
+                  add  x11, x11, x5
+                  slli x12, x6, 1
+                  addi x31, x31, -1
+                  bne  x31, x0, l
+                  halt",
+        )
+        .unwrap()
+    }
+
+    fn quick(policy: PolicyKind) -> SimConfig {
+        let mut cfg = SimConfig::quick_test();
+        cfg.dtm.policy = policy;
+        cfg
+    }
+
+    #[test]
+    fn baseline_run_produces_sane_report() {
+        let mut sim = Simulator::new(quick(PolicyKind::None), hot_loop_program());
+        let r = sim.run();
+        assert!(r.committed >= 30_000);
+        assert!(r.ipc > 1.0, "ipc {}", r.ipc);
+        assert!(r.avg_power > 10.0 && r.avg_power < 120.0, "power {}", r.avg_power);
+        assert_eq!(r.blocks.len(), 7);
+        assert!(r.blocks.iter().all(|b| b.avg_temp >= 100.0));
+        assert_eq!(r.policy, "none");
+    }
+
+    #[test]
+    fn hot_loop_heats_int_units_most() {
+        let mut sim = Simulator::new(quick(PolicyKind::None), hot_loop_program());
+        let r = sim.run();
+        let hottest = r.hottest_block();
+        assert!(
+            hottest.name.contains("int") || hottest.name == "regfile" || hottest.name == "bpred",
+            "integer-dominated kernel should heat the int path, got {}",
+            hottest.name
+        );
+    }
+
+    #[test]
+    fn pid_policy_engages_on_hot_code() {
+        let mut cfg = quick(PolicyKind::Pid);
+        cfg.max_insts = 120_000;
+        // Make the workload clearly emergency-bound so the policy must act.
+        cfg.heatsink_temp = 107.0;
+        let mut sim = Simulator::new(cfg, hot_loop_program());
+        let r = sim.run();
+        assert!(r.engaged_samples > 0, "PID should engage on a hot loop");
+        assert_eq!(r.emergency_cycles, 0, "PID must prevent emergencies");
+    }
+
+    #[test]
+    fn no_dtm_exceeds_pid_performance_but_has_emergencies() {
+        let mut base_cfg = quick(PolicyKind::None);
+        base_cfg.max_insts = 120_000;
+        base_cfg.heatsink_temp = 105.0;
+        let mut none = Simulator::new(base_cfg.clone(), hot_loop_program());
+        let r_none = none.run();
+        assert!(r_none.emergency_cycles > 0, "hot loop at 105C heatsink must overheat");
+
+        let mut pid_cfg = base_cfg;
+        pid_cfg.dtm.policy = PolicyKind::Pid;
+        let mut pid = Simulator::new(pid_cfg, hot_loop_program());
+        let r_pid = pid.run();
+        let pct = r_pid.percent_of(&r_none);
+        assert!(pct < 100.0 + 1e-9, "DTM can never beat no-DTM, got {pct}%");
+        assert!(pct > 30.0, "PID should not destroy performance, got {pct}%");
+    }
+
+    #[test]
+    fn interrupt_mechanism_still_controls() {
+        let mut cfg = quick(PolicyKind::Pid);
+        cfg.max_insts = 120_000;
+        cfg.heatsink_temp = 107.0;
+        cfg.dtm.mechanism = TriggerMechanism::Interrupt { latency_cycles: 250 };
+        let mut sim = Simulator::new(cfg, hot_loop_program());
+        let r = sim.run();
+        assert!(r.engaged_samples > 0);
+    }
+
+    #[test]
+    fn proxies_accumulate_agreement_counts() {
+        let mut cfg = quick(PolicyKind::None);
+        cfg.max_insts = 60_000;
+        cfg.heatsink_temp = 105.0;
+        let mut sim = Simulator::new(cfg, hot_loop_program());
+        sim.add_structure_proxy(10_000);
+        sim.add_chipwide_proxy(10_000, 47.0);
+        let r = sim.run();
+        let total: u64 = sim.proxies()[0].counts.iter().map(|c| c.total()).sum();
+        assert_eq!(total, 7 * r.cycles, "one record per block per counted cycle");
+        assert_eq!(sim.proxies()[1].counts[0].total(), r.cycles);
+    }
+
+    #[test]
+    fn vf_scaling_policy_reduces_power() {
+        let mut cfg = quick(PolicyKind::VfScale);
+        cfg.max_insts = 120_000;
+        cfg.heatsink_temp = 105.0;
+        cfg.dtm.vf_resync_cycles = 100;
+        let mut vf = Simulator::new(cfg.clone(), hot_loop_program());
+        let r_vf = vf.run();
+
+        let mut none_cfg = cfg;
+        none_cfg.dtm.policy = PolicyKind::None;
+        let mut none = Simulator::new(none_cfg, hot_loop_program());
+        let r_none = none.run();
+
+        assert!(r_vf.engaged_samples > 0, "vf policy should trigger");
+        assert!(r_vf.avg_power < r_none.avg_power, "scaling must cut power");
+        assert!(r_vf.insts_per_second() < r_none.insts_per_second());
+    }
+
+    #[test]
+    fn leakage_extension_heats_the_chip() {
+        let mut plain_cfg = quick(PolicyKind::None);
+        plain_cfg.max_insts = 60_000;
+        let mut leaky_cfg = plain_cfg.clone();
+        leaky_cfg.leakage = Some(tdtm_power::LeakageModel::node_180nm());
+        let mut plain = Simulator::new(plain_cfg, hot_loop_program());
+        let mut leaky = Simulator::new(leaky_cfg, hot_loop_program());
+        let r_plain = plain.run();
+        let r_leaky = leaky.run();
+        assert!(r_leaky.avg_power > r_plain.avg_power + 0.5, "leakage adds watts");
+        assert!(
+            r_leaky.hottest_block().max_temp > r_plain.hottest_block().max_temp,
+            "and therefore kelvins"
+        );
+    }
+
+    #[test]
+    fn pid_contains_node_scale_leakage() {
+        // With 0.18 µm-class leakage, the hot loop pushes further past
+        // threshold without DTM; PID still holds it at the setpoint
+        // (leakage is just extra plant gain to the feedback loop).
+        let mut cfg = quick(PolicyKind::Pid);
+        cfg.max_insts = 120_000;
+        cfg.leakage = Some(tdtm_power::LeakageModel::node_180nm());
+        let mut sim = Simulator::new(cfg, hot_loop_program());
+        let r = sim.run();
+        assert_eq!(r.emergency_cycles, 0, "PID must contain the leakage feedback");
+        assert!(r.engaged_samples > 0, "which requires actually engaging");
+    }
+
+    #[test]
+    fn runaway_leakage_defeats_any_policy() {
+        // Past the runaway boundary even an idle chip has no thermal
+        // equilibrium: the what-if model melts the chip regardless of
+        // DTM. This is a property of the package, not the policy.
+        let mut cfg = quick(PolicyKind::Pid);
+        cfg.max_insts = 120_000;
+        cfg.leakage = Some(tdtm_power::LeakageModel::node_later_whatif());
+        let mut sim = Simulator::new(cfg, hot_loop_program());
+        let r = sim.run();
+        assert!(
+            r.hottest_block().max_temp > 150.0,
+            "runaway must diverge, got {:.1}",
+            r.hottest_block().max_temp
+        );
+    }
+
+    #[test]
+    fn warm_start_skips_the_cold_ramp() {
+        let mut cfg = quick(PolicyKind::None);
+        cfg.warm_start = true;
+        cfg.thermal_warmup_cycles = 2_000;
+        let mut sim = Simulator::new(cfg.clone(), hot_loop_program());
+        let warm = sim.run();
+        let mut cold_cfg = cfg;
+        cold_cfg.warm_start = false;
+        let mut sim2 = Simulator::new(cold_cfg, hot_loop_program());
+        let cold = sim2.run();
+        assert!(
+            warm.blocks[5].avg_temp >= cold.blocks[5].avg_temp - 1e-9,
+            "warm start should not read cooler than a cold start over a short run"
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! The actuator command a policy emits each sample.
+
+use crate::config::VfSetting;
+
+/// Actuator settings produced by one policy sample.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DtmCommand {
+    /// Fetch duty cycle in `[0, 1]`.
+    pub fetch_duty: f64,
+    /// Fetch-width cap (throttling).
+    pub fetch_width_limit: Option<usize>,
+    /// Unresolved-branch cap (speculation control).
+    pub max_unresolved_branches: Option<usize>,
+    /// Voltage/frequency point, if scaled away from nominal.
+    pub vf: Option<VfSetting>,
+}
+
+impl DtmCommand {
+    /// Full speed: no restriction on any actuator.
+    pub fn full_speed() -> DtmCommand {
+        DtmCommand {
+            fetch_duty: 1.0,
+            fetch_width_limit: None,
+            max_unresolved_branches: None,
+            vf: None,
+        }
+    }
+
+    /// A pure fetch-toggling command.
+    pub fn toggle(duty: f64) -> DtmCommand {
+        DtmCommand { fetch_duty: duty.clamp(0.0, 1.0), ..DtmCommand::full_speed() }
+    }
+
+    /// Whether this command restricts the machine at all.
+    pub fn is_restrictive(&self) -> bool {
+        self.fetch_duty < 1.0
+            || self.fetch_width_limit.is_some()
+            || self.max_unresolved_branches.is_some()
+            || self.vf.is_some()
+    }
+}
+
+impl Default for DtmCommand {
+    fn default() -> DtmCommand {
+        DtmCommand::full_speed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_speed_is_unrestrictive() {
+        assert!(!DtmCommand::full_speed().is_restrictive());
+    }
+
+    #[test]
+    fn toggle_clamps_and_restricts() {
+        let c = DtmCommand::toggle(-0.5);
+        assert_eq!(c.fetch_duty, 0.0);
+        assert!(c.is_restrictive());
+        assert!(!DtmCommand::toggle(1.5).is_restrictive());
+    }
+}

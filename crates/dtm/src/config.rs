@@ -1,0 +1,237 @@
+//! DTM configuration: thresholds, setpoints, sampling, and mechanism
+//! selection.
+//!
+//! Default values implement the reproduction's parameter set (DESIGN.md
+//! §5): emergency at 111.0 C, non-CT trigger 2 K below it, PI/PID setpoint
+//! 0.2 K below it, a 2 K sensor range, and 1000-cycle sampling.
+
+/// Which DTM policy to run.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum PolicyKind {
+    /// No DTM: the baseline whose IPC defines "% of non-DTM IPC".
+    None,
+    /// Fetch stops entirely while triggered (Brooks & Martonosi's
+    /// strongest toggling).
+    Toggle1,
+    /// Fetch every other cycle while triggered (cannot stop all
+    /// emergencies).
+    Toggle2,
+    /// Fetch-width throttling while triggered.
+    Throttle,
+    /// Speculation control: cap unresolved branches while triggered.
+    SpecControl,
+    /// Voltage/frequency scaling while triggered.
+    VfScale,
+    /// The hand-built proportional controller "M".
+    Manual,
+    /// Control-theoretic proportional controller.
+    P,
+    /// Control-theoretic proportional-derivative controller.
+    Pd,
+    /// Control-theoretic proportional-integral controller.
+    Pi,
+    /// Control-theoretic PID controller (the paper's headline policy).
+    #[default]
+    Pid,
+    /// The hierarchy the paper sketches in Section 2.1: PID-controlled
+    /// toggling as the low-cost primary mechanism, with voltage/frequency
+    /// scaling as the backup engaged only when temperature gets "truly
+    /// close to emergency".
+    Hierarchical,
+}
+
+impl PolicyKind {
+    /// All policies, in reporting order.
+    pub fn all() -> [PolicyKind; 12] {
+        use PolicyKind::*;
+        [None, Toggle1, Toggle2, Throttle, SpecControl, VfScale, Manual, P, Pd, Pi, Pid, Hierarchical]
+    }
+
+    /// Whether this is one of the control-theoretic (CT-DTM) policies.
+    pub fn is_control_theoretic(self) -> bool {
+        matches!(self, PolicyKind::P | PolicyKind::Pd | PolicyKind::Pi | PolicyKind::Pid)
+    }
+
+    /// Display name used in tables.
+    pub fn name(self) -> &'static str {
+        use PolicyKind::*;
+        match self {
+            None => "none",
+            Toggle1 => "toggle1",
+            Toggle2 => "toggle2",
+            Throttle => "throttle",
+            SpecControl => "spec-ctl",
+            VfScale => "vf-scale",
+            Manual => "M",
+            P => "P",
+            Pd => "PD",
+            Pi => "PI",
+            Pid => "PID",
+            Hierarchical => "PID+vf",
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a thermal trigger reaches the DTM mechanism.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum TriggerMechanism {
+    /// Dedicated microarchitectural signaling: the command takes effect at
+    /// the next cycle (the mechanism the paper assumes).
+    #[default]
+    Direct,
+    /// OS interrupts: each engage/disengage costs a fixed delay
+    /// (Brooks & Martonosi quote ~250 cycles).
+    Interrupt {
+        /// Cycles between the sample and the command taking effect.
+        latency_cycles: u64,
+    },
+}
+
+/// A voltage/frequency operating point relative to nominal.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct VfSetting {
+    /// Frequency as a fraction of nominal.
+    pub freq_scale: f64,
+    /// Voltage as a fraction of nominal.
+    pub vdd_scale: f64,
+}
+
+impl VfSetting {
+    /// Dynamic-power scale factor `f·V²` relative to nominal.
+    pub fn power_scale(&self) -> f64 {
+        self.freq_scale * self.vdd_scale * self.vdd_scale
+    }
+}
+
+/// Full DTM configuration.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DtmConfig {
+    /// Which policy runs.
+    pub policy: PolicyKind,
+    /// Thermal emergency threshold (C): temperatures must never exceed
+    /// this.
+    pub emergency: f64,
+    /// Trigger threshold for the non-CT policies (C).
+    pub trigger: f64,
+    /// Setpoint for the CT policies (C).
+    pub setpoint: f64,
+    /// Sensor range (K) over which the Manual policy ramps 0-100%.
+    pub sensor_range: f64,
+    /// Controller/policy sampling interval in cycles.
+    pub sample_interval: u64,
+    /// Minimum cycles a triggered non-CT policy stays engaged (the
+    /// "policy delay").
+    pub policy_delay: u64,
+    /// Actuator quantization levels (8 in the paper).
+    pub quantize_levels: u32,
+    /// Trigger mechanism (direct signaling vs. interrupts).
+    pub mechanism: TriggerMechanism,
+    /// Plant steady-state gain for controller design: kelvins of block
+    /// temperature rise per unit of fetch duty reduction (≈ thermal R ×
+    /// controllable power swing).
+    pub plant_gain: f64,
+    /// Plant time constant (s): the longest block RC, per the paper.
+    pub plant_tau: f64,
+    /// V/f point used by [`PolicyKind::VfScale`] when engaged.
+    pub vf_setting: VfSetting,
+    /// Pipeline stall when the clock re-synchronizes after a V/f change
+    /// (cycles at nominal frequency).
+    pub vf_resync_cycles: u64,
+    /// Fetch-width cap used by [`PolicyKind::Throttle`] when engaged.
+    pub throttle_width: usize,
+    /// Unresolved-branch cap used by [`PolicyKind::SpecControl`].
+    pub spec_control_branches: usize,
+    /// Backup trigger for [`PolicyKind::Hierarchical`]: temperature at
+    /// which the V/f backup engages on top of the toggling controller.
+    pub backup_trigger: f64,
+    /// Anti-windup in the CT controllers (Section 3.3). On by default;
+    /// disable only for the windup ablation.
+    pub anti_windup: bool,
+}
+
+impl Default for DtmConfig {
+    fn default() -> DtmConfig {
+        DtmConfig {
+            policy: PolicyKind::Pid,
+            emergency: 111.0,
+            trigger: 109.0,
+            setpoint: 110.8,
+            sensor_range: 2.0,
+            sample_interval: 1000,
+            policy_delay: 10_000,
+            quantize_levels: 8,
+            mechanism: TriggerMechanism::Direct,
+            plant_gain: 8.0,
+            plant_tau: 8.4e-5,
+            vf_setting: VfSetting { freq_scale: 0.75, vdd_scale: 0.85 },
+            vf_resync_cycles: 15_000, // 10 µs at 1.5 GHz
+            throttle_width: 1,
+            spec_control_branches: 1,
+            backup_trigger: 110.95,
+            anti_windup: true,
+        }
+    }
+}
+
+impl DtmConfig {
+    /// The sampling period in seconds at `clock_hz`.
+    pub fn sample_period(&self, clock_hz: f64) -> f64 {
+        self.sample_interval as f64 / clock_hz
+    }
+
+    /// The loop dead time: half the sampling period (the paper's model).
+    pub fn loop_delay(&self, clock_hz: f64) -> f64 {
+        self.sample_period(clock_hz) / 2.0
+    }
+
+    /// The configuration for the paper's lower-setpoint sensitivity run.
+    pub fn with_low_setpoint(mut self) -> DtmConfig {
+        self.setpoint = 110.0;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_satisfy_paper_constraints() {
+        let c = DtmConfig::default();
+        assert!(c.trigger < c.emergency);
+        assert!((c.emergency - c.trigger - 2.0).abs() < 1e-12, "non-CT trigger 2K below");
+        assert!((c.emergency - c.setpoint - 0.2).abs() < 1e-9, "CT setpoint 0.2K below");
+        assert_eq!(c.sample_interval, 1000);
+        let period = c.sample_period(1.5e9);
+        assert!((period - 666.7e-9).abs() < 1e-9, "1000 cycles at 1.5 GHz ≈ 667 ns");
+        assert!((c.loop_delay(1.5e9) - period / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn low_setpoint_variant() {
+        let c = DtmConfig::default().with_low_setpoint();
+        assert_eq!(c.setpoint, 110.0);
+    }
+
+    #[test]
+    fn vf_power_scale_is_fv2() {
+        let vf = VfSetting { freq_scale: 0.5, vdd_scale: 0.8 };
+        assert!((vf.power_scale() - 0.32).abs() < 1e-12);
+    }
+
+    #[test]
+    fn policy_classification() {
+        assert!(PolicyKind::Pid.is_control_theoretic());
+        assert!(PolicyKind::P.is_control_theoretic());
+        assert!(!PolicyKind::Toggle1.is_control_theoretic());
+        assert!(!PolicyKind::Manual.is_control_theoretic(), "M is hand-built, not CT");
+        assert!(!PolicyKind::Hierarchical.is_control_theoretic(), "hybrid, reported separately");
+        assert_eq!(PolicyKind::all().len(), 12);
+    }
+}

@@ -1,0 +1,48 @@
+//! # tdtm-dtm — dynamic thermal management policies
+//!
+//! The DTM layer of the paper: every sampling interval (1000 cycles) a
+//! policy reads the per-block temperature sensors and sets the actuators —
+//! primarily the fetch-toggling duty cycle, with fetch throttling,
+//! speculation control, and voltage/frequency scaling available as the
+//! non-preferred alternatives Brooks & Martonosi explored.
+//!
+//! Policies:
+//!
+//! * [`PolicyKind::Toggle1`] / [`PolicyKind::Toggle2`] — fixed-strength
+//!   fetch toggling engaged at a trigger threshold (the non-CT baseline);
+//! * [`PolicyKind::Manual`] — the paper's hand-built proportional "M"
+//!   controller (toggling rate equals the percentage error over the
+//!   sensor range);
+//! * [`PolicyKind::P`] / [`Pd`](PolicyKind::Pd) / [`Pi`](PolicyKind::Pi) /
+//!   [`Pid`](PolicyKind::Pid) — the control-theoretic policies, with gains
+//!   designed in `tdtm-control` from the thermal plant model and
+//!   anti-windup per the paper;
+//! * [`PolicyKind::Throttle`], [`PolicyKind::SpecControl`],
+//!   [`PolicyKind::VfScale`] — the auxiliary mechanisms;
+//! * [`PolicyKind::None`] — no DTM (the baseline for "% of non-DTM IPC").
+//!
+//! # Examples
+//!
+//! ```
+//! use tdtm_dtm::{build_policy, DtmConfig, PolicyKind};
+//!
+//! let mut config = DtmConfig::default();
+//! config.policy = PolicyKind::Pid;
+//! let mut policy = build_policy(&config);
+//! // All blocks cool: run at full speed.
+//! let cool = policy.sample(&[100.0; 7]);
+//! assert_eq!(cool.fetch_duty, 1.0);
+//! // A block well past the setpoint: throttle hard.
+//! let hot = policy.sample(&[100.0, 100.0, 113.0, 100.0, 100.0, 100.0, 100.0]);
+//! assert!(hot.fetch_duty < 0.5);
+//! ```
+
+pub mod command;
+pub mod config;
+pub mod policy;
+pub mod sensor;
+
+pub use command::DtmCommand;
+pub use config::{DtmConfig, PolicyKind, TriggerMechanism, VfSetting};
+pub use policy::{build_policy, build_policy_at, DtmPolicy};
+pub use sensor::SensorModel;

@@ -1,0 +1,527 @@
+//! The DTM policies.
+//!
+//! Every policy implements [`DtmPolicy`]: once per sampling interval it
+//! receives the sensed per-block temperatures and returns a
+//! [`DtmCommand`]. Policies are stateful (policy delays, controller
+//! integrals) and deterministic.
+
+use crate::command::DtmCommand;
+use crate::config::{DtmConfig, PolicyKind};
+use tdtm_control::design::{design_controller, ControllerKind, FopdtPlant};
+use tdtm_control::pid::{quantize, PidController};
+
+/// A dynamic thermal management policy.
+pub trait DtmPolicy {
+    /// Consumes one sample of sensed block temperatures and returns the
+    /// actuator command for the next interval.
+    fn sample(&mut self, temps: &[f64]) -> DtmCommand;
+
+    /// Number of samples on which the policy restricted the machine.
+    fn engaged_samples(&self) -> u64;
+
+    /// The policy's kind (for reporting).
+    fn kind(&self) -> PolicyKind;
+}
+
+/// Builds the policy selected by `config`.
+pub fn build_policy(config: &DtmConfig) -> Box<dyn DtmPolicy> {
+    build_policy_at(config, 1.5e9)
+}
+
+/// [`build_policy`] with an explicit clock (the controller designs depend
+/// on the sampling period in seconds).
+pub fn build_policy_at(config: &DtmConfig, clock_hz: f64) -> Box<dyn DtmPolicy> {
+    match config.policy {
+        PolicyKind::None => Box::new(NoDtm { samples: 0 }),
+        PolicyKind::Toggle1 => Box::new(Triggered::new(*config, TriggeredAction::Toggle(0.0))),
+        PolicyKind::Toggle2 => Box::new(Triggered::new(*config, TriggeredAction::Toggle(0.5))),
+        PolicyKind::Throttle => Box::new(Triggered::new(
+            *config,
+            TriggeredAction::Throttle(config.throttle_width),
+        )),
+        PolicyKind::SpecControl => Box::new(Triggered::new(
+            *config,
+            TriggeredAction::SpecControl(config.spec_control_branches),
+        )),
+        PolicyKind::VfScale => Box::new(Triggered::new(*config, TriggeredAction::VfScale)),
+        PolicyKind::Manual => Box::new(ManualProportional { cfg: *config, engaged: 0 }),
+        PolicyKind::P | PolicyKind::Pd | PolicyKind::Pi | PolicyKind::Pid => {
+            Box::new(CtPolicy::new(*config, clock_hz))
+        }
+        PolicyKind::Hierarchical => Box::new(Hierarchical::new(*config, clock_hz)),
+    }
+}
+
+// ----------------------------------------------------------------------
+// No DTM
+// ----------------------------------------------------------------------
+
+struct NoDtm {
+    samples: u64,
+}
+
+impl DtmPolicy for NoDtm {
+    fn sample(&mut self, _temps: &[f64]) -> DtmCommand {
+        self.samples += 1;
+        DtmCommand::full_speed()
+    }
+
+    fn engaged_samples(&self) -> u64 {
+        0
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::None
+    }
+}
+
+// ----------------------------------------------------------------------
+// Trigger-threshold policies (toggle1/2, throttle, spec control, V/f)
+// ----------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+enum TriggeredAction {
+    Toggle(f64),
+    Throttle(usize),
+    SpecControl(usize),
+    VfScale,
+}
+
+/// A fixed-response policy engaged whenever any block exceeds the trigger
+/// threshold, held for at least the policy delay ("too short a policy, and
+/// the system will stay at or near trigger; too long, and the system will
+/// incur an unnecessary loss in performance").
+struct Triggered {
+    cfg: DtmConfig,
+    action: TriggeredAction,
+    engaged_until_sample: u64,
+    sample_count: u64,
+    engaged: u64,
+}
+
+impl Triggered {
+    fn new(cfg: DtmConfig, action: TriggeredAction) -> Triggered {
+        Triggered { cfg, action, engaged_until_sample: 0, sample_count: 0, engaged: 0 }
+    }
+}
+
+impl DtmPolicy for Triggered {
+    fn sample(&mut self, temps: &[f64]) -> DtmCommand {
+        self.sample_count += 1;
+        let hot = temps.iter().any(|&t| t > self.cfg.trigger);
+        if hot {
+            let delay_samples = self.cfg.policy_delay / self.cfg.sample_interval.max(1);
+            self.engaged_until_sample = self.sample_count + delay_samples;
+        }
+        if self.sample_count <= self.engaged_until_sample || hot {
+            self.engaged += 1;
+            match self.action {
+                TriggeredAction::Toggle(duty) => DtmCommand::toggle(duty),
+                TriggeredAction::Throttle(w) => DtmCommand {
+                    fetch_width_limit: Some(w),
+                    ..DtmCommand::full_speed()
+                },
+                TriggeredAction::SpecControl(n) => DtmCommand {
+                    max_unresolved_branches: Some(n),
+                    ..DtmCommand::full_speed()
+                },
+                TriggeredAction::VfScale => DtmCommand {
+                    vf: Some(self.cfg.vf_setting),
+                    ..DtmCommand::full_speed()
+                },
+            }
+        } else {
+            DtmCommand::full_speed()
+        }
+    }
+
+    fn engaged_samples(&self) -> u64 {
+        self.engaged
+    }
+
+    fn kind(&self) -> PolicyKind {
+        match self.action {
+            TriggeredAction::Toggle(d) if d == 0.0 => PolicyKind::Toggle1,
+            TriggeredAction::Toggle(_) => PolicyKind::Toggle2,
+            TriggeredAction::Throttle(_) => PolicyKind::Throttle,
+            TriggeredAction::SpecControl(_) => PolicyKind::SpecControl,
+            TriggeredAction::VfScale => PolicyKind::VfScale,
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// The hand-built proportional controller "M"
+// ----------------------------------------------------------------------
+
+/// The paper's manually designed comparison controller: "sets the toggling
+/// rate equal to the percentage error in temperature" across the sensor
+/// range above the trigger, quantized to the actuator's 8 levels.
+struct ManualProportional {
+    cfg: DtmConfig,
+    engaged: u64,
+}
+
+impl DtmPolicy for ManualProportional {
+    fn sample(&mut self, temps: &[f64]) -> DtmCommand {
+        let hottest = temps.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let error_fraction =
+            ((hottest - self.cfg.trigger) / self.cfg.sensor_range).clamp(0.0, 1.0);
+        let duty = quantize(1.0 - error_fraction, self.cfg.quantize_levels);
+        if duty < 1.0 {
+            self.engaged += 1;
+        }
+        DtmCommand::toggle(duty)
+    }
+
+    fn engaged_samples(&self) -> u64 {
+        self.engaged
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Manual
+    }
+}
+
+// ----------------------------------------------------------------------
+// Control-theoretic policies
+// ----------------------------------------------------------------------
+
+/// One designed controller per thermal block; the actuator takes the most
+/// restrictive (minimum) duty across blocks, so the hottest structure
+/// governs.
+struct CtPolicy {
+    cfg: DtmConfig,
+    controllers: Vec<PidController>,
+    /// Output bias: P/PD controllers have no integral action to hold the
+    /// operating point, so they modulate around full speed.
+    bias: f64,
+    kind: ControllerKind,
+    engaged: u64,
+    initialized: bool,
+}
+
+impl CtPolicy {
+    fn new(cfg: DtmConfig, clock_hz: f64) -> CtPolicy {
+        let kind = match cfg.policy {
+            PolicyKind::P => ControllerKind::P,
+            PolicyKind::Pd => ControllerKind::Pd,
+            PolicyKind::Pi => ControllerKind::Pi,
+            PolicyKind::Pid => ControllerKind::Pid,
+            other => panic!("CtPolicy built for non-CT policy {other:?}"),
+        };
+        let plant = FopdtPlant {
+            gain: cfg.plant_gain,
+            time_constant: cfg.plant_tau,
+            delay: cfg.loop_delay(clock_hz),
+        };
+        let gains = design_controller(&plant, kind);
+        let period = cfg.sample_period(clock_hz);
+        let has_integral = gains.ki > 0.0;
+        // With integral action the controller output lives in [0, 1]
+        // directly (the integral supplies the operating point). Without
+        // it, the proportional/derivative terms modulate downward from
+        // full speed: output range [-1, 0], duty = 1 + output.
+        let (lo, hi, bias) = if has_integral { (0.0, 1.0, 0.0) } else { (-1.0, 0.0, 1.0) };
+        let mut prototype = PidController::new(gains, period, lo, hi);
+        if !cfg.anti_windup {
+            prototype = prototype.without_anti_windup();
+        }
+        let controllers = vec![prototype; 7];
+        CtPolicy { cfg, controllers, bias, kind, engaged: 0, initialized: false }
+    }
+
+    fn ensure_size(&mut self, n: usize) {
+        if self.controllers.len() != n {
+            let proto = self.controllers[0].clone();
+            self.controllers = vec![proto; n];
+            for c in &mut self.controllers {
+                c.reset();
+            }
+        }
+        self.initialized = true;
+    }
+}
+
+impl DtmPolicy for CtPolicy {
+    fn sample(&mut self, temps: &[f64]) -> DtmCommand {
+        if !self.initialized {
+            self.ensure_size(temps.len());
+        }
+        assert_eq!(temps.len(), self.controllers.len(), "one controller per sensed block");
+        let mut duty: f64 = 1.0;
+        for (c, &t) in self.controllers.iter_mut().zip(temps) {
+            let error = self.cfg.setpoint - t;
+            let u = (c.sample(error) + self.bias).clamp(0.0, 1.0);
+            duty = duty.min(u);
+        }
+        let duty = quantize(duty, self.cfg.quantize_levels);
+        if duty < 1.0 {
+            self.engaged += 1;
+        }
+        DtmCommand::toggle(duty)
+    }
+
+    fn engaged_samples(&self) -> u64 {
+        self.engaged
+    }
+
+    fn kind(&self) -> PolicyKind {
+        match self.kind {
+            ControllerKind::P => PolicyKind::P,
+            ControllerKind::Pd => PolicyKind::Pd,
+            ControllerKind::Pi => PolicyKind::Pi,
+            ControllerKind::Pid => PolicyKind::Pid,
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Hierarchical: CT toggling primary, V/f backup
+// ----------------------------------------------------------------------
+
+/// The Section 2.1 hierarchy: a PID toggling controller handles normal
+/// thermal stress; if temperature nevertheless gets "truly close to
+/// emergency" (past the backup trigger), voltage/frequency scaling engages
+/// as well, and — because scaling has invocation overhead — stays engaged
+/// for the policy delay.
+struct Hierarchical {
+    cfg: DtmConfig,
+    primary: CtPolicy,
+    backup_until_sample: u64,
+    sample_count: u64,
+    engaged: u64,
+}
+
+impl Hierarchical {
+    fn new(cfg: DtmConfig, clock_hz: f64) -> Hierarchical {
+        let primary_cfg = DtmConfig { policy: PolicyKind::Pid, ..cfg };
+        Hierarchical {
+            cfg,
+            primary: CtPolicy::new(primary_cfg, clock_hz),
+            backup_until_sample: 0,
+            sample_count: 0,
+            engaged: 0,
+        }
+    }
+}
+
+impl DtmPolicy for Hierarchical {
+    fn sample(&mut self, temps: &[f64]) -> DtmCommand {
+        self.sample_count += 1;
+        let mut cmd = self.primary.sample(temps);
+        let truly_hot = temps.iter().any(|&t| t > self.cfg.backup_trigger);
+        if truly_hot {
+            let delay_samples = self.cfg.policy_delay / self.cfg.sample_interval.max(1);
+            self.backup_until_sample = self.sample_count + delay_samples;
+        }
+        if truly_hot || self.sample_count <= self.backup_until_sample {
+            cmd.vf = Some(self.cfg.vf_setting);
+        }
+        if cmd.is_restrictive() {
+            self.engaged += 1;
+        }
+        cmd
+    }
+
+    fn engaged_samples(&self) -> u64 {
+        self.engaged
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Hierarchical
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(policy: PolicyKind) -> DtmConfig {
+        DtmConfig { policy, ..DtmConfig::default() }
+    }
+
+    fn cool() -> [f64; 7] {
+        [100.0; 7]
+    }
+
+    fn hot_block(temp: f64) -> [f64; 7] {
+        let mut t = cool();
+        t[3] = temp;
+        t
+    }
+
+    #[test]
+    fn no_dtm_never_restricts() {
+        let mut p = build_policy(&config(PolicyKind::None));
+        assert_eq!(p.sample(&hot_block(150.0)), DtmCommand::full_speed());
+        assert_eq!(p.engaged_samples(), 0);
+    }
+
+    #[test]
+    fn toggle1_stops_fetch_above_trigger() {
+        let mut p = build_policy(&config(PolicyKind::Toggle1));
+        assert_eq!(p.sample(&cool()).fetch_duty, 1.0);
+        let cmd = p.sample(&hot_block(109.5));
+        assert_eq!(cmd.fetch_duty, 0.0);
+        assert_eq!(p.kind(), PolicyKind::Toggle1);
+    }
+
+    #[test]
+    fn toggle2_halves_fetch() {
+        let mut p = build_policy(&config(PolicyKind::Toggle2));
+        assert_eq!(p.sample(&hot_block(110.0)).fetch_duty, 0.5);
+    }
+
+    #[test]
+    fn policy_delay_holds_the_response() {
+        let cfg = DtmConfig {
+            policy: PolicyKind::Toggle1,
+            policy_delay: 5_000,
+            sample_interval: 1000,
+            ..DtmConfig::default()
+        };
+        let mut p = build_policy(&cfg);
+        assert_eq!(p.sample(&hot_block(110.0)).fetch_duty, 0.0);
+        // Temperature back below trigger, but the policy stays engaged for
+        // 5 more samples.
+        for _ in 0..5 {
+            assert_eq!(p.sample(&cool()).fetch_duty, 0.0, "held by policy delay");
+        }
+        assert_eq!(p.sample(&cool()).fetch_duty, 1.0, "released after delay");
+    }
+
+    #[test]
+    fn throttle_and_spec_control_set_their_actuators() {
+        let mut th = build_policy(&config(PolicyKind::Throttle));
+        let cmd = th.sample(&hot_block(110.0));
+        assert_eq!(cmd.fetch_width_limit, Some(1));
+        assert_eq!(cmd.fetch_duty, 1.0);
+
+        let mut sc = build_policy(&config(PolicyKind::SpecControl));
+        let cmd = sc.sample(&hot_block(110.0));
+        assert_eq!(cmd.max_unresolved_branches, Some(1));
+    }
+
+    #[test]
+    fn vf_scaling_reduces_power_cubed_ish() {
+        let mut p = build_policy(&config(PolicyKind::VfScale));
+        let cmd = p.sample(&hot_block(110.0));
+        let vf = cmd.vf.expect("engaged");
+        assert!(vf.power_scale() < 0.6, "f·V² scale {}", vf.power_scale());
+    }
+
+    #[test]
+    fn manual_matches_percentage_error_mapping() {
+        let mut p = build_policy(&config(PolicyKind::Manual));
+        // Below trigger: full speed.
+        assert_eq!(p.sample(&hot_block(108.9)).fetch_duty, 1.0);
+        // Midpoint of the 109..111 range: 50% error → toggle2.
+        assert_eq!(p.sample(&hot_block(110.0)).fetch_duty, 0.5);
+        // At/above range top: full stop.
+        assert_eq!(p.sample(&hot_block(111.0)).fetch_duty, 0.0);
+        assert_eq!(p.sample(&hot_block(115.0)).fetch_duty, 0.0);
+    }
+
+    #[test]
+    fn manual_quantizes_to_eight_levels() {
+        let mut p = build_policy(&config(PolicyKind::Manual));
+        let duty = p.sample(&hot_block(109.3)).fetch_duty;
+        assert!((duty * 8.0 - (duty * 8.0).round()).abs() < 1e-9, "duty {duty} on the 8-level grid");
+    }
+
+    #[test]
+    fn ct_policies_run_full_speed_when_cool() {
+        for kind in [PolicyKind::P, PolicyKind::Pd, PolicyKind::Pi, PolicyKind::Pid] {
+            let mut p = build_policy(&config(kind));
+            for _ in 0..10 {
+                assert_eq!(p.sample(&cool()).fetch_duty, 1.0, "{kind}");
+            }
+            assert_eq!(p.engaged_samples(), 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn ct_policies_throttle_when_past_setpoint() {
+        for kind in [PolicyKind::P, PolicyKind::Pd, PolicyKind::Pi, PolicyKind::Pid] {
+            let mut p = build_policy(&config(kind));
+            p.sample(&cool());
+            let mut last = 1.0;
+            for _ in 0..20 {
+                last = p.sample(&hot_block(112.5)).fetch_duty;
+            }
+            assert!(last < 0.8, "{kind}: sustained 1.7K overshoot should throttle, duty {last}");
+        }
+    }
+
+    #[test]
+    fn ct_response_scales_with_severity() {
+        // The pure P policy makes the proportionality visible: duty is
+        // 1 + Kp·e with no integral/derivative state. (The designed Kp is
+        // aggressive — a few tenths of a kelvin span the full actuator
+        // range — which is exactly the tight control the paper reports.)
+        let mut p = build_policy(&config(PolicyKind::P));
+        let mild = p.sample(&hot_block(110.81)).fetch_duty;
+        let severe = p.sample(&hot_block(110.9)).fetch_duty;
+        let extreme = p.sample(&hot_block(113.0)).fetch_duty;
+        assert!(
+            severe < mild,
+            "stronger thermal stress should get a stronger response ({severe} vs {mild})"
+        );
+        assert_eq!(extreme, 0.0, "far past the setpoint the actuator saturates");
+        assert!(mild > 0.0, "mild overshoot gets a mild response");
+    }
+
+    #[test]
+    fn hottest_block_governs() {
+        let mut all_hot = build_policy(&config(PolicyKind::Pid));
+        let mut one_hot = build_policy(&config(PolicyKind::Pid));
+        all_hot.sample(&[112.0; 7]);
+        one_hot.sample(&hot_block(112.0));
+        let a = all_hot.sample(&[112.0; 7]).fetch_duty;
+        let b = one_hot.sample(&hot_block(112.0)).fetch_duty;
+        assert!((a - b).abs() < 1e-9, "min across blocks equals the hottest block's command");
+    }
+
+    #[test]
+    fn hierarchical_engages_backup_only_when_truly_hot() {
+        let mut p = build_policy(&config(PolicyKind::Hierarchical));
+        // Cool: nothing.
+        let cmd = p.sample(&cool());
+        assert_eq!(cmd.fetch_duty, 1.0);
+        assert!(cmd.vf.is_none());
+        // Past the setpoint but under the backup trigger: toggling only.
+        let cmd = p.sample(&hot_block(110.9));
+        assert!(cmd.fetch_duty < 1.0, "primary controller engaged");
+        assert!(cmd.vf.is_none(), "backup stays out below its trigger");
+        // Truly close to emergency: V/f backup engages too.
+        let cmd = p.sample(&hot_block(110.98));
+        assert!(cmd.vf.is_some(), "backup engages past {:.2}", 110.95);
+    }
+
+    #[test]
+    fn hierarchical_backup_held_for_policy_delay() {
+        let cfg = DtmConfig {
+            policy: PolicyKind::Hierarchical,
+            policy_delay: 3_000,
+            sample_interval: 1000,
+            ..DtmConfig::default()
+        };
+        let mut p = build_policy(&cfg);
+        assert!(p.sample(&hot_block(111.2)).vf.is_some());
+        for i in 0..3 {
+            assert!(p.sample(&cool()).vf.is_some(), "held at sample {i}");
+        }
+        assert!(p.sample(&cool()).vf.is_none(), "released after the delay");
+    }
+
+    #[test]
+    fn ct_duty_is_quantized() {
+        let mut p = build_policy(&config(PolicyKind::Pi));
+        p.sample(&cool());
+        for t in [110.9, 111.2, 111.8, 112.4] {
+            let duty = p.sample(&hot_block(t)).fetch_duty;
+            assert!((duty * 8.0 - (duty * 8.0).round()).abs() < 1e-9, "duty {duty}");
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Temperature-sensor models.
+//!
+//! The paper assumes idealized sensors co-located with every block
+//! (G_sensor = 1) and flags realistic sensor modeling as future work.
+//! [`SensorModel`] implements the ideal sensor plus optional Gaussian
+//! noise and quantization, used by the sensor-fidelity ablation.
+
+/// A per-block temperature sensor bank.
+#[derive(Clone, Debug)]
+pub struct SensorModel {
+    noise_sigma: f64,
+    quantization_step: f64,
+    /// xorshift state for deterministic noise.
+    state: u64,
+    /// Which blocks actually have a sensor (`None` = all of them). The
+    /// paper notes real chips have a limited sensor budget that "may not
+    /// be co-located with the most likely hot spots".
+    placement: Option<Vec<bool>>,
+    /// Reading reported for unsensed blocks.
+    fallback: f64,
+}
+
+impl SensorModel {
+    /// The paper's idealized sensor: exact readings.
+    pub fn ideal() -> SensorModel {
+        SensorModel {
+            noise_sigma: 0.0,
+            quantization_step: 0.0,
+            state: 0x9E37_79B9_7F4A_7C15,
+            placement: None,
+            fallback: f64::NEG_INFINITY,
+        }
+    }
+
+    /// A realistic sensor with Gaussian noise of standard deviation
+    /// `sigma` kelvin, quantized to `step`-kelvin increments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` or `step` is negative.
+    pub fn with_noise(sigma: f64, step: f64, seed: u64) -> SensorModel {
+        assert!(sigma >= 0.0 && step >= 0.0, "noise parameters must be nonnegative");
+        SensorModel {
+            noise_sigma: sigma,
+            quantization_step: step,
+            state: seed | 1,
+            placement: None,
+            fallback: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Restricts the sensor budget: blocks with `false` in `placement`
+    /// have no sensor and report `fallback` instead (use a very low value
+    /// so DTM simply never sees them — the realistic failure mode).
+    ///
+    /// Returns `self` for chaining.
+    pub fn with_placement(mut self, placement: Vec<bool>, fallback: f64) -> SensorModel {
+        self.placement = Some(placement);
+        self.fallback = fallback;
+        self
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Standard normal via Irwin-Hall (sum of 12 uniforms minus 6).
+    fn gaussian(&mut self) -> f64 {
+        let mut s = 0.0;
+        for _ in 0..12 {
+            s += (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        }
+        s - 6.0
+    }
+
+    /// Reads one block's temperature.
+    pub fn read(&mut self, true_temp: f64) -> f64 {
+        let mut t = true_temp;
+        if self.noise_sigma > 0.0 {
+            t += self.noise_sigma * self.gaussian();
+        }
+        if self.quantization_step > 0.0 {
+            t = (t / self.quantization_step).round() * self.quantization_step;
+        }
+        t
+    }
+
+    /// Reads a bank of temperatures into `out`, honoring the sensor
+    /// placement (unsensed blocks read as the fallback value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices (or a configured placement) differ in length.
+    pub fn read_all(&mut self, temps: &[f64], out: &mut [f64]) {
+        assert_eq!(temps.len(), out.len(), "slice lengths must match");
+        if let Some(placement) = &self.placement {
+            assert_eq!(placement.len(), temps.len(), "placement covers every block");
+        }
+        for i in 0..temps.len() {
+            let sensed = match &self.placement {
+                Some(p) => p[i],
+                None => true,
+            };
+            out[i] = if sensed { self.read(temps[i]) } else { self.fallback };
+        }
+    }
+}
+
+impl Default for SensorModel {
+    fn default() -> SensorModel {
+        SensorModel::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_sensor_is_exact() {
+        let mut s = SensorModel::ideal();
+        assert_eq!(s.read(108.375), 108.375);
+    }
+
+    #[test]
+    fn quantization_rounds_to_steps() {
+        let mut s = SensorModel::with_noise(0.0, 0.5, 1);
+        assert_eq!(s.read(108.30), 108.5);
+        assert_eq!(s.read(108.24), 108.0);
+    }
+
+    #[test]
+    fn noise_is_zero_mean_and_bounded_sigma() {
+        let mut s = SensorModel::with_noise(0.5, 0.0, 42);
+        let n = 20_000;
+        let readings: Vec<f64> = (0..n).map(|_| s.read(100.0)).collect();
+        let mean = readings.iter().sum::<f64>() / n as f64;
+        let var = readings.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.05, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SensorModel::with_noise(1.0, 0.0, 7);
+        let mut b = SensorModel::with_noise(1.0, 0.0, 7);
+        for _ in 0..100 {
+            assert_eq!(a.read(105.0), b.read(105.0));
+        }
+    }
+
+    #[test]
+    fn read_all_maps_each_block() {
+        let mut s = SensorModel::ideal();
+        let temps = [100.0, 101.0, 102.0];
+        let mut out = [0.0; 3];
+        s.read_all(&temps, &mut out);
+        assert_eq!(out, temps);
+    }
+
+    #[test]
+    fn limited_placement_hides_unsensed_blocks() {
+        let mut s = SensorModel::ideal().with_placement(vec![true, false, true], 0.0);
+        let temps = [108.0, 115.0, 109.0];
+        let mut out = [f64::NAN; 3];
+        s.read_all(&temps, &mut out);
+        assert_eq!(out, [108.0, 0.0, 109.0], "the 115 C hot spot is invisible");
+    }
+
+    #[test]
+    #[should_panic(expected = "placement covers every block")]
+    fn placement_length_checked() {
+        let mut s = SensorModel::ideal().with_placement(vec![true], 0.0);
+        let mut out = [0.0; 3];
+        s.read_all(&[1.0, 2.0, 3.0], &mut out);
+    }
+}

@@ -1,0 +1,37 @@
+//! # tdtm-frontend — functional simulation for TDISA
+//!
+//! The functional simulator plays the role SimpleScalar's functional core
+//! plays for the paper's `sim-outorder`: it executes the program
+//! architecturally, producing the *oracle* dynamic instruction stream —
+//! program counters, effective addresses, branch outcomes and targets — that
+//! the timing model in `tdtm-uarch` consumes. Timing-independent execution
+//! with fixed seeds is this reproduction's stand-in for the paper's EIO
+//! traces ("to ensure reproducible results for each benchmark across
+//! multiple simulations").
+//!
+//! # Examples
+//!
+//! ```
+//! use tdtm_isa::asm::assemble;
+//! use tdtm_frontend::Cpu;
+//!
+//! let program = assemble(
+//!     "     li  x1, 5
+//!           li  x2, 0
+//!      l:   add x2, x2, x1
+//!           addi x1, x1, -1
+//!           bne x1, x0, l
+//!           out x2
+//!           halt",
+//! )?;
+//! let mut cpu = Cpu::new(&program);
+//! cpu.run_to_halt(1_000_000)?;
+//! assert_eq!(cpu.output(), &[15]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod cpu;
+pub mod memory;
+
+pub use cpu::{BranchOutcome, Cpu, ExecError, MemAccess, Retired};
+pub use memory::Memory;

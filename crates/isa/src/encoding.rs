@@ -1,0 +1,268 @@
+//! Binary instruction encoding.
+//!
+//! TDISA instructions occupy a fixed 32-bit word:
+//!
+//! ```text
+//!  31      26 25   21 20   16 15   11 10                0
+//! +----------+-------+-------+-------+-------------------+
+//! |  opcode  |  rd   |  rs1  |  rs2  |     imm (11b)     |
+//! +----------+-------+-------+-------+-------------------+
+//! ```
+//!
+//! Immediates larger than 11 bits do not fit in the word; such instructions
+//! encode `imm = IMM_EXT` (all ones) and carry the real immediate in a
+//! trailing extension word, making them 8 bytes long on disk. The in-memory
+//! [`Inst`] is always fully decoded; the timing model treats every
+//! instruction as 4 bytes of fetch bandwidth, like the fixed-length Alpha ISA
+//! the paper simulates (the extension word is a storage artifact only).
+
+use crate::inst::{Inst, Op};
+use crate::reg::{FReg, Reg};
+use std::fmt;
+
+/// Sentinel `imm` field meaning "immediate stored in extension word".
+const IMM_EXT: u32 = 0x7FF;
+/// Maximum immediate storable inline (signed 11-bit).
+const IMM_INLINE_MAX: i32 = 1022; // 0x3FE; 0x3FF is the sentinel
+const IMM_INLINE_MIN: i32 = -1024;
+
+/// An encoded instruction: one mandatory word plus an optional immediate
+/// extension word.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Encoded {
+    /// Primary instruction word.
+    pub word: u32,
+    /// Extension word holding a wide immediate, if any.
+    pub ext: Option<u32>,
+}
+
+/// Error returned by [`decode`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// The opcode field does not name a TDISA instruction.
+    BadOpcode(u8),
+    /// The instruction requires an extension word that was not supplied.
+    MissingExtension,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(op) => write!(f, "invalid opcode field {op:#x}"),
+            DecodeError::MissingExtension => f.write_str("missing immediate extension word"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn op_to_code(op: Op) -> u8 {
+    Op::all().iter().position(|&o| o == op).expect("op in Op::all()") as u8
+}
+
+fn code_to_op(code: u8) -> Option<Op> {
+    Op::all().get(code as usize).copied()
+}
+
+/// Encodes an instruction.
+///
+/// Register fields are taken from the integer or floating-point file
+/// according to the opcode; both files share the 5-bit field space.
+pub fn encode(inst: &Inst) -> Encoded {
+    let (rd, rs1, rs2) = register_fields(inst);
+    let mut word = (op_to_code(inst.op) as u32) << 26
+        | (rd as u32) << 21
+        | (rs1 as u32) << 16
+        | (rs2 as u32) << 11;
+    let ext = if (IMM_INLINE_MIN..=IMM_INLINE_MAX).contains(&inst.imm)
+        && (inst.imm as u32) & IMM_EXT != IMM_EXT
+    {
+        word |= (inst.imm as u32) & IMM_EXT;
+        None
+    } else {
+        word |= IMM_EXT;
+        Some(inst.imm as u32)
+    };
+    Encoded { word, ext }
+}
+
+/// Decodes an instruction word (plus optional extension word).
+///
+/// # Errors
+///
+/// Returns [`DecodeError::BadOpcode`] for an unknown opcode field, and
+/// [`DecodeError::MissingExtension`] when the word requires an extension
+/// immediate but `ext` is `None`.
+pub fn decode(word: u32, ext: Option<u32>) -> Result<Inst, DecodeError> {
+    let code = (word >> 26) as u8;
+    let op = code_to_op(code).ok_or(DecodeError::BadOpcode(code))?;
+    let rd = ((word >> 21) & 0x1F) as u8;
+    let rs1 = ((word >> 16) & 0x1F) as u8;
+    let rs2 = ((word >> 11) & 0x1F) as u8;
+    let imm_field = word & IMM_EXT;
+    let imm = if imm_field == IMM_EXT {
+        ext.ok_or(DecodeError::MissingExtension)? as i32
+    } else {
+        // Sign-extend the 11-bit field.
+        ((imm_field as i32) << 21) >> 21
+    };
+    let mut inst = Inst { op, imm, ..Inst::default() };
+    set_register_fields(&mut inst, rd, rs1, rs2);
+    Ok(inst)
+}
+
+/// Whether an encoded word requires an extension word.
+pub fn needs_extension(word: u32) -> bool {
+    word & IMM_EXT == IMM_EXT
+}
+
+fn register_fields(inst: &Inst) -> (u8, u8, u8) {
+    use Op::*;
+    match inst.op {
+        Fadd | Fsub | Fmul | Fdiv | Fsqrt | Fmin | Fmax | Fabs | Fneg | Fmv => (
+            inst.fd.index() as u8,
+            inst.fs1.index() as u8,
+            inst.fs2.index() as u8,
+        ),
+        Feq | Flt | Fle => (
+            inst.rd.index() as u8,
+            inst.fs1.index() as u8,
+            inst.fs2.index() as u8,
+        ),
+        Fcvtdw => (inst.fd.index() as u8, inst.rs1.index() as u8, 0),
+        Fcvtwd => (inst.rd.index() as u8, inst.fs1.index() as u8, 0),
+        Flw => (inst.fd.index() as u8, inst.rs1.index() as u8, 0),
+        Fsw => (0, inst.rs1.index() as u8, inst.fs2.index() as u8),
+        _ => (
+            inst.rd.index() as u8,
+            inst.rs1.index() as u8,
+            inst.rs2.index() as u8,
+        ),
+    }
+}
+
+fn set_register_fields(inst: &mut Inst, rd: u8, rs1: u8, rs2: u8) {
+    use Op::*;
+    match inst.op {
+        Fadd | Fsub | Fmul | Fdiv | Fsqrt | Fmin | Fmax | Fabs | Fneg | Fmv => {
+            inst.fd = FReg::new(rd);
+            inst.fs1 = FReg::new(rs1);
+            inst.fs2 = FReg::new(rs2);
+        }
+        Feq | Flt | Fle => {
+            inst.rd = Reg::new(rd);
+            inst.fs1 = FReg::new(rs1);
+            inst.fs2 = FReg::new(rs2);
+        }
+        Fcvtdw => {
+            inst.fd = FReg::new(rd);
+            inst.rs1 = Reg::new(rs1);
+        }
+        Fcvtwd => {
+            inst.rd = Reg::new(rd);
+            inst.fs1 = FReg::new(rs1);
+        }
+        Flw => {
+            inst.fd = FReg::new(rd);
+            inst.rs1 = Reg::new(rs1);
+        }
+        Fsw => {
+            inst.rs1 = Reg::new(rs1);
+            inst.fs2 = FReg::new(rs2);
+        }
+        _ => {
+            inst.rd = Reg::new(rd);
+            inst.rs1 = Reg::new(rs1);
+            inst.rs2 = Reg::new(rs2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(inst: Inst) {
+        let e = encode(&inst);
+        let back = decode(e.word, e.ext).expect("decodes");
+        assert_eq!(inst, back, "round trip failed for {inst}");
+    }
+
+    #[test]
+    fn round_trip_simple_alu() {
+        round_trip(Inst {
+            op: Op::Add,
+            rd: Reg::new(1),
+            rs1: Reg::new(2),
+            rs2: Reg::new(3),
+            ..Inst::default()
+        });
+    }
+
+    #[test]
+    fn round_trip_small_immediates_inline() {
+        for imm in [-1024, -2, 0, 1, 511, 1022] {
+            let inst = Inst { op: Op::Addi, rd: Reg::new(7), rs1: Reg::new(8), imm, ..Inst::default() };
+            let e = encode(&inst);
+            assert!(e.ext.is_none(), "imm {imm} should encode inline");
+            round_trip(inst);
+        }
+    }
+
+    #[test]
+    fn round_trip_wide_immediates_use_extension() {
+        for imm in [-1, 1023, 4096, -40000, i32::MAX, i32::MIN] {
+            let inst = Inst { op: Op::Lw, rd: Reg::new(9), rs1: Reg::new(10), imm, ..Inst::default() };
+            let e = encode(&inst);
+            assert!(e.ext.is_some(), "imm {imm} should need extension");
+            assert!(needs_extension(e.word));
+            round_trip(inst);
+        }
+    }
+
+    #[test]
+    fn round_trip_fp_forms() {
+        round_trip(Inst {
+            op: Op::Fadd,
+            fd: FReg::new(1),
+            fs1: FReg::new(2),
+            fs2: FReg::new(3),
+            ..Inst::default()
+        });
+        round_trip(Inst {
+            op: Op::Flt,
+            rd: Reg::new(4),
+            fs1: FReg::new(5),
+            fs2: FReg::new(6),
+            ..Inst::default()
+        });
+        round_trip(Inst {
+            op: Op::Fsw,
+            rs1: Reg::new(7),
+            fs2: FReg::new(8),
+            imm: 64,
+            ..Inst::default()
+        });
+        round_trip(Inst { op: Op::Fcvtdw, fd: FReg::new(9), rs1: Reg::new(10), ..Inst::default() });
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let word = 0xFFu32 << 26;
+        assert!(matches!(decode(word, None), Err(DecodeError::BadOpcode(_))));
+    }
+
+    #[test]
+    fn missing_extension_rejected() {
+        let inst = Inst { op: Op::Jal, rd: Reg::new(1), imm: 100_000, ..Inst::default() };
+        let e = encode(&inst);
+        assert!(matches!(decode(e.word, None), Err(DecodeError::MissingExtension)));
+    }
+
+    #[test]
+    fn every_opcode_round_trips() {
+        for &op in Op::all() {
+            round_trip(Inst::with_op(op));
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! Instruction definitions: opcodes, operand forms, and functional-unit
+//! classes.
+
+use crate::reg::{FReg, Reg};
+use std::fmt;
+
+/// Every TDISA opcode.
+///
+/// Operand conventions follow the usual three-address RISC style; the
+/// concrete operand fields live in [`Inst`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum Op {
+    // Integer register-register ALU.
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Sra,
+    Slt,
+    Sltu,
+    // Integer register-immediate ALU.
+    Addi,
+    Andi,
+    Ori,
+    Xori,
+    Slli,
+    Srli,
+    Srai,
+    Slti,
+    /// Load upper immediate: `rd = imm << 16`.
+    Lui,
+    // Memory.
+    /// Load 64-bit word: `rd = mem[rs1 + imm]`.
+    Lw,
+    /// Store 64-bit word: `mem[rs1 + imm] = rs2`.
+    Sw,
+    /// Load byte (zero-extended).
+    Lb,
+    /// Store byte (low 8 bits of `rs2`).
+    Sb,
+    /// Load 64-bit float: `fd = mem[rs1 + imm]`.
+    Flw,
+    /// Store 64-bit float: `mem[rs1 + imm] = fs2`.
+    Fsw,
+    // Control.
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Bltu,
+    Bgeu,
+    /// Jump and link: `rd = pc + 4; pc += imm`.
+    Jal,
+    /// Jump and link register: `rd = pc + 4; pc = (rs1 + imm) & !3`.
+    Jalr,
+    // Floating point (all f64).
+    Fadd,
+    Fsub,
+    Fmul,
+    Fdiv,
+    Fsqrt,
+    Fmin,
+    Fmax,
+    /// `fd = |fs1|` if `fs2` is `f0`-style sign source unused; absolute value.
+    Fabs,
+    /// `fd = -fs1`.
+    Fneg,
+    /// Move integer bits of `rs1` into `fd` as a converted double.
+    Fcvtdw,
+    /// Truncate `fs1` to integer in `rd`.
+    Fcvtwd,
+    /// `rd = (fs1 == fs2)`.
+    Feq,
+    /// `rd = (fs1 < fs2)`.
+    Flt,
+    /// `rd = (fs1 <= fs2)`.
+    Fle,
+    /// `fd = fs1`.
+    Fmv,
+    // System.
+    /// Stop execution.
+    Halt,
+    /// Append `rs1` to the program's output channel.
+    Out,
+    /// No operation.
+    Nop,
+}
+
+/// Functional-unit class, used by the timing model to route instructions to
+/// execution resources and assign latencies (paper Table 2's FU mix).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpClass {
+    /// Simple integer ALU operation (1-cycle).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide/remainder.
+    IntDiv,
+    /// Floating-point add/compare/convert/move.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide / square root.
+    FpDiv,
+    /// Memory load (int or fp).
+    Load,
+    /// Memory store (int or fp).
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Unconditional jump (`jal`/`jalr`).
+    Jump,
+    /// `halt`, `out`, `nop`.
+    System,
+}
+
+impl Op {
+    /// The functional-unit class this opcode executes on.
+    pub fn class(self) -> OpClass {
+        use Op::*;
+        match self {
+            Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Addi | Andi | Ori
+            | Xori | Slli | Srli | Srai | Slti | Lui => OpClass::IntAlu,
+            Mul => OpClass::IntMul,
+            Div | Rem => OpClass::IntDiv,
+            Lw | Lb | Flw => OpClass::Load,
+            Sw | Sb | Fsw => OpClass::Store,
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => OpClass::Branch,
+            Jal | Jalr => OpClass::Jump,
+            Fadd | Fsub | Fmin | Fmax | Fabs | Fneg | Fcvtdw | Fcvtwd | Feq | Flt | Fle | Fmv => {
+                OpClass::FpAdd
+            }
+            Fmul => OpClass::FpMul,
+            Fdiv | Fsqrt => OpClass::FpDiv,
+            Halt | Out | Nop => OpClass::System,
+        }
+    }
+
+    /// Whether this opcode reads or writes the floating-point register file
+    /// for its *data* operands.
+    pub fn is_fp(self) -> bool {
+        matches!(
+            self.class(),
+            OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv
+        ) || matches!(self, Op::Flw | Op::Fsw)
+    }
+
+    /// Whether this is a control-flow instruction (branch or jump).
+    pub fn is_control(self) -> bool {
+        matches!(self.class(), OpClass::Branch | OpClass::Jump)
+    }
+
+    /// The lowercase assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        use Op::*;
+        match self {
+            Add => "add",
+            Sub => "sub",
+            Mul => "mul",
+            Div => "div",
+            Rem => "rem",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Sll => "sll",
+            Srl => "srl",
+            Sra => "sra",
+            Slt => "slt",
+            Sltu => "sltu",
+            Addi => "addi",
+            Andi => "andi",
+            Ori => "ori",
+            Xori => "xori",
+            Slli => "slli",
+            Srli => "srli",
+            Srai => "srai",
+            Slti => "slti",
+            Lui => "lui",
+            Lw => "lw",
+            Sw => "sw",
+            Lb => "lb",
+            Sb => "sb",
+            Flw => "flw",
+            Fsw => "fsw",
+            Beq => "beq",
+            Bne => "bne",
+            Blt => "blt",
+            Bge => "bge",
+            Bltu => "bltu",
+            Bgeu => "bgeu",
+            Jal => "jal",
+            Jalr => "jalr",
+            Fadd => "fadd",
+            Fsub => "fsub",
+            Fmul => "fmul",
+            Fdiv => "fdiv",
+            Fsqrt => "fsqrt",
+            Fmin => "fmin",
+            Fmax => "fmax",
+            Fabs => "fabs",
+            Fneg => "fneg",
+            Fcvtdw => "fcvt.d.w",
+            Fcvtwd => "fcvt.w.d",
+            Feq => "feq",
+            Flt => "flt",
+            Fle => "fle",
+            Fmv => "fmv",
+            Halt => "halt",
+            Out => "out",
+            Nop => "nop",
+        }
+    }
+
+    /// All opcodes, in encoding order. Useful for exhaustive tests.
+    pub fn all() -> &'static [Op] {
+        use Op::*;
+        &[
+            Add, Sub, Mul, Div, Rem, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu, Addi, Andi, Ori,
+            Xori, Slli, Srli, Srai, Slti, Lui, Lw, Sw, Lb, Sb, Flw, Fsw, Beq, Bne, Blt, Bge,
+            Bltu, Bgeu, Jal, Jalr, Fadd, Fsub, Fmul, Fdiv, Fsqrt, Fmin, Fmax, Fabs, Fneg,
+            Fcvtdw, Fcvtwd, Feq, Flt, Fle, Fmv, Halt, Out, Nop,
+        ]
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A decoded TDISA instruction.
+///
+/// All operand fields are always present; opcodes ignore the ones they do not
+/// use (they assemble/encode as zero). Immediates are sign-extended 21-bit
+/// values except shifts (6-bit) and `lui` (16-bit, zero-extended before
+/// shifting).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Inst {
+    /// Opcode. Defaults to `nop` via `Default`.
+    pub op: Op,
+    /// Integer destination register.
+    pub rd: Reg,
+    /// First integer source register.
+    pub rs1: Reg,
+    /// Second integer source register.
+    pub rs2: Reg,
+    /// Floating-point destination register.
+    pub fd: FReg,
+    /// First floating-point source register.
+    pub fs1: FReg,
+    /// Second floating-point source register.
+    pub fs2: FReg,
+    /// Immediate operand (branch/jump offsets are in bytes, pc-relative).
+    pub imm: i32,
+}
+
+impl Default for Op {
+    fn default() -> Op {
+        Op::Nop
+    }
+}
+
+impl Inst {
+    /// A canonical `nop`.
+    pub fn nop() -> Inst {
+        Inst::default()
+    }
+
+    /// Builds an instruction with the given opcode and all operands zeroed.
+    pub fn with_op(op: Op) -> Inst {
+        Inst { op, ..Inst::default() }
+    }
+
+    /// Destination integer register, if this opcode writes one.
+    pub fn int_dest(&self) -> Option<Reg> {
+        use OpClass::*;
+        let writes = match self.op.class() {
+            IntAlu | IntMul | IntDiv => true,
+            Load => !self.op.is_fp(),
+            Jump => true,
+            FpAdd => matches!(self.op, Op::Fcvtwd | Op::Feq | Op::Flt | Op::Fle),
+            _ => false,
+        };
+        if writes && !self.rd.is_zero() {
+            Some(self.rd)
+        } else {
+            None
+        }
+    }
+
+    /// Destination floating-point register, if this opcode writes one.
+    pub fn fp_dest(&self) -> Option<FReg> {
+        use Op::*;
+        match self.op {
+            Flw | Fadd | Fsub | Fmul | Fdiv | Fsqrt | Fmin | Fmax | Fabs | Fneg | Fcvtdw
+            | Fmv => Some(self.fd),
+            _ => None,
+        }
+    }
+
+    /// Integer source registers this opcode actually reads.
+    pub fn int_sources(&self) -> impl Iterator<Item = Reg> {
+        use Op::*;
+        let (a, b): (Option<Reg>, Option<Reg>) = match self.op {
+            Add | Sub | Mul | Div | Rem | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu => {
+                (Some(self.rs1), Some(self.rs2))
+            }
+            Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti => (Some(self.rs1), None),
+            Lw | Lb | Flw => (Some(self.rs1), None),
+            Sw | Sb => (Some(self.rs1), Some(self.rs2)),
+            Fsw => (Some(self.rs1), None),
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => (Some(self.rs1), Some(self.rs2)),
+            Jalr => (Some(self.rs1), None),
+            Fcvtdw => (Some(self.rs1), None),
+            Out => (Some(self.rs1), None),
+            _ => (None, None),
+        };
+        a.into_iter().chain(b).filter(|r| !r.is_zero())
+    }
+
+    /// Floating-point source registers this opcode actually reads.
+    pub fn fp_sources(&self) -> impl Iterator<Item = FReg> {
+        use Op::*;
+        let (a, b): (Option<FReg>, Option<FReg>) = match self.op {
+            Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax | Feq | Flt | Fle => {
+                (Some(self.fs1), Some(self.fs2))
+            }
+            Fsqrt | Fabs | Fneg | Fcvtwd | Fmv => (Some(self.fs1), None),
+            Fsw => (Some(self.fs2), None),
+            _ => (None, None),
+        };
+        a.into_iter().chain(b)
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use OpClass::*;
+        let m = self.op.mnemonic();
+        match self.op.class() {
+            IntAlu | IntMul | IntDiv => match self.op {
+                Op::Lui => write!(f, "{m} {}, {}", self.rd, self.imm),
+                Op::Addi
+                | Op::Andi
+                | Op::Ori
+                | Op::Xori
+                | Op::Slli
+                | Op::Srli
+                | Op::Srai
+                | Op::Slti => write!(f, "{m} {}, {}, {}", self.rd, self.rs1, self.imm),
+                _ => write!(f, "{m} {}, {}, {}", self.rd, self.rs1, self.rs2),
+            },
+            Load => {
+                if self.op.is_fp() {
+                    write!(f, "{m} {}, {}({})", self.fd, self.imm, self.rs1)
+                } else {
+                    write!(f, "{m} {}, {}({})", self.rd, self.imm, self.rs1)
+                }
+            }
+            Store => {
+                if self.op.is_fp() {
+                    write!(f, "{m} {}, {}({})", self.fs2, self.imm, self.rs1)
+                } else {
+                    write!(f, "{m} {}, {}({})", self.rs2, self.imm, self.rs1)
+                }
+            }
+            Branch => write!(f, "{m} {}, {}, {:+}", self.rs1, self.rs2, self.imm),
+            Jump => match self.op {
+                Op::Jal => write!(f, "{m} {}, {:+}", self.rd, self.imm),
+                _ => write!(f, "{m} {}, {}, {}", self.rd, self.rs1, self.imm),
+            },
+            FpAdd | FpMul | FpDiv => match self.op {
+                Op::Fcvtdw => write!(f, "{m} {}, {}", self.fd, self.rs1),
+                Op::Fcvtwd => write!(f, "{m} {}, {}", self.rd, self.fs1),
+                Op::Feq | Op::Flt | Op::Fle => {
+                    write!(f, "{m} {}, {}, {}", self.rd, self.fs1, self.fs2)
+                }
+                Op::Fsqrt | Op::Fabs | Op::Fneg | Op::Fmv => {
+                    write!(f, "{m} {}, {}", self.fd, self.fs1)
+                }
+                _ => write!(f, "{m} {}, {}, {}", self.fd, self.fs1, self.fs2),
+            },
+            System => match self.op {
+                Op::Out => write!(f, "{m} {}", self.rs1),
+                _ => f.write_str(m),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_classes_are_consistent() {
+        assert_eq!(Op::Add.class(), OpClass::IntAlu);
+        assert_eq!(Op::Mul.class(), OpClass::IntMul);
+        assert_eq!(Op::Rem.class(), OpClass::IntDiv);
+        assert_eq!(Op::Flw.class(), OpClass::Load);
+        assert_eq!(Op::Fsw.class(), OpClass::Store);
+        assert_eq!(Op::Jalr.class(), OpClass::Jump);
+        assert_eq!(Op::Fsqrt.class(), OpClass::FpDiv);
+    }
+
+    #[test]
+    fn fp_predicate() {
+        assert!(Op::Fadd.is_fp());
+        assert!(Op::Flw.is_fp());
+        assert!(!Op::Lw.is_fp());
+        assert!(!Op::Beq.is_fp());
+    }
+
+    #[test]
+    fn zero_register_never_a_dependence() {
+        let i = Inst { op: Op::Add, ..Inst::default() }; // add x0, x0, x0
+        assert_eq!(i.int_dest(), None);
+        assert_eq!(i.int_sources().count(), 0);
+    }
+
+    #[test]
+    fn store_reads_its_data_register() {
+        let i = Inst {
+            op: Op::Sw,
+            rs1: Reg::new(3),
+            rs2: Reg::new(4),
+            imm: 8,
+            ..Inst::default()
+        };
+        let srcs: Vec<Reg> = i.int_sources().collect();
+        assert_eq!(srcs, vec![Reg::new(3), Reg::new(4)]);
+        assert_eq!(i.int_dest(), None);
+    }
+
+    #[test]
+    fn fp_compare_writes_integer_register() {
+        let i = Inst { op: Op::Flt, rd: Reg::new(5), ..Inst::default() };
+        assert_eq!(i.int_dest(), Some(Reg::new(5)));
+        assert_eq!(i.fp_dest(), None);
+        assert_eq!(i.fp_sources().count(), 2);
+    }
+
+    #[test]
+    fn display_round_trips_through_mnemonics() {
+        for &op in Op::all() {
+            let inst = Inst::with_op(op);
+            let text = inst.to_string();
+            assert!(
+                text.starts_with(op.mnemonic()),
+                "display of {op:?} should start with its mnemonic: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_ops_listed_once() {
+        let all = Op::all();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b, "duplicate op in Op::all()");
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # tdtm-isa — the TDISA instruction set
+//!
+//! A small load/store RISC instruction set used as the stand-in for the Alpha
+//! ISA that the paper's SimpleScalar/Wattch toolchain simulates. The paper's
+//! evaluation only depends on the *dynamic behavior* of programs (instruction
+//! mix, branch behavior, memory reference streams), so a compact RISC ISA with
+//! an assembler is a faithful substrate: workloads are written in TDISA
+//! assembly, executed by the functional simulator in `tdtm-frontend`, and
+//! timed by the out-of-order core in `tdtm-uarch`.
+//!
+//! The ISA has:
+//!
+//! * 32 64-bit integer registers `x0..x31` (`x0` is hardwired to zero) and
+//!   32 64-bit floating-point registers `f0..f31`;
+//! * fixed 4-byte instruction words with a binary encoding
+//!   ([`encoding::encode`]/[`encoding::decode`] round-trip exactly);
+//! * byte-addressed memory with 1- and 8-byte integer accesses and 8-byte
+//!   floating-point accesses;
+//! * a small [`asm`] assembler with labels, a data segment, and comments.
+//!
+//! # Examples
+//!
+//! ```
+//! use tdtm_isa::asm::assemble;
+//!
+//! let program = assemble(
+//!     "        addi x1, x0, 10
+//!      loop:   addi x2, x2, 3
+//!              addi x1, x1, -1
+//!              bne  x1, x0, loop
+//!              halt",
+//! )?;
+//! assert_eq!(program.insts.len(), 5);
+//! # Ok::<(), tdtm_isa::asm::AsmError>(())
+//! ```
+
+pub mod asm;
+pub mod encoding;
+pub mod image;
+pub mod inst;
+pub mod program;
+pub mod reg;
+
+pub use inst::{Inst, Op, OpClass};
+pub use program::Program;
+pub use reg::{FReg, Reg};

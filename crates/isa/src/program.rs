@@ -1,0 +1,100 @@
+//! Assembled programs: a text segment of decoded instructions plus
+//! initialized data segments.
+
+use crate::inst::Inst;
+
+/// Base virtual address of the text segment.
+pub const TEXT_BASE: u64 = 0x0000_1000;
+/// Base virtual address of the data segment.
+pub const DATA_BASE: u64 = 0x0010_0000;
+/// Base virtual address of the downward-growing stack.
+pub const STACK_BASE: u64 = 0x7FFF_F000;
+
+/// An initialized data region.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DataSegment {
+    /// Base virtual address.
+    pub base: u64,
+    /// Raw bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// A complete TDISA program ready to load into the functional simulator.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Program {
+    /// Instructions; instruction `i` lives at `TEXT_BASE + 4*i`.
+    pub insts: Vec<Inst>,
+    /// Initialized data segments.
+    pub data: Vec<DataSegment>,
+    /// Program name (for reporting).
+    pub name: String,
+}
+
+impl Program {
+    /// Creates an empty program with a name.
+    pub fn new(name: impl Into<String>) -> Program {
+        Program { name: name.into(), ..Program::default() }
+    }
+
+    /// The virtual address of instruction index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn addr_of(&self, i: usize) -> u64 {
+        assert!(i < self.insts.len(), "instruction index {i} out of range");
+        TEXT_BASE + 4 * i as u64
+    }
+
+    /// The instruction at virtual address `addr`, if it falls inside the
+    /// text segment.
+    pub fn inst_at(&self, addr: u64) -> Option<&Inst> {
+        if addr < TEXT_BASE || addr % 4 != 0 {
+            return None;
+        }
+        self.insts.get(((addr - TEXT_BASE) / 4) as usize)
+    }
+
+    /// Entry point address (the first instruction).
+    pub fn entry(&self) -> u64 {
+        TEXT_BASE
+    }
+
+    /// Total bytes of initialized data.
+    pub fn data_bytes(&self) -> usize {
+        self.data.iter().map(|d| d.bytes.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Inst, Op};
+
+    #[test]
+    fn addresses_are_word_spaced() {
+        let mut p = Program::new("t");
+        p.insts = vec![Inst::with_op(Op::Nop); 4];
+        assert_eq!(p.addr_of(0), TEXT_BASE);
+        assert_eq!(p.addr_of(3), TEXT_BASE + 12);
+        assert_eq!(p.entry(), TEXT_BASE);
+    }
+
+    #[test]
+    fn inst_at_checks_bounds_and_alignment() {
+        let mut p = Program::new("t");
+        p.insts = vec![Inst::with_op(Op::Halt)];
+        assert!(p.inst_at(TEXT_BASE).is_some());
+        assert!(p.inst_at(TEXT_BASE + 2).is_none());
+        assert!(p.inst_at(TEXT_BASE + 4).is_none());
+        assert!(p.inst_at(0).is_none());
+    }
+
+    #[test]
+    fn data_byte_accounting() {
+        let mut p = Program::new("t");
+        p.data.push(DataSegment { base: DATA_BASE, bytes: vec![0; 16] });
+        p.data.push(DataSegment { base: DATA_BASE + 64, bytes: vec![1; 8] });
+        assert_eq!(p.data_bytes(), 24);
+    }
+}

@@ -1,0 +1,120 @@
+//! Architectural register names.
+//!
+//! Newtypes keep integer and floating-point register files statically
+//! distinct ([C-NEWTYPE]): a [`Reg`] can never be used where an [`FReg`] is
+//! expected.
+
+use std::fmt;
+
+/// Number of integer architectural registers.
+pub const NUM_IREGS: usize = 32;
+/// Number of floating-point architectural registers.
+pub const NUM_FREGS: usize = 32;
+
+/// An integer register `x0..x31`. `x0` reads as zero and ignores writes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Reg(u8);
+
+/// A floating-point register `f0..f31`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FReg(u8);
+
+impl Reg {
+    /// The hardwired-zero register `x0`.
+    pub const ZERO: Reg = Reg(0);
+    /// The conventional link register (`x1`, written by `jal`).
+    pub const RA: Reg = Reg(1);
+    /// The conventional stack pointer (`x2`).
+    pub const SP: Reg = Reg(2);
+
+    /// Creates register `x{index}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> Reg {
+        assert!((index as usize) < NUM_IREGS, "register index {index} out of range");
+        Reg(index)
+    }
+
+    /// The register index in `0..32`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired-zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl FReg {
+    /// Creates register `f{index}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> FReg {
+        assert!((index as usize) < NUM_FREGS, "fp register index {index} out of range");
+        FReg(index)
+    }
+
+    /// The register index in `0..32`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Debug for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_properties() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::new(1).is_zero());
+        assert_eq!(Reg::ZERO.index(), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Reg::new(17).to_string(), "x17");
+        assert_eq!(FReg::new(3).to_string(), "f3");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_freg_panics() {
+        let _ = FReg::new(32);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests tying the three instruction representations together:
+//! decoded struct ⇄ binary encoding ⇄ assembly text.
+
+use proptest::prelude::*;
+use tdtm_isa::asm::assemble;
+use tdtm_isa::encoding::{decode, encode};
+use tdtm_isa::image;
+use tdtm_isa::{FReg, Inst, Op, Program, Reg};
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let all = Op::all();
+    (0..all.len()).prop_map(move |i| all[i])
+}
+
+/// Whether an opcode's assembly syntax carries an immediate operand.
+fn uses_imm(op: Op) -> bool {
+    use Op::*;
+    matches!(
+        op,
+        Addi | Andi
+            | Ori
+            | Xori
+            | Slli
+            | Srli
+            | Srai
+            | Slti
+            | Lui
+            | Lw
+            | Sw
+            | Lb
+            | Sb
+            | Flw
+            | Fsw
+            | Beq
+            | Bne
+            | Blt
+            | Bge
+            | Bltu
+            | Bgeu
+            | Jal
+            | Jalr
+    )
+}
+
+/// A canonical instruction: the fixed point of the disassemble/assemble
+/// pair. Random operand fields are projected through the assembler once
+/// (which zeroes the fields an opcode's syntax does not carry) so the
+/// round-trip properties below test idempotence on the canonical form.
+fn arb_canonical_inst() -> impl Strategy<Value = Inst> {
+    (arb_op(), 0u8..32, 1u8..32, 1u8..32, -100_000i32..100_000).prop_map(
+        |(op, a, b, c, imm)| {
+            let raw = Inst {
+                op,
+                rd: Reg::new(a),
+                rs1: Reg::new(b),
+                rs2: Reg::new(c),
+                fd: FReg::new(a),
+                fs1: FReg::new(b),
+                fs2: FReg::new(c),
+                imm: if uses_imm(op) { imm } else { 0 },
+            };
+            let text = raw.to_string();
+            let assembled = assemble(&text)
+                .unwrap_or_else(|e| panic!("`{text}` failed to assemble: {e}"));
+            assembled.insts[0]
+        },
+    )
+}
+
+proptest! {
+    /// The disassembly of any instruction reassembles to itself.
+    #[test]
+    fn display_reassembles(inst in arb_canonical_inst()) {
+        let text = inst.to_string();
+        let program = assemble(&text)
+            .unwrap_or_else(|e| panic!("`{text}` failed to assemble: {e}"));
+        prop_assert_eq!(program.insts.len(), 1, "one line, one instruction: `{}`", text);
+        prop_assert_eq!(program.insts[0], inst, "`{}`", text);
+    }
+
+    /// Canonical instructions survive the binary encoding exactly.
+    #[test]
+    fn encoding_round_trips_canonical(inst in arb_canonical_inst()) {
+        let e = encode(&inst);
+        prop_assert_eq!(decode(e.word, e.ext).expect("decodes"), inst);
+    }
+
+    /// Whole programs survive the binary image format.
+    #[test]
+    fn image_round_trips_programs(insts in prop::collection::vec(arb_canonical_inst(), 0..200),
+                                  data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut p = Program::new("prop");
+        p.insts = insts;
+        if !data.is_empty() {
+            p.data.push(tdtm_isa::program::DataSegment {
+                base: tdtm_isa::program::DATA_BASE,
+                bytes: data,
+            });
+        }
+        let img = image::save(&p);
+        let back = image::load(&img).expect("loads");
+        prop_assert_eq!(p, back);
+    }
+
+    /// Corrupting any single byte of an image never panics: it either
+    /// still loads (the byte was slack, e.g. inside data) or errors
+    /// cleanly.
+    #[test]
+    fn image_loader_is_total(byte_index in 0usize..64, new_value in any::<u8>()) {
+        let p = assemble("li x1, 5\nl: addi x1, x1, -1\nbne x1, x0, l\nhalt").expect("assembles");
+        let mut img = image::save(&p);
+        if byte_index < img.len() {
+            img[byte_index] = new_value;
+        }
+        let _ = image::load(&img); // must not panic
+    }
+}

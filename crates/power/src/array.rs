@@ -1,0 +1,160 @@
+//! Abridged CACTI-style capacitance model for array structures.
+//!
+//! Wattch derives per-access energy for RAM/CAM arrays (caches, register
+//! files, predictor tables, the RUU) from the switched capacitance of the
+//! decoder, wordlines, bitlines, and — per the paper's improvement to
+//! Wattch — the column decoders/muxes on array structures. We reproduce
+//! that decomposition with first-order expressions; senseamp and output
+//! driver energy are folded into a fixed per-column term.
+//!
+//! The model's job in this reproduction is *relative* fidelity (how energy
+//! scales with rows, columns, ports, associativity); the absolute scale is
+//! normalized once per block in [`crate::units`].
+
+use crate::tech::Technology;
+
+/// Geometry of a RAM array (one bank).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ArrayGeometry {
+    /// Number of rows (entries).
+    pub rows: usize,
+    /// Number of columns (bits per entry, including tags).
+    pub cols: usize,
+    /// Read/write ports (wordlines and bitline pairs replicate per port;
+    /// cell area grows with ports, lengthening the lines).
+    pub ports: usize,
+}
+
+impl ArrayGeometry {
+    /// Per-access switched capacitance (farads) of one port of this array.
+    ///
+    /// Terms:
+    /// * decoder: `log2(rows)` stages of fanout-4-ish gates driving the
+    ///   row select — modeled as `3·log2(rows)` µm of gate per stage;
+    /// * wordline: pass-gate capacitance plus wire across all columns;
+    /// * bitlines: diffusion per row plus wire down all rows, for each
+    ///   column (differential pair → factor 2), half-swing;
+    /// * column periphery: decoder/mux + senseamp + driver per column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn access_capacitance(&self, t: &Technology) -> f64 {
+        assert!(self.rows > 0 && self.cols > 0 && self.ports > 0, "degenerate array");
+        // Multi-porting stretches the cell in both dimensions.
+        let port_stretch = 1.0 + 0.3 * (self.ports as f64 - 1.0);
+        let cell_w = t.cell_width_um * port_stretch;
+        let cell_h = t.cell_height_um * port_stretch;
+
+        let levels = (self.rows as f64).log2().max(1.0);
+        let c_decoder = levels * 3.0 * t.c_gate_per_um;
+
+        let c_wordline =
+            self.cols as f64 * (2.0 * t.c_gate_per_um + cell_w * t.c_metal_per_um);
+
+        let c_bitline_per_col =
+            self.rows as f64 * (t.c_diff_per_um + cell_h * t.c_metal_per_um);
+        // Differential pair at half swing ≈ one full-swing line.
+        let c_bitlines = self.cols as f64 * c_bitline_per_col;
+
+        // Column decoder + senseamp + output driver per column.
+        let c_column_periphery = self.cols as f64 * 8.0 * t.c_gate_per_um;
+
+        c_decoder + c_wordline + c_bitlines + c_column_periphery
+    }
+
+    /// Per-access energy (joules) for one port.
+    pub fn access_energy(&self, t: &Technology) -> f64 {
+        t.switch_energy(self.access_capacitance(t))
+    }
+}
+
+/// Geometry of a CAM array (wakeup/match structures: RUU tags, LSQ
+/// address match, TLBs).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CamGeometry {
+    /// Number of entries.
+    pub rows: usize,
+    /// Match-tag width in bits.
+    pub tag_bits: usize,
+    /// Broadcast/match ports.
+    pub ports: usize,
+}
+
+impl CamGeometry {
+    /// Per-access (one broadcast + match) switched capacitance.
+    ///
+    /// Taglines run down all rows; matchlines across all tag bits; every
+    /// row's comparator gates load the taglines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn access_capacitance(&self, t: &Technology) -> f64 {
+        assert!(self.rows > 0 && self.tag_bits > 0 && self.ports > 0, "degenerate CAM");
+        let port_stretch = 1.0 + 0.3 * (self.ports as f64 - 1.0);
+        let cell_h = t.cell_height_um * port_stretch;
+        let c_tagline_per_bit =
+            self.rows as f64 * (2.0 * t.c_gate_per_um + cell_h * t.c_metal_per_um);
+        let c_taglines = self.tag_bits as f64 * c_tagline_per_bit;
+        let c_matchlines = self.rows as f64 * self.tag_bits as f64 * t.c_diff_per_um;
+        c_taglines + c_matchlines
+    }
+
+    /// Per-access energy (joules) for one port.
+    pub fn access_energy(&self, t: &Technology) -> f64 {
+        t.switch_energy(self.access_capacitance(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::paper_018um()
+    }
+
+    #[test]
+    fn energy_grows_with_every_dimension() {
+        let base = ArrayGeometry { rows: 256, cols: 64, ports: 1 };
+        let e0 = base.access_energy(&tech());
+        assert!(ArrayGeometry { rows: 512, ..base }.access_energy(&tech()) > e0);
+        assert!(ArrayGeometry { cols: 128, ..base }.access_energy(&tech()) > e0);
+        assert!(ArrayGeometry { ports: 4, ..base }.access_energy(&tech()) > e0);
+    }
+
+    #[test]
+    fn bitlines_dominate_large_arrays() {
+        // For a big cache bank, bitline energy should be the bulk: compare
+        // against a wordline-only estimate.
+        let g = ArrayGeometry { rows: 1024, cols: 256, ports: 1 };
+        let t = tech();
+        let total = g.access_capacitance(&t);
+        let c_wordline = g.cols as f64 * (2.0 * t.c_gate_per_um + t.cell_width_um * t.c_metal_per_um);
+        assert!(total > 10.0 * c_wordline);
+    }
+
+    #[test]
+    fn cache_access_energy_is_nanojoule_scale() {
+        // A 64 KB 2-way data bank at 0.18 µm / 2 V should cost on the
+        // order of a nanojoule per access (before calibration).
+        let bank = ArrayGeometry { rows: 1024, cols: 2 * 32 * 8, ports: 2 };
+        let e = bank.access_energy(&tech());
+        assert!((0.1e-9..20e-9).contains(&e), "e = {e}");
+    }
+
+    #[test]
+    fn cam_energy_scales_with_entries_and_tag() {
+        let base = CamGeometry { rows: 40, tag_bits: 40, ports: 2 };
+        let e0 = base.access_energy(&tech());
+        assert!(CamGeometry { rows: 80, ..base }.access_energy(&tech()) > e0);
+        assert!(CamGeometry { tag_bits: 64, ..base }.access_energy(&tech()) > e0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_rows_rejected() {
+        let _ = ArrayGeometry { rows: 0, cols: 1, ports: 1 }.access_energy(&tech());
+    }
+}

@@ -1,0 +1,149 @@
+//! Temperature-dependent leakage power (an extension beyond the paper).
+//!
+//! At the paper's 0.18 µm node leakage was a small, roughly constant
+//! fraction of total power, and Wattch 1.02 ignored it (the paper cites
+//! leakage-cancellation circuits as related work but models dynamic power
+//! only). At later nodes leakage grows exponentially with temperature,
+//! which *closes a positive feedback loop through the thermal model*:
+//! hotter silicon leaks more, which heats it further. This module adds the
+//! standard exponential model so the simulator can explore that regime —
+//! including the thermal-runaway boundary and how DTM moves it.
+//!
+//! The model: a block whose peak dynamic power is `P_dyn` leaks
+//!
+//! ```text
+//! P_leak(T) = f₀ · P_dyn · 2^((T − T_ref)/T_double)
+//! ```
+//!
+//! with `f₀` the leakage fraction at the reference temperature and
+//! `T_double` the doubling interval (~10 K for subthreshold leakage).
+
+/// Exponential temperature-dependent leakage.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct LeakageModel {
+    /// Leakage as a fraction of the block's peak dynamic power at the
+    /// reference temperature.
+    pub base_fraction: f64,
+    /// Reference temperature (C).
+    pub reference_temp: f64,
+    /// Kelvin of temperature rise that doubles the leakage.
+    pub doubling_interval: f64,
+}
+
+impl LeakageModel {
+    /// A 0.18 µm-class model: leakage ~5% of peak dynamic power at 85 C,
+    /// doubling every 12 K. Small, as the paper's era assumed.
+    pub fn node_180nm() -> LeakageModel {
+        LeakageModel { base_fraction: 0.05, reference_temp: 85.0, doubling_interval: 12.0 }
+    }
+
+    /// A later-node what-if with leakage at 25% of peak dynamic power —
+    /// past the runaway boundary at the default 103 C heatsink: the loop
+    /// gain exceeds unity below the blocks' idle equilibria, so the chip
+    /// diverges thermally *even when idle*. No DTM policy can contain
+    /// this; it demonstrates that the runaway boundary is a property of
+    /// the package/operating point, which DTM can only avoid crossing.
+    pub fn node_later_whatif() -> LeakageModel {
+        LeakageModel { base_fraction: 0.25, reference_temp: 85.0, doubling_interval: 10.0 }
+    }
+
+    /// Leakage power (W) of a block with peak dynamic power `peak_dynamic`
+    /// at temperature `temp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model parameters are non-positive.
+    pub fn leakage_power(&self, peak_dynamic: f64, temp: f64) -> f64 {
+        assert!(
+            self.base_fraction >= 0.0 && self.doubling_interval > 0.0,
+            "bad leakage parameters"
+        );
+        self.base_fraction
+            * peak_dynamic
+            * 2f64.powf((temp - self.reference_temp) / self.doubling_interval)
+    }
+
+    /// The loop gain of the leakage-thermal feedback for a block with the
+    /// given peak dynamic power and thermal resistance, evaluated at
+    /// `temp`: `dP_leak/dT · R`. Values ≥ 1 mean thermal runaway — no
+    /// stable operating point above `temp`.
+    pub fn loop_gain(&self, peak_dynamic: f64, r_thermal: f64, temp: f64) -> f64 {
+        let dp_dt =
+            self.leakage_power(peak_dynamic, temp) * std::f64::consts::LN_2 / self.doubling_interval;
+        dp_dt * r_thermal
+    }
+
+    /// The runaway temperature: where the loop gain reaches 1 for this
+    /// block, or `None` if it never does below boiling-silicon absurdity.
+    pub fn runaway_temperature(&self, peak_dynamic: f64, r_thermal: f64) -> Option<f64> {
+        // loop_gain grows monotonically in T; solve loop_gain = 1.
+        let mut lo = -100.0;
+        let mut hi = 1000.0;
+        if self.loop_gain(peak_dynamic, r_thermal, hi) < 1.0 {
+            return None;
+        }
+        if self.loop_gain(peak_dynamic, r_thermal, lo) >= 1.0 {
+            return Some(lo);
+        }
+        for _ in 0..100 {
+            let mid = 0.5 * (lo + hi);
+            if self.loop_gain(peak_dynamic, r_thermal, mid) < 1.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(0.5 * (lo + hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_per_interval() {
+        let m = LeakageModel::node_180nm();
+        let p0 = m.leakage_power(10.0, 85.0);
+        let p1 = m.leakage_power(10.0, 97.0);
+        assert!((p1 / p0 - 2.0).abs() < 1e-12);
+        assert!((p0 - 0.5).abs() < 1e-12, "5% of 10 W at reference");
+    }
+
+    #[test]
+    fn paper_era_leakage_is_small_at_operating_point() {
+        let m = LeakageModel::node_180nm();
+        // Hottest block: 8 W peak at ~111 C.
+        let leak = m.leakage_power(8.0, 111.0);
+        assert!(leak < 2.0, "0.18um leakage stays small: {leak} W");
+        assert!(m.loop_gain(8.0, 1.2, 111.0) < 0.2, "no runaway risk at 0.18um");
+    }
+
+    #[test]
+    fn whatif_node_has_a_runaway_boundary() {
+        let m = LeakageModel::node_later_whatif();
+        let runaway = m.runaway_temperature(8.0, 1.2).expect("exists");
+        assert!(
+            (90.0..200.0).contains(&runaway),
+            "runaway at plausible temperature, got {runaway}"
+        );
+        assert!(m.loop_gain(8.0, 1.2, runaway + 1.0) > 1.0);
+        assert!(m.loop_gain(8.0, 1.2, runaway - 1.0) < 1.0);
+    }
+
+    #[test]
+    fn mild_models_run_away_only_far_outside_the_operating_realm() {
+        // An exponential always crosses unity gain eventually; for a mild
+        // model that crossing sits hundreds of kelvin above anything a
+        // packaged chip can reach.
+        let m = LeakageModel { base_fraction: 0.01, reference_temp: 85.0, doubling_interval: 20.0 };
+        let t = m.runaway_temperature(8.0, 1.2).expect("exponential crosses eventually");
+        assert!(t > 200.0, "mild-model runaway at {t:.0} C is beyond the operating realm");
+    }
+
+    #[test]
+    fn loop_gain_scales_with_thermal_resistance() {
+        let m = LeakageModel::node_later_whatif();
+        assert!(m.loop_gain(8.0, 2.4, 110.0) > m.loop_gain(8.0, 1.2, 110.0));
+    }
+}

@@ -1,0 +1,47 @@
+//! # tdtm-power — Wattch-style activity-based dynamic power
+//!
+//! Reimplements the role Wattch 1.02 plays in the paper: per-cycle dynamic
+//! power for each processor structure, computed as
+//!
+//! ```text
+//! P_block(cycle) = P_peak(block) · gating(activity factor)
+//! ```
+//!
+//! where `P_peak = E_access · accesses_max · f` comes from an abridged
+//! CACTI-style capacitance model ([`array`]) over each structure's
+//! geometry ([`units`]), and the gating function implements Wattch's
+//! conditional-clocking styles cc0–cc3 ([`model::ClockGating`]). Like the
+//! paper's setup we default to the realistic cc3 style: unused structures
+//! still dissipate a fraction of peak ("10%" in Wattch), used structures
+//! scale linearly with port utilization.
+//!
+//! Absolute calibration: raw capacitance-model energies are normalized so
+//! the per-structure peak powers land on the reproduction's Table 3
+//! targets (power densities of ~1.4 W/mm² at 1.5 GHz / 2.0 V — see
+//! `DESIGN.md`). The capacitance model still governs how peaks *scale*
+//! when the configuration changes (sizes, ports, associativity).
+//!
+//! # Examples
+//!
+//! ```
+//! use tdtm_power::{PowerModel, PowerConfig};
+//! use tdtm_uarch::{Activity, Block, CoreConfig};
+//!
+//! let model = PowerModel::new(&PowerConfig::default(), &CoreConfig::alpha21264_like());
+//! let mut idle = Activity::new();
+//! let idle_power = model.cycle_power(&idle).total;
+//! idle.add(Block::IntExec, 4);
+//! idle.add(Block::Dcache, 2);
+//! let busy_power = model.cycle_power(&idle).total;
+//! assert!(busy_power > idle_power);
+//! ```
+
+pub mod array;
+pub mod leakage;
+pub mod model;
+pub mod tech;
+pub mod units;
+
+pub use leakage::LeakageModel;
+pub use model::{ClockGating, PowerConfig, PowerModel, PowerSample};
+pub use tech::Technology;

@@ -1,0 +1,248 @@
+//! The per-cycle power model: activity factors, conditional clocking, and
+//! clock-tree power.
+
+use crate::tech::Technology;
+use crate::units::{max_accesses_per_cycle, peak_power};
+use tdtm_uarch::activity::THERMAL_BLOCKS;
+use tdtm_uarch::{Activity, Block, CoreConfig, NUM_BLOCKS};
+
+/// Wattch's conditional-clocking styles.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum ClockGating {
+    /// cc0: no gating — every structure burns peak power every cycle.
+    Cc0,
+    /// cc1: all-or-nothing — peak power if accessed at all, zero if idle.
+    Cc1,
+    /// cc2: linear with port utilization, zero when idle (ideal gating).
+    Cc2,
+    /// cc3: linear with port utilization, but an idle structure still
+    /// burns a fixed fraction of peak (realistic gating; Wattch's default
+    /// assumption and the paper's).
+    #[default]
+    Cc3,
+}
+
+/// Power-model configuration.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PowerConfig {
+    /// Technology point.
+    pub tech: Technology,
+    /// Conditional-clocking style.
+    pub gating: ClockGating,
+    /// Idle power fraction for cc3 (Wattch uses ~10%).
+    pub idle_fraction: f64,
+    /// Clock-tree peak power as a fraction of the summed block peaks
+    /// (clock distribution is ~30-40% of total power in this era).
+    pub clock_fraction: f64,
+    /// Fraction of clock power that is unconditionally burned (the global
+    /// spine keeps toggling even when the chip idles).
+    pub clock_base: f64,
+}
+
+impl Default for PowerConfig {
+    fn default() -> PowerConfig {
+        PowerConfig {
+            tech: Technology::paper_018um(),
+            gating: ClockGating::Cc3,
+            idle_fraction: 0.10,
+            clock_fraction: 0.35,
+            clock_base: 0.5,
+        }
+    }
+}
+
+/// One cycle's power breakdown.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PowerSample {
+    /// Per-block watts, indexed by [`Block::index`].
+    pub per_block: [f64; NUM_BLOCKS],
+    /// Clock-tree watts.
+    pub clock: f64,
+    /// Total chip watts.
+    pub total: f64,
+}
+
+impl PowerSample {
+    /// Powers of the paper's seven thermally tracked blocks, in
+    /// `THERMAL_BLOCKS` order.
+    pub fn thermal_powers(&self) -> [f64; 7] {
+        let mut out = [0.0; 7];
+        for (i, b) in THERMAL_BLOCKS.iter().enumerate() {
+            out[i] = self.per_block[b.index()];
+        }
+        out
+    }
+}
+
+/// The Wattch-style power model, precomputed for a core configuration.
+#[derive(Clone, Debug)]
+pub struct PowerModel {
+    peak: [f64; NUM_BLOCKS],
+    inv_max_access: [f64; NUM_BLOCKS],
+    total_max_access: f64,
+    clock_peak: f64,
+    cfg: PowerConfig,
+}
+
+impl PowerModel {
+    /// Builds the model for a core configuration.
+    pub fn new(cfg: &PowerConfig, core: &CoreConfig) -> PowerModel {
+        let mut peak = [0.0; NUM_BLOCKS];
+        for b in Block::all() {
+            peak[b.index()] = peak_power(b, core, &cfg.tech);
+        }
+        let max = max_accesses_per_cycle(core);
+        let total_peak: f64 = peak.iter().sum();
+        PowerModel {
+            peak,
+            inv_max_access: max.map(|m| 1.0 / m),
+            total_max_access: max.iter().sum(),
+            clock_peak: cfg.clock_fraction * total_peak,
+            cfg: *cfg,
+        }
+    }
+
+    /// Peak power of one block (W).
+    pub fn peak(&self, block: Block) -> f64 {
+        self.peak[block.index()]
+    }
+
+    /// Peak chip power (all blocks at full activity plus clock), W.
+    pub fn chip_peak(&self) -> f64 {
+        self.peak.iter().sum::<f64>() + self.clock_peak
+    }
+
+    /// Clock-tree peak power (W).
+    pub fn clock_peak(&self) -> f64 {
+        self.clock_peak
+    }
+
+    /// Computes this cycle's power from the activity counts.
+    pub fn cycle_power(&self, activity: &Activity) -> PowerSample {
+        let mut per_block = [0.0; NUM_BLOCKS];
+        let counts = activity.counts();
+        for i in 0..NUM_BLOCKS {
+            let af = (counts[i] as f64 * self.inv_max_access[i]).min(1.0);
+            per_block[i] = self.peak[i]
+                * match self.cfg.gating {
+                    ClockGating::Cc0 => 1.0,
+                    ClockGating::Cc1 => {
+                        if counts[i] > 0 {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    ClockGating::Cc2 => af,
+                    ClockGating::Cc3 => {
+                        if counts[i] > 0 {
+                            self.cfg.idle_fraction + (1.0 - self.cfg.idle_fraction) * af
+                        } else {
+                            self.cfg.idle_fraction
+                        }
+                    }
+                };
+        }
+        let chip_af = (activity.total() as f64 / self.total_max_access).min(1.0);
+        let clock =
+            self.clock_peak * (self.cfg.clock_base + (1.0 - self.cfg.clock_base) * chip_af);
+        let total = per_block.iter().sum::<f64>() + clock;
+        PowerSample { per_block, clock, total }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(gating: ClockGating) -> PowerModel {
+        let cfg = PowerConfig { gating, ..PowerConfig::default() };
+        PowerModel::new(&cfg, &CoreConfig::alpha21264_like())
+    }
+
+    fn busy_activity() -> Activity {
+        let mut a = Activity::new();
+        for b in Block::all() {
+            a.add(b, 32); // saturate every block
+        }
+        a
+    }
+
+    #[test]
+    fn cc0_burns_peak_regardless_of_activity() {
+        let m = model(ClockGating::Cc0);
+        let idle = m.cycle_power(&Activity::new());
+        let busy = m.cycle_power(&busy_activity());
+        for i in 0..NUM_BLOCKS {
+            assert_eq!(idle.per_block[i], busy.per_block[i]);
+        }
+    }
+
+    #[test]
+    fn cc2_is_zero_when_idle_and_peak_when_saturated() {
+        let m = model(ClockGating::Cc2);
+        let idle = m.cycle_power(&Activity::new());
+        assert!(idle.per_block.iter().all(|&p| p == 0.0));
+        let busy = m.cycle_power(&busy_activity());
+        for b in Block::all() {
+            assert!((busy.per_block[b.index()] - m.peak(b)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cc3_idle_floor_is_ten_percent() {
+        let m = model(ClockGating::Cc3);
+        let idle = m.cycle_power(&Activity::new());
+        for b in Block::all() {
+            assert!((idle.per_block[b.index()] - 0.1 * m.peak(b)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cc3_interpolates_with_utilization() {
+        let m = model(ClockGating::Cc3);
+        let mut half = Activity::new();
+        half.add(Block::IntExec, 2); // max is the 4 integer ALUs
+        let p = m.cycle_power(&half).per_block[Block::IntExec.index()];
+        let expect = m.peak(Block::IntExec) * (0.1 + 0.9 * 0.5);
+        assert!((p - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn activity_factor_clamped_at_one() {
+        let m = model(ClockGating::Cc2);
+        let mut a = Activity::new();
+        a.add(Block::Icache, 100);
+        let p = m.cycle_power(&a).per_block[Block::Icache.index()];
+        assert!((p - m.peak(Block::Icache)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clock_power_has_ungated_base() {
+        let m = model(ClockGating::Cc3);
+        let idle = m.cycle_power(&Activity::new());
+        assert!(idle.clock >= 0.5 * m.clock_peak() - 1e-12);
+        let busy = m.cycle_power(&busy_activity());
+        assert!(busy.clock > idle.clock);
+        assert!((busy.clock - m.clock_peak()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chip_peak_matches_saturated_cycle() {
+        let m = model(ClockGating::Cc3);
+        let busy = m.cycle_power(&busy_activity());
+        assert!((busy.total - m.chip_peak()).abs() < 1e-9);
+        assert!((60.0..160.0).contains(&m.chip_peak()), "peak {}", m.chip_peak());
+    }
+
+    #[test]
+    fn thermal_powers_are_the_seven_table3_blocks() {
+        let m = model(ClockGating::Cc3);
+        let mut a = Activity::new();
+        a.add(Block::Dcache, 3);
+        let s = m.cycle_power(&a);
+        let t = s.thermal_powers();
+        assert_eq!(t.len(), 7);
+        assert!((t[4] - s.per_block[Block::Dcache.index()]).abs() < 1e-12);
+    }
+}

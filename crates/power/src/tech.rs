@@ -1,0 +1,79 @@
+//! Technology parameters (the paper's 0.18 µm / 2.0 V / 1.5 GHz point).
+
+/// Process/circuit constants for the capacitance model.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Technology {
+    /// Feature size in meters.
+    pub feature_size: f64,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Clock frequency in hertz.
+    pub clock_hz: f64,
+    /// Gate capacitance per micron of transistor width (farads/µm).
+    pub c_gate_per_um: f64,
+    /// Diffusion capacitance per micron of transistor width (farads/µm).
+    pub c_diff_per_um: f64,
+    /// Wire capacitance per micron of metal (farads/µm).
+    pub c_metal_per_um: f64,
+    /// SRAM cell width in microns (per port pitch growth is modeled in the
+    /// array code).
+    pub cell_width_um: f64,
+    /// SRAM cell height in microns.
+    pub cell_height_um: f64,
+}
+
+impl Technology {
+    /// The paper's technology point: 0.18 µm, Vdd = 2.0 V, 1.5 GHz, with
+    /// per-unit capacitances representative of that node.
+    pub fn paper_018um() -> Technology {
+        Technology {
+            feature_size: 0.18e-6,
+            vdd: 2.0,
+            clock_hz: 1.5e9,
+            c_gate_per_um: 1.0e-15,
+            c_diff_per_um: 0.6e-15,
+            c_metal_per_um: 0.275e-15,
+            cell_width_um: 1.8,
+            cell_height_um: 1.8,
+        }
+    }
+
+    /// Energy (joules) to switch capacitance `c` (farads) across the full
+    /// rail: `E = C·Vdd²` (Wattch's convention, which folds in both
+    /// charge and discharge of the access).
+    pub fn switch_energy(&self, c: f64) -> f64 {
+        c * self.vdd * self.vdd
+    }
+
+    /// Seconds per cycle.
+    pub fn cycle_time(&self) -> f64 {
+        1.0 / self.clock_hz
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Technology {
+        Technology::paper_018um()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_point_values() {
+        let t = Technology::paper_018um();
+        assert_eq!(t.vdd, 2.0);
+        assert!((t.cycle_time() - 667e-12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn switch_energy_scales_with_v_squared() {
+        let t = Technology::paper_018um();
+        let mut half = t;
+        half.vdd = 1.0;
+        let c = 1e-12;
+        assert!((t.switch_energy(c) / half.switch_energy(c) - 4.0).abs() < 1e-12);
+    }
+}

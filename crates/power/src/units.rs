@@ -1,0 +1,228 @@
+//! Per-structure power characterization: geometry, ports, and peak power.
+//!
+//! For every [`Block`] this module derives
+//!
+//! * a raw per-access energy from the capacitance model (which governs how
+//!   the block's power responds to configuration changes), and
+//! * a calibrated peak power — the `peak power (W)` column of the
+//!   reproduction's Table 3 — normalized so the default configuration's
+//!   power densities land at ~1.4 W/mm² for the thermally tracked blocks
+//!   (see `DESIGN.md` §5 for how these targets were reconstructed).
+
+use crate::array::{ArrayGeometry, CamGeometry};
+use crate::tech::Technology;
+use tdtm_uarch::{Block, CoreConfig, NUM_BLOCKS};
+
+/// Calibrated peak power targets (watts) for the default configuration,
+/// indexed by [`Block::index`].
+///
+/// The seven thermal blocks follow the ~1.4 W/mm² density over the
+/// paper's Table 3 areas; the rest are set to representative Wattch
+/// breakdown shares for a 1.5 GHz / 2.0 V part.
+pub const PEAK_TARGETS_W: [f64; NUM_BLOCKS] = [
+    7.0,  // LSQ
+    13.0, // window (RUU)
+    4.2,  // regfile
+    5.6,  // bpred (+BTB, RAS)
+    14.0, // D-cache
+    8.0,  // int exec
+    8.0,  // FP exec
+    8.0,  // I-cache
+    6.0,  // L2 (per-access-limited)
+    1.0,  // ITLB
+    1.5,  // DTLB
+    3.0,  // rename
+    3.5,  // result bus
+];
+
+/// Maximum *sustainable* accesses per cycle per block — the denominator of
+/// the activity factor. Set to what a real instruction stream can keep up,
+/// not the sum of every port (a structure accessed at its sustainable rate
+/// is at full activity; transient bursts above it clamp to 1).
+pub fn max_accesses_per_cycle(cfg: &CoreConfig) -> [f64; NUM_BLOCKS] {
+    let mut m = [1.0f64; NUM_BLOCKS];
+    m[Block::Lsq.index()] = 4.0;
+    m[Block::Window.index()] = (cfg.decode_width + cfg.issue_width + cfg.commit_width) as f64 * 0.9;
+    m[Block::Regfile.index()] = cfg.commit_width as f64;
+    m[Block::Bpred.index()] = 4.0;
+    m[Block::Dcache.index()] = cfg.mem_ports as f64;
+    m[Block::IntExec.index()] = cfg.int_alu_count as f64;
+    m[Block::FpExec.index()] = (cfg.fp_alu_count + cfg.fp_mult_count) as f64;
+    m[Block::Icache.index()] = 1.0;
+    m[Block::L2.index()] = 2.0;
+    m[Block::Itlb.index()] = 1.0;
+    m[Block::Dtlb.index()] = cfg.mem_ports as f64;
+    m[Block::Rename.index()] = cfg.decode_width as f64;
+    m[Block::ResultBus.index()] = cfg.issue_width as f64;
+    m
+}
+
+/// Raw (uncalibrated) per-access energy for a block, from the capacitance
+/// model. Used for relative scaling across configurations.
+pub fn raw_access_energy(block: Block, cfg: &CoreConfig, t: &Technology) -> f64 {
+    let data_bits_per_line = |line: usize, assoc: usize| line * 8 * assoc;
+    match block {
+        Block::Lsq => {
+            let cam = CamGeometry { rows: cfg.lsq_size, tag_bits: 40, ports: 2 };
+            let ram = ArrayGeometry { rows: cfg.lsq_size, cols: 64 + 40, ports: 2 };
+            cam.access_energy(t) + ram.access_energy(t)
+        }
+        Block::Window => {
+            let cam = CamGeometry { rows: cfg.ruu_size, tag_bits: 8, ports: cfg.issue_width };
+            let ram = ArrayGeometry { rows: cfg.ruu_size, cols: 200, ports: cfg.issue_width };
+            cam.access_energy(t) + ram.access_energy(t)
+        }
+        Block::Regfile => {
+            ArrayGeometry { rows: 64, cols: 64, ports: cfg.decode_width + cfg.commit_width }
+                .access_energy(t)
+        }
+        Block::Bpred => {
+            let b = &cfg.bpred;
+            let tables = ArrayGeometry { rows: b.bimod_entries, cols: 2, ports: 1 }
+                .access_energy(t)
+                + ArrayGeometry { rows: b.gag_entries, cols: 2, ports: 1 }.access_energy(t)
+                + ArrayGeometry { rows: b.chooser_entries, cols: 2, ports: 1 }.access_energy(t);
+            let btb = ArrayGeometry {
+                rows: b.btb_sets,
+                cols: b.btb_assoc * (30 + 32),
+                ports: 1,
+            }
+            .access_energy(t);
+            tables + btb
+        }
+        Block::Dcache => {
+            let c = &cfg.l1d;
+            let data = ArrayGeometry {
+                rows: c.sets(),
+                cols: data_bits_per_line(c.line, c.assoc),
+                ports: cfg.mem_ports,
+            };
+            let tags = ArrayGeometry { rows: c.sets(), cols: c.assoc * 28, ports: cfg.mem_ports };
+            data.access_energy(t) + tags.access_energy(t)
+        }
+        Block::Icache => {
+            let c = &cfg.l1i;
+            let data = ArrayGeometry {
+                rows: c.sets(),
+                cols: data_bits_per_line(c.line, c.assoc),
+                ports: 1,
+            };
+            let tags = ArrayGeometry { rows: c.sets(), cols: c.assoc * 28, ports: 1 };
+            data.access_energy(t) + tags.access_energy(t)
+        }
+        Block::L2 => {
+            let c = &cfg.l2;
+            // Banked: an access activates one of 8 banks.
+            let data = ArrayGeometry {
+                rows: c.sets() / 8,
+                cols: data_bits_per_line(c.line, c.assoc),
+                ports: 1,
+            };
+            let tags = ArrayGeometry { rows: c.sets() / 8, cols: c.assoc * 24, ports: 1 };
+            data.access_energy(t) + tags.access_energy(t)
+        }
+        Block::Itlb | Block::Dtlb => {
+            CamGeometry { rows: cfg.tlb_entries, tag_bits: 52, ports: 1 }.access_energy(t)
+                + ArrayGeometry { rows: cfg.tlb_entries, cols: 40, ports: 1 }.access_energy(t)
+        }
+        Block::Rename => {
+            ArrayGeometry { rows: 64, cols: 8, ports: 2 * cfg.decode_width }.access_energy(t)
+        }
+        Block::IntExec | Block::FpExec => {
+            // Datapath logic, not an array: modeled as equivalent switched
+            // gate width per operation (64-bit adder/multiplier scale).
+            let gate_um = if block == Block::IntExec { 4000.0 } else { 9000.0 };
+            t.switch_energy(gate_um * t.c_gate_per_um)
+        }
+        Block::ResultBus => {
+            // issue_width results × 64 bits × ~2 mm of wire each.
+            t.switch_energy(64.0 * 2000.0 * t.c_metal_per_um)
+        }
+    }
+}
+
+/// Peak power (W) for a block under the given config: raw energy scaled by
+/// the calibration factor that pins the *default* configuration to
+/// [`PEAK_TARGETS_W`].
+pub fn peak_power(block: Block, cfg: &CoreConfig, t: &Technology) -> f64 {
+    let default_cfg = CoreConfig::alpha21264_like();
+    let default_tech = Technology::paper_018um();
+    let raw_default = raw_access_energy(block, &default_cfg, &default_tech)
+        * max_accesses_per_cycle(&default_cfg)[block.index()]
+        * default_tech.clock_hz;
+    let calibration = PEAK_TARGETS_W[block.index()] / raw_default;
+    let raw = raw_access_energy(block, cfg, t)
+        * max_accesses_per_cycle(cfg)[block.index()]
+        * t.clock_hz;
+    raw * calibration
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_hits_calibration_targets() {
+        let cfg = CoreConfig::alpha21264_like();
+        let t = Technology::paper_018um();
+        for b in Block::all() {
+            let p = peak_power(b, &cfg, &t);
+            let target = PEAK_TARGETS_W[b.index()];
+            assert!(
+                (p - target).abs() / target < 1e-9,
+                "{b}: {p} vs target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_cache_burns_more_power() {
+        let cfg = CoreConfig::alpha21264_like();
+        let mut big = cfg;
+        big.l1d.size *= 4;
+        let t = Technology::paper_018um();
+        assert!(peak_power(Block::Dcache, &big, &t) > peak_power(Block::Dcache, &cfg, &t));
+    }
+
+    #[test]
+    fn lower_voltage_saves_quadratically() {
+        let cfg = CoreConfig::alpha21264_like();
+        let t = Technology::paper_018um();
+        let mut low = t;
+        low.vdd = 1.0;
+        let ratio = peak_power(Block::IntExec, &cfg, &t) / peak_power(Block::IntExec, &cfg, &low);
+        assert!((ratio - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_frequency_saves_linearly() {
+        let cfg = CoreConfig::alpha21264_like();
+        let t = Technology::paper_018um();
+        let mut slow = t;
+        slow.clock_hz = 0.75e9;
+        let ratio = peak_power(Block::Window, &cfg, &t) / peak_power(Block::Window, &cfg, &slow);
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_peak_is_plausible_for_the_era() {
+        let cfg = CoreConfig::alpha21264_like();
+        let t = Technology::paper_018um();
+        let total: f64 = Block::all().iter().map(|&b| peak_power(b, &cfg, &t)).sum();
+        // Pre-clock sum; the paper era quotes ~55-130 W peak chips.
+        assert!((50.0..130.0).contains(&total), "total = {total}");
+    }
+
+    #[test]
+    fn raw_energies_are_physical_scale() {
+        let cfg = CoreConfig::alpha21264_like();
+        let t = Technology::paper_018um();
+        for b in Block::all() {
+            let e = raw_access_energy(b, &cfg, &t);
+            assert!(
+                (1e-13..1e-7).contains(&e),
+                "{b}: raw access energy {e} J outside plausible range"
+            );
+        }
+    }
+}

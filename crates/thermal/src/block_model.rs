@@ -1,0 +1,355 @@
+//! The paper's simplified per-block thermal model (Figure 3C / Eq. 5).
+//!
+//! Each functional block `i` is a single RC node: capacitance `C_i`,
+//! resistance `R_i` to a heatsink node held at constant temperature (its
+//! time constant is orders of magnitude longer than the blocks', so it is
+//! effectively a temperature source over the horizons simulated here).
+//!
+//! The paper integrates with the forward-Euler difference equation (Eq. 5):
+//!
+//! ```text
+//! T[i] += dt/C[i] * ( P[i] - (T[i] - T_heatsink)/R[i] )
+//! ```
+//!
+//! [`BlockModel::step`] instead uses the *exact* update for a constant
+//! power over the step,
+//!
+//! ```text
+//! T[i] = T_ss + (T[i] - T_ss)·e^{-dt/R·C},   T_ss = T_heatsink + P·R
+//! ```
+//!
+//! whose decay factor is precomputed once per block (the step `dt` — one
+//! clock cycle — is fixed). At `dt/τ ≈ 667ps/84µs ≈ 8e-6` the two stay
+//! within microkelvins over tens of thousands of steps (see tests), so this
+//! is a free accuracy upgrade at coarse steps; Euler
+//! stepping remains available as [`BlockModel::step_euler`] for the
+//! fidelity ablation.
+
+use crate::silicon::SiliconProperties;
+use crate::{Celsius, Watts};
+
+/// Thermal parameters of one functional block.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BlockParams {
+    /// Block name (reporting only).
+    pub name: String,
+    /// Block area in m² (reporting only; R and C are what the model uses).
+    pub area: f64,
+    /// Normal thermal resistance to the heatsink node, K/W.
+    pub r: f64,
+    /// Block thermal capacitance, J/K.
+    pub c: f64,
+}
+
+impl BlockParams {
+    /// Derives parameters for a block of `area` m² from material
+    /// properties (Section 4.3 formulas).
+    pub fn from_area(name: impl Into<String>, area: f64, si: &SiliconProperties) -> BlockParams {
+        BlockParams {
+            name: name.into(),
+            area,
+            r: si.r_normal(area).0,
+            c: si.c_block(area).0,
+        }
+    }
+
+    /// The block's RC time constant in seconds.
+    pub fn time_constant(&self) -> f64 {
+        self.r * self.c
+    }
+}
+
+/// The simplified localized thermal model: independent RC blocks over a
+/// constant-temperature heatsink.
+#[derive(Clone, Debug)]
+pub struct BlockModel {
+    params: Vec<BlockParams>,
+    temps: Vec<f64>,
+    heatsink: Celsius,
+    dt: f64,
+    /// Precomputed `e^{-dt/RC}` per block for the exact step.
+    decay: Vec<f64>,
+}
+
+impl BlockModel {
+    /// Creates a model with every block initialized to the heatsink
+    /// temperature and a fixed integration step `dt` (seconds) — one clock
+    /// cycle in the paper's usage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` is empty, `dt` is not positive, or any block has
+    /// non-positive R or C.
+    pub fn new(params: Vec<BlockParams>, heatsink: Celsius, dt: f64) -> BlockModel {
+        assert!(!params.is_empty(), "need at least one block");
+        assert!(dt > 0.0, "dt must be positive");
+        for p in &params {
+            assert!(p.r > 0.0 && p.c > 0.0, "block {} must have positive R and C", p.name);
+        }
+        let temps = vec![heatsink; params.len()];
+        let decay = params.iter().map(|p| (-dt / (p.r * p.c)).exp()).collect();
+        BlockModel { params, temps, heatsink, dt, decay }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the model has no blocks (never true for a constructed model).
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// The block parameters.
+    pub fn params(&self) -> &[BlockParams] {
+        &self.params
+    }
+
+    /// Current block temperatures, in block order.
+    pub fn temperatures(&self) -> &[Celsius] {
+        &self.temps
+    }
+
+    /// The heatsink temperature.
+    pub fn heatsink(&self) -> Celsius {
+        self.heatsink
+    }
+
+    /// Integration step in seconds.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Changes the heatsink temperature (e.g. to model long-term drift
+    /// between experiments).
+    pub fn set_heatsink(&mut self, heatsink: Celsius) {
+        self.heatsink = heatsink;
+    }
+
+    /// Changes the integration step (e.g. when frequency scaling changes
+    /// the cycle time), preserving temperatures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive.
+    pub fn set_dt(&mut self, dt: f64) {
+        assert!(dt > 0.0, "dt must be positive");
+        self.dt = dt;
+        self.decay = self.params.iter().map(|p| (-dt / (p.r * p.c)).exp()).collect();
+    }
+
+    /// Initializes every block to its steady-state temperature under the
+    /// given powers (a warmed-up starting condition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers.len()` differs from the number of blocks.
+    pub fn warm_start(&mut self, powers: &[Watts]) {
+        assert_eq!(powers.len(), self.params.len(), "one power per block");
+        for i in 0..self.temps.len() {
+            self.temps[i] = self.heatsink + powers[i] * self.params[i].r;
+        }
+    }
+
+    /// Overrides a block temperature (initial conditions in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn set_temperature(&mut self, block: usize, temp: Celsius) {
+        self.temps[block] = temp;
+    }
+
+    /// Advances one step with the exact constant-power update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers.len()` differs from the number of blocks.
+    pub fn step(&mut self, powers: &[Watts]) {
+        assert_eq!(powers.len(), self.params.len(), "one power per block");
+        for i in 0..self.temps.len() {
+            let t_ss = self.heatsink + powers[i] * self.params[i].r;
+            self.temps[i] = t_ss + (self.temps[i] - t_ss) * self.decay[i];
+        }
+    }
+
+    /// Advances one step with the paper's forward-Euler difference
+    /// equation (Eq. 5). Kept for the integration-fidelity ablation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers.len()` differs from the number of blocks.
+    pub fn step_euler(&mut self, powers: &[Watts]) {
+        assert_eq!(powers.len(), self.params.len(), "one power per block");
+        for i in 0..self.temps.len() {
+            let p = &self.params[i];
+            self.temps[i] += self.dt / p.c * (powers[i] - (self.temps[i] - self.heatsink) / p.r);
+        }
+    }
+
+    /// The index and temperature of the hottest block.
+    pub fn hottest(&self) -> (usize, Celsius) {
+        let mut best = (0, self.temps[0]);
+        for (i, &t) in self.temps.iter().enumerate() {
+            if t > best.1 {
+                best = (i, t);
+            }
+        }
+        best
+    }
+
+    /// Steady-state temperature a block would reach under constant power.
+    pub fn steady_state(&self, block: usize, power: Watts) -> Celsius {
+        self.heatsink + power * self.params[block].r
+    }
+
+    /// Whether any block exceeds `threshold`.
+    pub fn any_above(&self, threshold: Celsius) -> bool {
+        self.temps.iter().any(|&t| t > threshold)
+    }
+}
+
+/// Builds the paper's Table 3 block set (LSQ, instruction window, register
+/// file, branch predictor, D-cache, integer and FP execution units) with
+/// parameters derived from the default effective silicon properties.
+pub fn table3_blocks() -> Vec<BlockParams> {
+    let si = SiliconProperties::effective();
+    crate::silicon::TABLE3_AREAS
+        .iter()
+        .map(|&(name, area)| BlockParams::from_area(name, area, &si))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DT: f64 = 1.0 / 1.5e9; // one 1.5 GHz cycle
+
+    fn two_block_model() -> BlockModel {
+        let si = SiliconProperties::effective();
+        BlockModel::new(
+            vec![
+                BlockParams::from_area("a", 5.0e-6, &si),
+                BlockParams::from_area("b", 2.5e-6, &si),
+            ],
+            100.0,
+            DT,
+        )
+    }
+
+    #[test]
+    fn starts_at_heatsink_temperature() {
+        let m = two_block_model();
+        assert!(m.temperatures().iter().all(|&t| t == 100.0));
+    }
+
+    #[test]
+    fn converges_to_steady_state() {
+        let mut m = two_block_model();
+        let powers = [6.0, 3.0];
+        // Run ~10 time constants at a coarser step for speed.
+        let tau = m.params()[0].time_constant();
+        let mut coarse = BlockModel::new(m.params().to_vec(), 100.0, tau / 100.0);
+        for _ in 0..1000 {
+            coarse.step(&powers);
+        }
+        for i in 0..2 {
+            let expect = m.steady_state(i, powers[i]);
+            assert!(
+                (coarse.temperatures()[i] - expect).abs() < 1e-3,
+                "block {i}: {} vs {expect}",
+                coarse.temperatures()[i]
+            );
+        }
+        m.step(&powers); // the fine-step model at least moves the right way
+        assert!(m.temperatures()[0] > 100.0);
+    }
+
+    #[test]
+    fn exact_and_euler_agree_at_cycle_granularity() {
+        let mut exact = two_block_model();
+        let mut euler = two_block_model();
+        let powers = [7.0, 2.0];
+        for _ in 0..10_000 {
+            exact.step(&powers);
+            euler.step_euler(&powers);
+        }
+        for i in 0..2 {
+            let d = (exact.temperatures()[i] - euler.temperatures()[i]).abs();
+            assert!(d < 1e-4, "divergence {d} too large");
+        }
+    }
+
+    #[test]
+    fn exact_step_is_exact_against_closed_form() {
+        let si = SiliconProperties::effective();
+        let p = BlockParams::from_area("x", 5.0e-6, &si);
+        let (r, c) = (p.r, p.c);
+        let tau = r * c;
+        let big_dt = tau / 3.0; // far too coarse for Euler, fine for exact
+        let mut m = BlockModel::new(vec![p], 100.0, big_dt);
+        let power = 5.0;
+        for k in 1..=30 {
+            m.step(&[power]);
+            let t = k as f64 * big_dt;
+            let expect = 100.0 + power * r * (1.0 - (-t / tau).exp());
+            assert!(
+                (m.temperatures()[0] - expect).abs() < 1e-9,
+                "k={k}: {} vs {expect}",
+                m.temperatures()[0]
+            );
+        }
+    }
+
+    #[test]
+    fn cooling_decays_toward_heatsink() {
+        let mut m = two_block_model();
+        m.set_temperature(0, 112.0);
+        let tau = m.params()[0].time_constant();
+        let mut coarse = BlockModel::new(m.params().to_vec(), 100.0, tau);
+        coarse.set_temperature(0, 112.0);
+        coarse.step(&[0.0, 0.0]);
+        // After one tau, the excess should have decayed by e.
+        let excess = coarse.temperatures()[0] - 100.0;
+        assert!((excess - 12.0 / std::f64::consts::E).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hottest_block_reported() {
+        let mut m = two_block_model();
+        m.set_temperature(1, 108.0);
+        assert_eq!(m.hottest(), (1, 108.0));
+    }
+
+    #[test]
+    fn localized_heating_is_much_faster_than_chip_wide() {
+        // Core claim of Section 4: block taus are orders of magnitude
+        // below the chip+heatsink tau.
+        let blocks = table3_blocks();
+        let chip_tau = 0.34 * 180.0; // chip-wide R=0.34 K/W, C≈180 J/K → ~1 min
+        for b in &blocks {
+            assert!(
+                chip_tau / b.time_constant() > 1e4,
+                "{}: block tau {} not << chip tau {chip_tau}",
+                b.name,
+                b.time_constant()
+            );
+        }
+    }
+
+    #[test]
+    fn table3_has_seven_blocks() {
+        let blocks = table3_blocks();
+        assert_eq!(blocks.len(), 7);
+        assert!(blocks.iter().any(|b| b.name == "bpred"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one power per block")]
+    fn power_vector_length_checked() {
+        let mut m = two_block_model();
+        m.step(&[1.0]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Chip-wide (TEMPEST-style) thermal model: the whole die as one RC node
+//! behind a heatsink node.
+//!
+//! This is the granularity prior work (Dhodapkar et al.'s TEMPEST) modeled,
+//! and the paper's Section 6 foil: because its time constant is on the order
+//! of a minute while per-block constants are tens of microseconds, a
+//! chip-wide model misses essentially all localized thermal emergencies.
+
+use crate::{Celsius, Watts};
+
+/// Parameters for the two-node chip + heatsink model.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ChipWideParams {
+    /// Die-to-heatsink (junction-to-case + spreader) resistance, K/W.
+    pub r_die_sink: f64,
+    /// Heatsink-to-ambient resistance, K/W.
+    pub r_sink_ambient: f64,
+    /// Die thermal capacitance, J/K.
+    pub c_die: f64,
+    /// Heatsink thermal capacitance, J/K.
+    pub c_sink: f64,
+}
+
+impl ChipWideParams {
+    /// The reproduction defaults: total R = 0.34 K/W (the value the paper
+    /// uses for chip-wide average temperature) split evenly between the two
+    /// stages, and capacitances giving the ~1 minute chip time constant the
+    /// paper quotes.
+    pub fn paper_defaults() -> ChipWideParams {
+        ChipWideParams { r_die_sink: 0.17, r_sink_ambient: 0.17, c_die: 2.0, c_sink: 350.0 }
+    }
+
+    /// Total die-to-ambient resistance.
+    pub fn r_total(&self) -> f64 {
+        self.r_die_sink + self.r_sink_ambient
+    }
+
+    /// The dominant (heatsink) time constant, seconds.
+    pub fn dominant_time_constant(&self) -> f64 {
+        self.c_sink * self.r_sink_ambient
+    }
+}
+
+impl Default for ChipWideParams {
+    fn default() -> ChipWideParams {
+        ChipWideParams::paper_defaults()
+    }
+}
+
+/// Two-node chip-wide thermal model.
+#[derive(Clone, Copy, Debug)]
+pub struct ChipWideModel {
+    params: ChipWideParams,
+    ambient: Celsius,
+    t_die: Celsius,
+    t_sink: Celsius,
+}
+
+impl ChipWideModel {
+    /// Creates the model with both nodes at `ambient`.
+    pub fn new(params: ChipWideParams, ambient: Celsius) -> ChipWideModel {
+        ChipWideModel { params, ambient, t_die: ambient, t_sink: ambient }
+    }
+
+    /// Die temperature.
+    pub fn die_temperature(&self) -> Celsius {
+        self.t_die
+    }
+
+    /// Heatsink temperature.
+    pub fn sink_temperature(&self) -> Celsius {
+        self.t_sink
+    }
+
+    /// Sets both node temperatures (e.g. warmed-up initial conditions).
+    pub fn set_temperatures(&mut self, die: Celsius, sink: Celsius) {
+        self.t_die = die;
+        self.t_sink = sink;
+    }
+
+    /// Steady-state die temperature under constant `power`.
+    pub fn steady_state(&self, power: Watts) -> Celsius {
+        self.ambient + power * self.params.r_total()
+    }
+
+    /// Advances `dt` seconds with total chip power `power` (forward Euler;
+    /// callers stepping at cycle granularity are far below the stability
+    /// bound of this slow system).
+    pub fn step(&mut self, power: Watts, dt: f64) {
+        let q_die_sink = (self.t_die - self.t_sink) / self.params.r_die_sink;
+        let q_sink_amb = (self.t_sink - self.ambient) / self.params.r_sink_ambient;
+        self.t_die += dt * (power - q_die_sink) / self.params.c_die;
+        self.t_sink += dt * (q_die_sink - q_sink_amb) / self.params.c_sink;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settles_at_analytic_steady_state() {
+        let mut m = ChipWideModel::new(ChipWideParams::paper_defaults(), 27.0);
+        let p = 40.0;
+        // dominant tau ~ 60 s; run 10 minutes at 10 ms steps.
+        for _ in 0..60_000 {
+            m.step(p, 0.01);
+        }
+        let expect = m.steady_state(p);
+        assert!((m.die_temperature() - expect).abs() < 0.1, "{} vs {expect}", m.die_temperature());
+        assert!(m.sink_temperature() < m.die_temperature());
+    }
+
+    #[test]
+    fn paper_defaults_have_minute_scale_time_constant() {
+        let p = ChipWideParams::paper_defaults();
+        let tau = p.dominant_time_constant();
+        assert!((30.0..=120.0).contains(&tau), "tau = {tau}");
+        assert!((p.r_total() - 0.34).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chip_barely_moves_over_program_scale_horizons() {
+        // Section 6's point: over the ~10 ms horizon of a simulated
+        // program, chip-wide temperature rises by only a tiny fraction of
+        // the per-block swings.
+        let mut m = ChipWideModel::new(ChipWideParams::paper_defaults(), 27.0);
+        m.set_temperatures(60.0, 59.0);
+        let before = m.die_temperature();
+        for _ in 0..10_000 {
+            m.step(80.0, 1e-6); // 10 ms of heavy power
+        }
+        let rise = m.die_temperature() - before;
+        assert!(rise < 0.5, "chip-wide rise {rise} should be small over 10 ms");
+        assert!(rise > 0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Agreement accounting between a reference thermal model and a proxy
+//! (Tables 9 and 10 of the paper).
+//!
+//! Each cycle, both the RC reference model and a proxy (boxcar average,
+//! chip-wide model, ...) either flag a thermal emergency or not. The paper
+//! reports, per benchmark and per structure, how many *true* emergency
+//! cycles the proxy fails to observe ("missed emergencies") and how many
+//! trigger cycles it reports that are not real ("false triggers").
+
+/// Per-signal agreement counts between a reference and a proxy detector.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct AgreementCounts {
+    /// Cycles where both flagged an emergency.
+    pub both: u64,
+    /// Cycles where the reference flagged and the proxy did not
+    /// (missed emergencies).
+    pub missed: u64,
+    /// Cycles where the proxy flagged and the reference did not
+    /// (false triggers).
+    pub false_triggers: u64,
+    /// Cycles where neither flagged.
+    pub neither: u64,
+}
+
+impl AgreementCounts {
+    /// Creates zeroed counts.
+    pub fn new() -> AgreementCounts {
+        AgreementCounts::default()
+    }
+
+    /// Records one cycle's verdicts.
+    pub fn record(&mut self, reference_hot: bool, proxy_hot: bool) {
+        match (reference_hot, proxy_hot) {
+            (true, true) => self.both += 1,
+            (true, false) => self.missed += 1,
+            (false, true) => self.false_triggers += 1,
+            (false, false) => self.neither += 1,
+        }
+    }
+
+    /// Total cycles recorded.
+    pub fn total(&self) -> u64 {
+        self.both + self.missed + self.false_triggers + self.neither
+    }
+
+    /// True emergency cycles according to the reference.
+    pub fn reference_emergencies(&self) -> u64 {
+        self.both + self.missed
+    }
+
+    /// Fraction of true emergency cycles the proxy missed (0 if there were
+    /// none).
+    pub fn miss_rate(&self) -> f64 {
+        let re = self.reference_emergencies();
+        if re == 0 {
+            0.0
+        } else {
+            self.missed as f64 / re as f64
+        }
+    }
+
+    /// False-trigger cycles as a fraction of all cycles.
+    pub fn false_trigger_rate(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.false_triggers as f64 / t as f64
+        }
+    }
+
+    /// Missed-emergency cycles as a fraction of all cycles (the unit
+    /// Tables 9 and 10 report).
+    pub fn miss_cycle_rate(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.missed as f64 / t as f64
+        }
+    }
+
+    /// Merges another set of counts into this one.
+    pub fn merge(&mut self, other: &AgreementCounts) {
+        self.both += other.both;
+        self.missed += other.missed;
+        self.false_triggers += other.false_triggers;
+        self.neither += other.neither;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_all_quadrants() {
+        let mut c = AgreementCounts::new();
+        c.record(true, true);
+        c.record(true, false);
+        c.record(true, false);
+        c.record(false, true);
+        c.record(false, false);
+        assert_eq!(c.both, 1);
+        assert_eq!(c.missed, 2);
+        assert_eq!(c.false_triggers, 1);
+        assert_eq!(c.neither, 1);
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.reference_emergencies(), 3);
+        assert!((c.miss_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.false_trigger_rate() - 0.2).abs() < 1e-12);
+        assert!((c.miss_cycle_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counts_have_zero_rates() {
+        let c = AgreementCounts::new();
+        assert_eq!(c.miss_rate(), 0.0);
+        assert_eq!(c.false_trigger_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = AgreementCounts::new();
+        a.record(true, true);
+        let mut b = AgreementCounts::new();
+        b.record(false, true);
+        b.record(true, false);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.false_triggers, 1);
+        assert_eq!(a.missed, 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! The thermal-electrical duality (paper Table 1).
+//!
+//! | Thermal quantity            | unit  | Electrical quantity      | unit |
+//! |-----------------------------|-------|--------------------------|------|
+//! | Heat flow, power `P`        | W     | Current flow `I`         | A    |
+//! | Temperature difference `ΔT` | K     | Voltage `V`              | V    |
+//! | Thermal resistance `Rth`    | K/W   | Electrical resistance    | Ω    |
+//! | Thermal mass `Cth`          | J/K   | Electrical capacitance   | F    |
+//! | Thermal RC constant `τ`     | s     | Electrical RC constant   | s    |
+//!
+//! The newtypes here make the duality explicit and keep units straight in
+//! the derivation code; the hot simulation loops use plain `f64` arrays for
+//! speed, converting at the boundary.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul};
+
+/// A thermal resistance in kelvin per watt.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default)]
+pub struct ThermalResistance(pub f64);
+
+/// A thermal capacitance (thermal mass) in joules per kelvin.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default)]
+pub struct ThermalCapacitance(pub f64);
+
+/// A heat flow in watts.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default)]
+pub struct HeatFlow(pub f64);
+
+/// A temperature difference in kelvin.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default)]
+pub struct TempDelta(pub f64);
+
+/// A thermal time constant in seconds.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default)]
+pub struct TimeConstant(pub f64);
+
+impl ThermalResistance {
+    /// Series composition: resistances add.
+    pub fn series(self, other: ThermalResistance) -> ThermalResistance {
+        ThermalResistance(self.0 + other.0)
+    }
+
+    /// Parallel composition: `R1·R2/(R1+R2)`.
+    ///
+    /// The paper's simplification rule — "large thermal resistors in
+    /// parallel with smaller ones can safely be ignored" — follows from
+    /// this: as one branch grows, the composite tends to the smaller one.
+    pub fn parallel(self, other: ThermalResistance) -> ThermalResistance {
+        ThermalResistance(self.0 * other.0 / (self.0 + other.0))
+    }
+}
+
+/// Thermal Ohm's law: `ΔT = P · Rth`.
+impl Mul<ThermalResistance> for HeatFlow {
+    type Output = TempDelta;
+    fn mul(self, r: ThermalResistance) -> TempDelta {
+        TempDelta(self.0 * r.0)
+    }
+}
+
+/// `τ = R · C`.
+impl Mul<ThermalCapacitance> for ThermalResistance {
+    type Output = TimeConstant;
+    fn mul(self, c: ThermalCapacitance) -> TimeConstant {
+        TimeConstant(self.0 * c.0)
+    }
+}
+
+/// Heat flow through a resistance driven by a temperature difference:
+/// `P = ΔT / Rth`.
+impl Div<ThermalResistance> for TempDelta {
+    type Output = HeatFlow;
+    fn div(self, r: ThermalResistance) -> HeatFlow {
+        HeatFlow(self.0 / r.0)
+    }
+}
+
+impl Add for TempDelta {
+    type Output = TempDelta;
+    fn add(self, o: TempDelta) -> TempDelta {
+        TempDelta(self.0 + o.0)
+    }
+}
+
+impl fmt::Display for ThermalResistance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} K/W", self.0)
+    }
+}
+
+impl fmt::Display for ThermalCapacitance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} J/K", self.0)
+    }
+}
+
+impl fmt::Display for TimeConstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Section 4.1 worked steady-state example: 25 W through
+    /// 1 K/W die-to-case plus 1 K/W heatsink above 27 C ambient gives
+    /// 25·2 + 27 = 77 C.
+    #[test]
+    fn paper_steady_state_example() {
+        let r = ThermalResistance(1.0).series(ThermalResistance(1.0));
+        let dt = HeatFlow(25.0) * r;
+        assert_eq!(dt.0 + 27.0, 77.0);
+    }
+
+    /// The paper's Section 4.1 dynamic example: a 60 J/K heatsink behind
+    /// ~2 K/W gives a time constant on the order of a minute.
+    #[test]
+    fn paper_time_constant_example() {
+        let tau = ThermalResistance(2.0) * ThermalCapacitance(60.0);
+        assert!(tau.0 >= 60.0 && tau.0 <= 180.0, "tau = {tau}");
+    }
+
+    #[test]
+    fn parallel_dominated_by_smaller() {
+        let small = ThermalResistance(1.0);
+        let large = ThermalResistance(1000.0);
+        let combined = small.parallel(large);
+        assert!((combined.0 - 1.0).abs() < 0.01, "large parallel R is ignorable");
+    }
+
+    #[test]
+    fn ohms_law_inverse() {
+        let p = TempDelta(10.0) / ThermalResistance(2.0);
+        assert_eq!(p.0, 5.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Floorplan-level construction of the full lumped model (Figure 3B).
+//!
+//! [`FloorplanBuilder`] assembles an [`RcNetwork`] from block parameters:
+//! every block gets its normal resistance to a shared heatsink node,
+//! tangential resistances connect declared neighbors, and the heatsink
+//! connects to ambient through the package resistance. This is the
+//! "detailed lumped thermal model" that [`crate::block_model`] is the
+//! validated reduction of.
+
+use crate::block_model::BlockParams;
+use crate::network::{NodeId, RcNetwork};
+use crate::silicon::SiliconProperties;
+use crate::Celsius;
+
+/// Builder for the full Figure 3B thermal network.
+#[derive(Clone, Debug)]
+pub struct FloorplanBuilder {
+    blocks: Vec<BlockParams>,
+    neighbors: Vec<(usize, usize)>,
+    silicon: SiliconProperties,
+    ambient: Celsius,
+    heatsink_capacitance: f64,
+    heatsink_resistance: f64,
+    initial: Celsius,
+}
+
+/// The constructed network plus handles to its nodes.
+#[derive(Debug)]
+pub struct Floorplan {
+    /// The network itself.
+    pub network: RcNetwork,
+    /// One node per block, in input order.
+    pub block_nodes: Vec<NodeId>,
+    /// The heatsink node.
+    pub heatsink: NodeId,
+}
+
+impl FloorplanBuilder {
+    /// Starts a floorplan over the given blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty.
+    pub fn new(blocks: Vec<BlockParams>) -> FloorplanBuilder {
+        assert!(!blocks.is_empty(), "need at least one block");
+        FloorplanBuilder {
+            blocks,
+            neighbors: Vec::new(),
+            silicon: SiliconProperties::effective(),
+            ambient: 27.0,
+            heatsink_capacitance: 350.0,
+            heatsink_resistance: 0.34,
+            initial: 27.0,
+        }
+    }
+
+    /// Declares two blocks adjacent (adds a tangential resistance).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices or self-adjacency.
+    pub fn adjacent(mut self, a: usize, b: usize) -> FloorplanBuilder {
+        assert!(a < self.blocks.len() && b < self.blocks.len() && a != b, "bad adjacency");
+        self.neighbors.push((a, b));
+        self
+    }
+
+    /// Declares the blocks adjacent in a chain (a simple default layout).
+    pub fn chain(mut self) -> FloorplanBuilder {
+        for i in 1..self.blocks.len() {
+            self.neighbors.push((i - 1, i));
+        }
+        self
+    }
+
+    /// Sets the material properties used for tangential resistances.
+    pub fn silicon(mut self, si: SiliconProperties) -> FloorplanBuilder {
+        self.silicon = si;
+        self
+    }
+
+    /// Sets the heatsink package: capacitance (J/K) and sink-to-ambient
+    /// resistance (K/W).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive values.
+    pub fn heatsink(mut self, capacitance: f64, resistance: f64) -> FloorplanBuilder {
+        assert!(capacitance > 0.0 && resistance > 0.0, "heatsink parameters must be positive");
+        self.heatsink_capacitance = capacitance;
+        self.heatsink_resistance = resistance;
+        self
+    }
+
+    /// Sets the ambient temperature and the initial temperature of every
+    /// node.
+    pub fn temperatures(mut self, ambient: Celsius, initial: Celsius) -> FloorplanBuilder {
+        self.ambient = ambient;
+        self.initial = initial;
+        self
+    }
+
+    /// Builds the network.
+    pub fn build(self) -> Floorplan {
+        let mut network = RcNetwork::new(self.ambient);
+        let heatsink = network.add_node(self.heatsink_capacitance, self.initial);
+        network.connect_to_ambient(heatsink, self.heatsink_resistance);
+        let block_nodes: Vec<NodeId> = self
+            .blocks
+            .iter()
+            .map(|b| {
+                let n = network.add_node(b.c, self.initial);
+                network.connect(n, heatsink, b.r);
+                n
+            })
+            .collect();
+        for &(a, b) in &self.neighbors {
+            // Tangential resistance between block centers: model as two
+            // half-paths in series, one per block.
+            let r = self.silicon.r_tangential_for_block(self.blocks[a].area).0 / 2.0
+                + self.silicon.r_tangential_for_block(self.blocks[b].area).0 / 2.0;
+            network.connect(block_nodes[a], block_nodes[b], r);
+        }
+        Floorplan { network, block_nodes, heatsink }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block_model::{table3_blocks, BlockModel};
+
+    fn plan() -> Floorplan {
+        FloorplanBuilder::new(table3_blocks())
+            .chain()
+            .temperatures(27.0, 103.0)
+            .build()
+    }
+
+    #[test]
+    fn builds_the_expected_topology() {
+        let fp = plan();
+        assert_eq!(fp.block_nodes.len(), 7);
+        assert_eq!(fp.network.len(), 8, "7 blocks + heatsink");
+    }
+
+    #[test]
+    fn steady_state_is_close_to_the_reduced_model() {
+        let mut fp = FloorplanBuilder::new(table3_blocks())
+            .chain()
+            .temperatures(27.0, 103.0)
+            .build();
+        // Hold the heatsink near its operating point by injecting its
+        // equilibrium power (it would otherwise cool toward ambient).
+        let powers = [2.0, 6.0, 3.0, 2.5, 5.0, 6.5, 1.0];
+        let total: f64 = powers.iter().sum();
+        fp.network.set_power(fp.heatsink, (103.0 - 27.0) / 0.34 - total);
+        for (n, p) in fp.block_nodes.iter().zip(powers) {
+            fp.network.set_power(*n, p);
+        }
+        let ss = fp.network.steady_state().expect("converges");
+
+        // Node creation order: heatsink first (index 0), then blocks.
+        let reduced = BlockModel::new(table3_blocks(), 103.0, 1e-6);
+        for i in 0..fp.block_nodes.len() {
+            let full = ss[i + 1];
+            let simple = reduced.steady_state(i, powers[i]);
+            assert!(
+                (full - simple).abs() < 0.5,
+                "block {i}: full {full:.3} vs reduced {simple:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn tangential_coupling_pulls_neighbors_together() {
+        // Two blocks, one heated: with adjacency the cold one ends warmer
+        // than without.
+        let blocks = vec![table3_blocks()[0].clone(), table3_blocks()[1].clone()];
+        let heated = |adjacent: bool| -> f64 {
+            let builder = FloorplanBuilder::new(blocks.clone()).temperatures(27.0, 103.0);
+            let builder = if adjacent { builder.adjacent(0, 1) } else { builder };
+            let mut fp = builder.build();
+            fp.network.set_power(fp.heatsink, (103.0 - 27.0) / 0.34);
+            fp.network.set_power(fp.block_nodes[0], 8.0);
+            let ss = fp.network.steady_state().expect("converges");
+            ss[2] // block 1's node (heatsink=0, block0=1, block1=2)
+        };
+        let coupled = heated(true);
+        let isolated = heated(false);
+        assert!(
+            coupled > isolated + 1e-6,
+            "adjacency should leak heat: {coupled} vs {isolated}"
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! Per-cycle, per-structure activity counts.
+//!
+//! The paper's methodology ("first the SimpleScalar pipeline model
+//! determines the activity of each structure; then Wattch computes power
+//! dissipation for each of them") requires the timing model to expose how
+//! many times each structure was accessed in each cycle. [`Activity`] is
+//! that interface: the core resets it at the top of every cycle and bumps
+//! counters as pipeline events occur; the power model reads it at the end
+//! of the cycle.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A power-relevant hardware structure.
+///
+/// The first seven are the structures the paper models *thermally*
+/// (Table 3); the rest contribute to chip-wide power (and could be given
+/// thermal nodes too — the models are generic over block count).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(usize)]
+pub enum Block {
+    /// Load/store queue.
+    Lsq,
+    /// Instruction window / RUU (includes physical registers for
+    /// uncommitted instructions, as in SimpleScalar's RUU).
+    Window,
+    /// Architectural register file.
+    Regfile,
+    /// Branch predictor (including BTB and return-address stack).
+    Bpred,
+    /// L1 data cache.
+    Dcache,
+    /// Integer execution units.
+    IntExec,
+    /// Floating-point execution units.
+    FpExec,
+    /// L1 instruction cache.
+    Icache,
+    /// Unified L2 cache.
+    L2,
+    /// Instruction TLB.
+    Itlb,
+    /// Data TLB.
+    Dtlb,
+    /// Rename/decode logic.
+    Rename,
+    /// Result/bypass buses.
+    ResultBus,
+}
+
+/// Number of distinct [`Block`]s.
+pub const NUM_BLOCKS: usize = 13;
+
+/// The blocks the paper tracks temperature for (Table 3), in table order.
+pub const THERMAL_BLOCKS: [Block; 7] = [
+    Block::Lsq,
+    Block::Window,
+    Block::Regfile,
+    Block::Bpred,
+    Block::Dcache,
+    Block::IntExec,
+    Block::FpExec,
+];
+
+impl Block {
+    /// All blocks, in index order.
+    pub fn all() -> [Block; NUM_BLOCKS] {
+        use Block::*;
+        [
+            Lsq, Window, Regfile, Bpred, Dcache, IntExec, FpExec, Icache, L2, Itlb, Dtlb,
+            Rename, ResultBus,
+        ]
+    }
+
+    /// Stable index in `0..NUM_BLOCKS`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Human-readable name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        use Block::*;
+        match self {
+            Lsq => "LSQ",
+            Window => "window",
+            Regfile => "regfile",
+            Bpred => "bpred",
+            Dcache => "D-cache",
+            IntExec => "IntALU",
+            FpExec => "FPALU",
+            Icache => "I-cache",
+            L2 => "L2",
+            Itlb => "ITLB",
+            Dtlb => "DTLB",
+            Rename => "rename",
+            ResultBus => "resultbus",
+        }
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-cycle access counts, indexed by [`Block`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Activity {
+    counts: [u32; NUM_BLOCKS],
+}
+
+impl Activity {
+    /// All-zero activity.
+    pub fn new() -> Activity {
+        Activity::default()
+    }
+
+    /// Resets every counter to zero (start of cycle).
+    pub fn clear(&mut self) {
+        self.counts = [0; NUM_BLOCKS];
+    }
+
+    /// Increments a block's counter by one.
+    pub fn bump(&mut self, block: Block) {
+        self.counts[block.index()] += 1;
+    }
+
+    /// Increments a block's counter by `n`.
+    pub fn add(&mut self, block: Block, n: u32) {
+        self.counts[block.index()] += n;
+    }
+
+    /// Total accesses across all blocks this cycle.
+    pub fn total(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+
+    /// Raw counts slice, indexed by [`Block::index`].
+    pub fn counts(&self) -> &[u32; NUM_BLOCKS] {
+        &self.counts
+    }
+}
+
+impl Index<Block> for Activity {
+    type Output = u32;
+    fn index(&self, b: Block) -> &u32 {
+        &self.counts[b.index()]
+    }
+}
+
+impl IndexMut<Block> for Activity {
+    fn index_mut(&mut self, b: Block) -> &mut u32 {
+        &mut self.counts[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let all = Block::all();
+        assert_eq!(all.len(), NUM_BLOCKS);
+        for (i, b) in all.iter().enumerate() {
+            assert_eq!(b.index(), i);
+        }
+    }
+
+    #[test]
+    fn thermal_blocks_are_the_papers_seven() {
+        assert_eq!(THERMAL_BLOCKS.len(), 7);
+        let names: Vec<&str> = THERMAL_BLOCKS.iter().map(|b| b.name()).collect();
+        assert_eq!(names, ["LSQ", "window", "regfile", "bpred", "D-cache", "IntALU", "FPALU"]);
+    }
+
+    #[test]
+    fn bump_and_clear() {
+        let mut a = Activity::new();
+        a.bump(Block::Bpred);
+        a.bump(Block::Bpred);
+        a.add(Block::Dcache, 3);
+        assert_eq!(a[Block::Bpred], 2);
+        assert_eq!(a[Block::Dcache], 3);
+        assert_eq!(a.total(), 5);
+        a.clear();
+        assert_eq!(a.total(), 0);
+    }
+}

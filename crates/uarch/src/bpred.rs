@@ -1,0 +1,463 @@
+//! The hybrid branch predictor of Table 2: a bimodal-style chooser selects
+//! between a 4K-entry bimodal predictor and a GAg predictor with 12-bit
+//! global history, backed by a 2-way BTB and a return-address stack.
+//!
+//! As in the paper ("the branch predictor is updated speculatively and
+//! repaired after a misprediction"), the global history register is updated
+//! with the *predicted* direction at fetch time; each prediction carries a
+//! checkpoint that [`HybridPredictor::repair`] uses to restore and correct
+//! the history when the branch resolves mispredicted. Counter tables, BTB,
+//! and RAS bookkeeping are updated at commit.
+
+use crate::config::BpredConfig;
+use tdtm_isa::{Inst, Op, OpClass, Reg};
+
+/// Two-bit saturating counter helpers.
+fn counter_taken(c: u8) -> bool {
+    c >= 2
+}
+
+fn counter_update(c: u8, taken: bool) -> u8 {
+    if taken {
+        (c + 1).min(3)
+    } else {
+        c.saturating_sub(1)
+    }
+}
+
+/// What the predictor said at fetch time, carried with the instruction so
+/// commit can update the chooser and repair can restore history.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Prediction {
+    /// Final predicted direction (for jumps, always taken).
+    pub taken: bool,
+    /// Predicted target if `taken` (None when the BTB/RAS could not supply
+    /// one — the front end then falls through and will mispredict if the
+    /// branch is taken).
+    pub target: Option<u64>,
+    /// The bimodal component's direction.
+    pub bimod_taken: bool,
+    /// The GAg component's direction.
+    pub gag_taken: bool,
+    /// History checkpoint for repair.
+    pub checkpoint: Checkpoint,
+}
+
+/// State snapshot for misprediction repair.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Checkpoint {
+    /// Global history before this branch's speculative update.
+    pub history: u32,
+    /// RAS top-of-stack index before this instruction.
+    pub ras_top: usize,
+}
+
+#[derive(Clone, Copy, Default)]
+struct BtbEntry {
+    tag: u64,
+    target: u64,
+    valid: bool,
+    lru: u64,
+}
+
+/// The hybrid predictor with BTB and RAS.
+#[derive(Clone)]
+pub struct HybridPredictor {
+    cfg: BpredConfig,
+    bimod: Vec<u8>,
+    gag: Vec<u8>,
+    chooser: Vec<u8>,
+    history: u32,
+    history_mask: u32,
+    btb: Vec<BtbEntry>,
+    ras: Vec<u64>,
+    ras_top: usize,
+    clock: u64,
+    /// Statistics: (lookups, conditional branches seen at commit,
+    /// mispredicted conditional branches).
+    pub lookups: u64,
+    /// Conditional branches committed.
+    pub cond_branches: u64,
+    /// Conditional branches whose committed outcome differed from the
+    /// recorded prediction.
+    pub cond_mispredicts: u64,
+}
+
+impl std::fmt::Debug for HybridPredictor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HybridPredictor")
+            .field("history", &self.history)
+            .field("lookups", &self.lookups)
+            .field("cond_branches", &self.cond_branches)
+            .field("cond_mispredicts", &self.cond_mispredicts)
+            .finish()
+    }
+}
+
+impl HybridPredictor {
+    /// Creates a predictor with all counters weakly not-taken and an empty
+    /// BTB/RAS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any table size is zero or `history_bits` exceeds the GAg
+    /// index width.
+    pub fn new(cfg: BpredConfig) -> HybridPredictor {
+        assert!(cfg.bimod_entries > 0 && cfg.gag_entries > 0 && cfg.chooser_entries > 0);
+        assert!(cfg.btb_sets > 0 && cfg.btb_assoc > 0 && cfg.ras_entries > 0);
+        assert!(
+            (1usize << cfg.history_bits) <= cfg.gag_entries,
+            "history must index within the GAg table"
+        );
+        HybridPredictor {
+            bimod: vec![1; cfg.bimod_entries],
+            gag: vec![1; cfg.gag_entries],
+            chooser: vec![1; cfg.chooser_entries],
+            history: 0,
+            history_mask: (1u32 << cfg.history_bits) - 1,
+            btb: vec![BtbEntry::default(); cfg.btb_sets * cfg.btb_assoc],
+            ras: vec![0; cfg.ras_entries],
+            ras_top: 0,
+            clock: 0,
+            lookups: 0,
+            cond_branches: 0,
+            cond_mispredicts: 0,
+            cfg,
+        }
+    }
+
+    fn bimod_index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.cfg.bimod_entries - 1)
+    }
+
+    fn chooser_index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.cfg.chooser_entries - 1)
+    }
+
+    fn gag_index(&self) -> usize {
+        (self.history as usize) & (self.cfg.gag_entries - 1)
+    }
+
+    /// Whether `inst` is a call (pushes the RAS).
+    fn is_call(inst: &Inst) -> bool {
+        matches!(inst.op, Op::Jal | Op::Jalr) && inst.rd == Reg::RA
+    }
+
+    /// Whether `inst` is a return (pops the RAS).
+    fn is_return(inst: &Inst) -> bool {
+        inst.op == Op::Jalr && inst.rs1 == Reg::RA && inst.rd == Reg::ZERO
+    }
+
+    /// Predicts a control instruction fetched at `pc` and speculatively
+    /// updates the global history (conditional branches only).
+    pub fn predict(&mut self, pc: u64, inst: &Inst) -> Prediction {
+        self.lookups += 1;
+        self.clock += 1;
+        let checkpoint = Checkpoint { history: self.history, ras_top: self.ras_top };
+
+        match inst.op.class() {
+            OpClass::Branch => {
+                let bimod_taken = counter_taken(self.bimod[self.bimod_index(pc)]);
+                let gag_taken = counter_taken(self.gag[self.gag_index()]);
+                let use_gag = counter_taken(self.chooser[self.chooser_index(pc)]);
+                let taken = if use_gag { gag_taken } else { bimod_taken };
+                // Conditional-branch targets come from the immediate via
+                // fetch-stage predecode; the BTB is still probed (power).
+                let target = if taken {
+                    Some((pc as i64).wrapping_add(inst.imm as i64) as u64)
+                } else {
+                    None
+                };
+                self.history = ((self.history << 1) | u32::from(taken)) & self.history_mask;
+                Prediction { taken, target, bimod_taken, gag_taken, checkpoint }
+            }
+            OpClass::Jump => {
+                let target = if Self::is_return(inst) {
+                    Some(self.ras_pop())
+                } else if inst.op == Op::Jal {
+                    if Self::is_call(inst) {
+                        self.ras_push(pc + 4);
+                    }
+                    Some((pc as i64).wrapping_add(inst.imm as i64) as u64)
+                } else {
+                    // Indirect jump: BTB or nothing.
+                    if Self::is_call(inst) {
+                        self.ras_push(pc + 4);
+                    }
+                    self.btb_lookup(pc)
+                };
+                Prediction { taken: true, target, bimod_taken: true, gag_taken: true, checkpoint }
+            }
+            _ => Prediction {
+                taken: false,
+                target: None,
+                bimod_taken: false,
+                gag_taken: false,
+                checkpoint,
+            },
+        }
+    }
+
+    /// Repairs speculative state after `pc`'s branch resolved with
+    /// `actual_taken`: history is restored from the checkpoint and the
+    /// correct outcome shifted in; the RAS top is restored.
+    pub fn repair(&mut self, inst: &Inst, checkpoint: Checkpoint, actual_taken: bool) {
+        self.ras_top = checkpoint.ras_top;
+        if inst.op.class() == OpClass::Branch {
+            self.history =
+                ((checkpoint.history << 1) | u32::from(actual_taken)) & self.history_mask;
+        }
+    }
+
+    /// Commit-time update: trains counters, chooser, and BTB with the
+    /// architectural outcome.
+    pub fn commit(&mut self, pc: u64, inst: &Inst, pred: &Prediction, taken: bool, target: u64) {
+        match inst.op.class() {
+            OpClass::Branch => {
+                self.cond_branches += 1;
+                if pred.taken != taken {
+                    self.cond_mispredicts += 1;
+                }
+                let bi = self.bimod_index(pc);
+                self.bimod[bi] = counter_update(self.bimod[bi], taken);
+                // GAg is trained at the history the prediction used.
+                let gi = (pred.checkpoint.history as usize) & (self.cfg.gag_entries - 1);
+                self.gag[gi] = counter_update(self.gag[gi], taken);
+                // Chooser trains toward whichever component was right,
+                // only when they disagree.
+                if pred.bimod_taken != pred.gag_taken {
+                    let ci = self.chooser_index(pc);
+                    let gag_right = pred.gag_taken == taken;
+                    self.chooser[ci] = counter_update(self.chooser[ci], gag_right);
+                }
+                if taken {
+                    self.btb_insert(pc, target);
+                }
+            }
+            OpClass::Jump => {
+                if inst.op == Op::Jalr && !Self::is_return(inst) {
+                    self.btb_insert(pc, target);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn btb_set(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.cfg.btb_sets - 1)
+    }
+
+    fn btb_lookup(&self, pc: u64) -> Option<u64> {
+        let set = self.btb_set(pc);
+        let ways = &self.btb[set * self.cfg.btb_assoc..(set + 1) * self.cfg.btb_assoc];
+        ways.iter()
+            .find(|e| e.valid && e.tag == pc)
+            .map(|e| e.target)
+    }
+
+    fn btb_insert(&mut self, pc: u64, target: u64) {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.btb_set(pc);
+        let assoc = self.cfg.btb_assoc;
+        let ways = &mut self.btb[set * assoc..(set + 1) * assoc];
+        if let Some(e) = ways.iter_mut().find(|e| e.valid && e.tag == pc) {
+            e.target = target;
+            e.lru = clock;
+            return;
+        }
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.lru } else { 0 })
+            .expect("assoc > 0");
+        *victim = BtbEntry { tag: pc, target, valid: true, lru: clock };
+    }
+
+    fn ras_push(&mut self, return_addr: u64) {
+        self.ras_top = (self.ras_top + 1) % self.ras.len();
+        self.ras[self.ras_top] = return_addr;
+    }
+
+    fn ras_pop(&mut self) -> u64 {
+        let v = self.ras[self.ras_top];
+        self.ras_top = (self.ras_top + self.ras.len() - 1) % self.ras.len();
+        v
+    }
+
+    /// Conditional-branch direction accuracy observed at commit.
+    pub fn accuracy(&self) -> f64 {
+        if self.cond_branches == 0 {
+            1.0
+        } else {
+            1.0 - self.cond_mispredicts as f64 / self.cond_branches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CoreConfig;
+    use tdtm_isa::Reg;
+
+    fn predictor() -> HybridPredictor {
+        HybridPredictor::new(CoreConfig::alpha21264_like().bpred)
+    }
+
+    fn branch(imm: i32) -> Inst {
+        Inst { op: Op::Bne, rs1: Reg::new(1), rs2: Reg::new(2), imm, ..Inst::default() }
+    }
+
+    #[test]
+    fn learns_always_taken_branch() {
+        let mut p = predictor();
+        let pc = 0x1000;
+        let b = branch(-16);
+        let mut last = None;
+        for _ in 0..20 {
+            let pred = p.predict(pc, &b);
+            if pred.taken != true {
+                p.repair(&b, pred.checkpoint, true);
+            }
+            p.commit(pc, &b, &pred, true, pc - 16);
+            last = Some(pred);
+        }
+        let final_pred = last.unwrap();
+        assert!(final_pred.taken, "predictor should have learned taken");
+        let fresh = p.predict(pc, &b);
+        assert!(fresh.taken);
+        assert_eq!(fresh.target, Some(pc - 16));
+    }
+
+    #[test]
+    fn learns_alternating_pattern_via_history() {
+        // T,N,T,N... is unlearnable for bimodal but trivial for GAg.
+        let mut p = predictor();
+        let pc = 0x2000;
+        let b = branch(8);
+        let mut correct_tail = 0;
+        for i in 0..400u32 {
+            let taken = i % 2 == 0;
+            let pred = p.predict(pc, &b);
+            if pred.taken != taken {
+                p.repair(&b, pred.checkpoint, taken);
+            }
+            p.commit(pc, &b, &pred, taken, pc + 8);
+            if i >= 350 && pred.taken == taken {
+                correct_tail += 1;
+            }
+        }
+        assert!(
+            correct_tail >= 45,
+            "hybrid should converge on alternating pattern, got {correct_tail}/50"
+        );
+        assert!(p.accuracy() > 0.5);
+    }
+
+    #[test]
+    fn chooser_learns_which_component_to_trust() {
+        // Two branches at different PCs: one biased (bimodal's home turf),
+        // one alternating (GAg's). After training, both predict well —
+        // which requires the chooser to pick differently per PC.
+        let mut p = predictor();
+        let biased_pc = 0x4000;
+        let alternating_pc = 0x8000;
+        let b = branch(16);
+        for i in 0..600u32 {
+            // Interleave so the global history is shared, as in real code.
+            for (pc, taken) in [(biased_pc, true), (alternating_pc, i % 2 == 0)] {
+                let pred = p.predict(pc, &b);
+                if pred.taken != taken {
+                    p.repair(&b, pred.checkpoint, taken);
+                }
+                p.commit(pc, &b, &pred, taken, pc + 16);
+            }
+        }
+        let mut correct = 0;
+        for i in 0..100u32 {
+            for (pc, taken) in [(biased_pc, true), (alternating_pc, i % 2 == 0)] {
+                let pred = p.predict(pc, &b);
+                if pred.taken == taken {
+                    correct += 1;
+                }
+                if pred.taken != taken {
+                    p.repair(&b, pred.checkpoint, taken);
+                }
+                p.commit(pc, &b, &pred, taken, pc + 16);
+            }
+        }
+        assert!(correct >= 170, "hybrid should serve both patterns, got {correct}/200");
+    }
+
+    #[test]
+    fn repair_restores_history() {
+        let mut p = predictor();
+        let b = branch(4);
+        let before = p.history;
+        let pred = p.predict(0x100, &b);
+        assert_eq!(pred.checkpoint.history, before);
+        // Suppose it predicted X but actual is !X.
+        p.repair(&b, pred.checkpoint, !pred.taken);
+        assert_eq!(p.history & 1, u32::from(!pred.taken));
+        assert_eq!(p.history >> 1, before & (p.history_mask >> 1));
+    }
+
+    #[test]
+    fn ras_matches_calls_and_returns() {
+        let mut p = predictor();
+        let call = Inst { op: Op::Jal, rd: Reg::RA, imm: 0x100, ..Inst::default() };
+        let ret = Inst { op: Op::Jalr, rd: Reg::ZERO, rs1: Reg::RA, ..Inst::default() };
+        p.predict(0x1000, &call); // pushes 0x1004
+        p.predict(0x3000, &call); // pushes 0x3004
+        let r1 = p.predict(0x5000, &ret);
+        assert_eq!(r1.target, Some(0x3004));
+        let r2 = p.predict(0x6000, &ret);
+        assert_eq!(r2.target, Some(0x1004));
+    }
+
+    #[test]
+    fn ras_checkpoint_restores_across_squash() {
+        let mut p = predictor();
+        let call = Inst { op: Op::Jal, rd: Reg::RA, imm: 0x100, ..Inst::default() };
+        let ret = Inst { op: Op::Jalr, rd: Reg::ZERO, rs1: Reg::RA, ..Inst::default() };
+        p.predict(0x1000, &call); // correct path pushes 0x1004
+        let b = branch(64);
+        let pred = p.predict(0x2000, &b);
+        // Wrong path: a call and a return corrupt the RAS.
+        p.predict(0x9000, &call);
+        p.predict(0x9100, &ret);
+        // Branch resolves; repair restores RAS top.
+        p.repair(&b, pred.checkpoint, !pred.taken);
+        let r = p.predict(0x2004, &ret);
+        assert_eq!(r.target, Some(0x1004), "RAS should be repaired after squash");
+    }
+
+    #[test]
+    fn direct_jump_targets_come_from_predecode() {
+        let mut p = predictor();
+        let j = Inst { op: Op::Jal, rd: Reg::ZERO, imm: 0x40, ..Inst::default() };
+        let pred = p.predict(0x800, &j);
+        assert!(pred.taken);
+        assert_eq!(pred.target, Some(0x840));
+    }
+
+    #[test]
+    fn indirect_jump_uses_btb_after_training() {
+        let mut p = predictor();
+        let jr = Inst { op: Op::Jalr, rd: Reg::ZERO, rs1: Reg::new(5), ..Inst::default() };
+        let first = p.predict(0x700, &jr);
+        assert_eq!(first.target, None, "cold BTB cannot predict indirect target");
+        p.commit(0x700, &jr, &first, true, 0xABC0);
+        let second = p.predict(0x700, &jr);
+        assert_eq!(second.target, Some(0xABC0));
+    }
+
+    #[test]
+    fn non_control_instructions_predict_not_taken() {
+        let mut p = predictor();
+        let add = Inst { op: Op::Add, ..Inst::default() };
+        let pred = p.predict(0x100, &add);
+        assert!(!pred.taken);
+        assert_eq!(pred.target, None);
+    }
+}

@@ -1,0 +1,257 @@
+//! Set-associative caches and TLBs for the memory hierarchy of Table 2.
+
+use crate::config::CacheConfig;
+
+/// Result of one cache access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheOutcome {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Whether a dirty victim was evicted (write-back traffic).
+    pub writeback: bool,
+}
+
+#[derive(Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// A write-back, write-allocate set-associative cache with LRU replacement.
+#[derive(Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: usize,
+    lines: Vec<Line>,
+    clock: u64,
+    /// Total accesses.
+    pub accesses: u64,
+    /// Total misses.
+    pub misses: u64,
+}
+
+impl std::fmt::Debug for Cache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cache")
+            .field("accesses", &self.accesses)
+            .field("misses", &self.misses)
+            .finish()
+    }
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new(cfg: CacheConfig) -> Cache {
+        let sets = cfg.sets();
+        Cache {
+            cfg,
+            sets,
+            lines: vec![Line::default(); sets * cfg.assoc],
+            clock: 0,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configured hit latency.
+    pub fn latency(&self) -> u64 {
+        self.cfg.latency
+    }
+
+    /// Miss ratio so far (0 when unused).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        ((addr / self.cfg.line as u64) as usize) & (self.sets - 1)
+    }
+
+    fn tag_of(&self, addr: u64) -> u64 {
+        addr / (self.cfg.line as u64 * self.sets as u64)
+    }
+
+    /// Performs an access (read or write) to `addr`, allocating on miss.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> CacheOutcome {
+        self.accesses += 1;
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let assoc = self.cfg.assoc;
+        let ways = &mut self.lines[set * assoc..(set + 1) * assoc];
+
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = clock;
+            line.dirty |= is_write;
+            return CacheOutcome { hit: true, writeback: false };
+        }
+
+        self.misses += 1;
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .expect("assoc > 0");
+        let writeback = victim.valid && victim.dirty;
+        *victim = Line { tag, valid: true, dirty: is_write, lru: clock };
+        CacheOutcome { hit: false, writeback }
+    }
+
+    /// Probes without updating state (for tests/inspection).
+    pub fn probe(&self, addr: u64) -> bool {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        self.lines[set * self.cfg.assoc..(set + 1) * self.cfg.assoc]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+}
+
+/// A fully associative TLB with LRU replacement.
+#[derive(Clone)]
+pub struct Tlb {
+    entries: Vec<(u64, u64)>, // (vpn, last_use)
+    capacity: usize,
+    page_shift: u32,
+    clock: u64,
+    /// Total accesses.
+    pub accesses: u64,
+    /// Total misses.
+    pub misses: u64,
+}
+
+impl std::fmt::Debug for Tlb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tlb")
+            .field("accesses", &self.accesses)
+            .field("misses", &self.misses)
+            .finish()
+    }
+}
+
+impl Tlb {
+    /// Creates a TLB with `capacity` entries over pages of `page_size`
+    /// bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `capacity > 0` and `page_size` is a power of two.
+    pub fn new(capacity: usize, page_size: u64) -> Tlb {
+        assert!(capacity > 0, "TLB needs capacity");
+        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+        Tlb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            page_shift: page_size.trailing_zeros(),
+            clock: 0,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// Translates `addr`; returns `true` on hit. Misses allocate.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.accesses += 1;
+        self.clock += 1;
+        let vpn = addr >> self.page_shift;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == vpn) {
+            e.1 = self.clock;
+            return true;
+        }
+        self.misses += 1;
+        if self.entries.len() == self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.1)
+                .map(|(i, _)| i)
+                .expect("nonempty");
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push((vpn, self.clock));
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> Cache {
+        Cache::new(CacheConfig { size: 256, assoc: 2, line: 32, latency: 1 })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small_cache();
+        assert!(!c.access(0x100, false).hit);
+        assert!(c.access(0x100, false).hit);
+        assert!(c.access(0x11F, false).hit, "same 32B line");
+        assert!(!c.access(0x120, false).hit, "next line");
+        assert_eq!(c.misses, 2);
+        assert_eq!(c.accesses, 4);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = small_cache(); // 4 sets, 2 ways
+        // Three lines mapping to set 0: addresses 0, 128, 256.
+        c.access(0, false);
+        c.access(128, false);
+        c.access(0, false); // refresh 0's recency
+        c.access(256, false); // evicts 128
+        assert!(c.probe(0));
+        assert!(!c.probe(128));
+        assert!(c.probe(256));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small_cache();
+        c.access(0, true); // dirty
+        c.access(128, false);
+        let out = c.access(256, false); // evicts dirty 0
+        assert!(out.writeback);
+        let out2 = c.access(0, false); // evicts clean 128
+        assert!(!out2.writeback);
+    }
+
+    #[test]
+    fn table2_l1_geometry_behaves() {
+        let mut c = Cache::new(CacheConfig { size: 64 * 1024, assoc: 2, line: 32, latency: 1 });
+        // Sequential walk over 32 KB touches each line once: all cold
+        // misses, then all hits on the second pass.
+        for addr in (0..32 * 1024u64).step_by(32) {
+            assert!(!c.access(addr, false).hit);
+        }
+        for addr in (0..32 * 1024u64).step_by(32) {
+            assert!(c.access(addr, false).hit);
+        }
+        assert_eq!(c.miss_ratio(), 0.5);
+    }
+
+    #[test]
+    fn tlb_hits_within_page_and_lru_evicts() {
+        let mut t = Tlb::new(2, 4096);
+        assert!(!t.access(0x0000));
+        assert!(t.access(0x0FFF), "same page");
+        assert!(!t.access(0x1000));
+        assert!(t.access(0x0800), "page 0 refreshed");
+        assert!(!t.access(0x2000)); // evicts page 1 (LRU)
+        assert!(t.access(0x0800));
+        assert!(!t.access(0x1400), "page 1 was evicted");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn tlb_rejects_bad_page_size() {
+        let _ = Tlb::new(4, 1000);
+    }
+}

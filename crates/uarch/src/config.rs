@@ -1,0 +1,191 @@
+//! Core configuration (the paper's Table 2).
+
+/// Cache geometry and latency.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheConfig {
+    /// Total size in bytes.
+    pub size: usize,
+    /// Associativity (ways).
+    pub assoc: usize,
+    /// Line size in bytes.
+    pub line: usize,
+    /// Hit latency in cycles.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent or not a power of two.
+    pub fn sets(&self) -> usize {
+        assert!(self.size % (self.assoc * self.line) == 0, "inconsistent cache geometry");
+        let sets = self.size / (self.assoc * self.line);
+        assert!(sets.is_power_of_two() && self.line.is_power_of_two(), "sizes must be powers of two");
+        sets
+    }
+}
+
+/// Branch-predictor configuration (the hybrid predictor of Table 2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BpredConfig {
+    /// Bimodal table entries (2-bit counters).
+    pub bimod_entries: usize,
+    /// GAg pattern-history-table entries (2-bit counters).
+    pub gag_entries: usize,
+    /// Global history bits for the GAg component.
+    pub history_bits: u32,
+    /// Chooser table entries (2-bit counters, bimodal-style indexing).
+    pub chooser_entries: usize,
+    /// BTB sets.
+    pub btb_sets: usize,
+    /// BTB associativity.
+    pub btb_assoc: usize,
+    /// Return-address-stack entries.
+    pub ras_entries: usize,
+}
+
+/// Full core configuration, mirroring the paper's Table 2.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CoreConfig {
+    /// Instructions fetched per cycle (one I-cache access of fetch-width
+    /// granularity per cycle, per the paper's fetch-model fix).
+    pub fetch_width: usize,
+    /// Fetch queue (IFQ) entries.
+    pub ifq_size: usize,
+    /// Pipeline stages between fetch and dispatch: decode plus the paper's
+    /// three extra rename/enqueue stages.
+    pub frontend_depth: u64,
+    /// Instructions dispatched (renamed into the RUU) per cycle.
+    pub decode_width: usize,
+    /// Instructions issued to functional units per cycle.
+    pub issue_width: usize,
+    /// Instructions committed per cycle.
+    pub commit_width: usize,
+    /// RUU (instruction window) entries.
+    pub ruu_size: usize,
+    /// Load/store queue entries.
+    pub lsq_size: usize,
+    /// Integer ALUs.
+    pub int_alu_count: usize,
+    /// Integer multiplier/dividers.
+    pub int_mult_count: usize,
+    /// Floating-point adders.
+    pub fp_alu_count: usize,
+    /// Floating-point multiplier/dividers.
+    pub fp_mult_count: usize,
+    /// Cache ports to the L1 D-cache.
+    pub mem_ports: usize,
+    /// Latencies per functional-unit class.
+    pub lat_int_mul: u64,
+    /// Integer divide latency.
+    pub lat_int_div: u64,
+    /// FP add/compare latency.
+    pub lat_fp_add: u64,
+    /// FP multiply latency.
+    pub lat_fp_mul: u64,
+    /// FP divide/sqrt latency.
+    pub lat_fp_div: u64,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// Main-memory latency in cycles.
+    pub mem_latency: u64,
+    /// TLB entries (fully associative), both I and D.
+    pub tlb_entries: usize,
+    /// TLB miss penalty in cycles.
+    pub tlb_miss_penalty: u64,
+    /// Page size for TLB indexing (bytes).
+    pub page_size: u64,
+    /// Branch predictor.
+    pub bpred: BpredConfig,
+    /// Clock frequency in Hz (1.5 GHz in the paper).
+    pub clock_hz: f64,
+}
+
+impl CoreConfig {
+    /// The paper's simulated configuration (Table 2): an approximation of
+    /// the Alpha 21264 with an 80-entry RUU, 40-entry LSQ, 6-wide issue,
+    /// 64 KB 2-way L1s, 2 MB 4-way L2, hybrid 4K/4K/4K predictor with
+    /// 12-bit global history, 1 K-entry 2-way BTB and a 32-entry RAS,
+    /// clocked at 1.5 GHz.
+    pub fn alpha21264_like() -> CoreConfig {
+        CoreConfig {
+            fetch_width: 4,
+            ifq_size: 16,
+            frontend_depth: 4, // decode + 3 extra rename/enqueue stages
+            decode_width: 6,
+            issue_width: 6,
+            commit_width: 6,
+            ruu_size: 80,
+            lsq_size: 40,
+            int_alu_count: 4,
+            int_mult_count: 1,
+            fp_alu_count: 2,
+            fp_mult_count: 1,
+            mem_ports: 2,
+            lat_int_mul: 3,
+            lat_int_div: 20,
+            lat_fp_add: 2,
+            lat_fp_mul: 4,
+            lat_fp_div: 12,
+            l1i: CacheConfig { size: 64 * 1024, assoc: 2, line: 32, latency: 1 },
+            l1d: CacheConfig { size: 64 * 1024, assoc: 2, line: 32, latency: 1 },
+            l2: CacheConfig { size: 2 * 1024 * 1024, assoc: 4, line: 32, latency: 11 },
+            mem_latency: 100,
+            tlb_entries: 128,
+            tlb_miss_penalty: 30,
+            page_size: 4096,
+            bpred: BpredConfig {
+                bimod_entries: 4096,
+                gag_entries: 4096,
+                history_bits: 12,
+                chooser_entries: 4096,
+                btb_sets: 512,
+                btb_assoc: 2,
+                ras_entries: 32,
+            },
+            clock_hz: 1.5e9,
+        }
+    }
+
+    /// Seconds per clock cycle.
+    pub fn cycle_time(&self) -> f64 {
+        1.0 / self.clock_hz
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> CoreConfig {
+        CoreConfig::alpha21264_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values() {
+        let c = CoreConfig::alpha21264_like();
+        assert_eq!(c.ruu_size, 80);
+        assert_eq!(c.lsq_size, 40);
+        assert_eq!(c.issue_width, 6);
+        assert_eq!(c.l1d.sets(), 1024); // 64KB / (2 × 32B)
+        assert_eq!(c.l2.sets(), 16384); // 2MB / (4 × 32B)
+        assert_eq!(c.bpred.btb_sets * c.bpred.btb_assoc, 1024);
+        assert!((c.cycle_time() - 667e-12).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "powers of two")]
+    fn bad_geometry_rejected() {
+        let c = CacheConfig { size: 3000, assoc: 2, line: 30, latency: 1 };
+        // 3000/(2*30) = 50 sets: divides evenly but is not a power of two.
+        let _ = c.sets();
+    }
+}

@@ -1,0 +1,59 @@
+//! # tdtm-uarch — cycle-level out-of-order core timing model
+//!
+//! The stand-in for SimpleScalar 3.0's `sim-outorder` as extended by the
+//! paper: an Alpha-21264-like out-of-order core (paper Table 2) with
+//!
+//! * a register-update-unit (RUU) window and load/store queue;
+//! * the paper's three extra rename/enqueue stages between decode and
+//!   issue ("necessary to properly account for branch-resolution latencies
+//!   and extra mis-speculated execution");
+//! * a hybrid branch predictor (bimodal + GAg chosen by a bimodal-style
+//!   chooser), BTB and return-address stack, with speculative history
+//!   update and repair after mispredictions;
+//! * two-level caches and TLBs;
+//! * per-cycle, per-structure access counts ([`Activity`]) feeding the
+//!   Wattch-style power model;
+//! * the DTM actuators: duty-cycled fetch gating (toggling), fetch-width
+//!   throttling, and speculation control ([`CoreControl`]).
+//!
+//! The timing model is execution-driven on the correct path — the
+//! functional frontend supplies the oracle stream — with synthesized
+//! wrong-path instructions injected between a mispredicted fetch and the
+//! branch's resolution, so mis-speculation consumes fetch bandwidth,
+//! window slots, functional units, and power, as in `sim-outorder`.
+//!
+//! # Examples
+//!
+//! ```
+//! use tdtm_isa::asm::assemble;
+//! use tdtm_uarch::{Core, CoreConfig};
+//!
+//! let program = assemble(
+//!     "     li x1, 200
+//!      l:   addi x2, x2, 7
+//!           mul  x3, x2, x2
+//!           addi x1, x1, -1
+//!           bne  x1, x0, l
+//!           halt",
+//! )?;
+//! let mut core = Core::new(CoreConfig::alpha21264_like(), &program);
+//! while !core.finished() {
+//!     core.cycle();
+//! }
+//! let ipc = core.stats().committed as f64 / core.stats().cycles as f64;
+//! assert!(ipc > 1.0, "tight ALU loop should sustain >1 IPC, got {ipc}");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod activity;
+pub mod bpred;
+pub mod cache;
+pub mod config;
+pub mod core;
+pub mod stream;
+pub mod toggle;
+
+pub use crate::core::{Core, CoreControl, CoreStats};
+pub use activity::{Activity, Block, NUM_BLOCKS};
+pub use config::CoreConfig;
+pub use toggle::FetchGate;

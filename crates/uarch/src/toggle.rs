@@ -1,0 +1,117 @@
+//! The fetch-toggling actuator.
+//!
+//! The paper's DTM response vehicle: "every N cycles, instruction fetch is
+//! disabled" — generalized, for the control-theoretic policies, to a duty
+//! cycle with "eight discrete values distributed evenly across the range
+//! from 0% to 100%". [`FetchGate`] turns a duty fraction into a per-cycle
+//! enable bit with a credit accumulator, so a duty of `5/8` fetches on
+//! exactly 5 of every 8 cycles, evenly spread.
+
+/// Duty-cycled fetch gate.
+#[derive(Clone, Copy, Debug)]
+pub struct FetchGate {
+    duty: f64,
+    credit: f64,
+}
+
+impl FetchGate {
+    /// A fully open gate (fetch every cycle).
+    pub fn open() -> FetchGate {
+        FetchGate { duty: 1.0, credit: 0.0 }
+    }
+
+    /// Creates a gate with the given duty fraction, clamped to `[0, 1]`.
+    pub fn with_duty(duty: f64) -> FetchGate {
+        let mut g = FetchGate::open();
+        g.set_duty(duty);
+        g
+    }
+
+    /// The current duty fraction.
+    pub fn duty(&self) -> f64 {
+        self.duty
+    }
+
+    /// Sets the duty fraction (clamped to `[0, 1]`). `1.0` is unrestricted
+    /// fetch; `0.5` is the paper's toggle2; `0.0` is toggle1's full stop.
+    pub fn set_duty(&mut self, duty: f64) {
+        self.duty = duty.clamp(0.0, 1.0);
+        if self.duty >= 1.0 {
+            self.credit = 0.0;
+        }
+    }
+
+    /// Advances one cycle; returns whether fetch is enabled this cycle.
+    pub fn tick(&mut self) -> bool {
+        if self.duty >= 1.0 {
+            return true;
+        }
+        self.credit += self.duty;
+        if self.credit >= 1.0 - 1e-12 {
+            self.credit -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Default for FetchGate {
+    fn default() -> FetchGate {
+        FetchGate::open()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enabled_of(duty: f64, cycles: usize) -> usize {
+        let mut g = FetchGate::with_duty(duty);
+        (0..cycles).filter(|_| g.tick()).count()
+    }
+
+    #[test]
+    fn full_duty_always_fetches() {
+        assert_eq!(enabled_of(1.0, 1000), 1000);
+    }
+
+    #[test]
+    fn zero_duty_never_fetches() {
+        assert_eq!(enabled_of(0.0, 1000), 0);
+    }
+
+    #[test]
+    fn toggle2_is_every_other_cycle() {
+        let mut g = FetchGate::with_duty(0.5);
+        let pattern: Vec<bool> = (0..8).map(|_| g.tick()).collect();
+        assert_eq!(pattern.iter().filter(|&&b| b).count(), 4);
+        // Evenly interleaved, not clustered.
+        assert!(pattern.windows(2).all(|w| w[0] != w[1]), "{pattern:?}");
+    }
+
+    #[test]
+    fn eighth_steps_hit_exact_rates() {
+        for k in 0..=8 {
+            let duty = k as f64 / 8.0;
+            assert_eq!(enabled_of(duty, 800), k * 100, "duty {k}/8");
+        }
+    }
+
+    #[test]
+    fn duty_changes_take_effect() {
+        let mut g = FetchGate::with_duty(0.0);
+        assert!(!g.tick());
+        g.set_duty(1.0);
+        assert!(g.tick());
+        g.set_duty(0.25);
+        let got = (0..400).filter(|_| g.tick()).count();
+        assert_eq!(got, 100);
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        assert_eq!(FetchGate::with_duty(7.0).duty(), 1.0);
+        assert_eq!(FetchGate::with_duty(-3.0).duty(), 0.0);
+    }
+}

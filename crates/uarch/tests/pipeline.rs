@@ -1,0 +1,266 @@
+//! Timing-behavior integration tests for the out-of-order core: these pin
+//! the microarchitectural effects the paper's evaluation relies on
+//! (mispredict penalties through the deepened front end, memory-latency
+//! exposure, per-structure activity attribution).
+
+use tdtm_isa::asm::assemble;
+use tdtm_isa::Program;
+use tdtm_uarch::{Block, Core, CoreConfig, CoreControl};
+
+fn run(cfg: CoreConfig, src: &str) -> Core {
+    let p = assemble(src).expect("assembles");
+    run_program(cfg, &p)
+}
+
+fn run_program(cfg: CoreConfig, p: &Program) -> Core {
+    let mut core = Core::new(cfg, p);
+    for _ in 0..5_000_000 {
+        if core.finished() {
+            return core;
+        }
+        core.cycle();
+    }
+    panic!("program did not finish: {}", core.debug_snapshot());
+}
+
+/// A loop whose branch is effectively random (LCG bit 13).
+fn mispredicting_loop(iters: u32) -> String {
+    format!(
+        "     li x1, {iters}
+              li x5, 12345
+              li x8, 1103515245
+         l:   mul x5, x5, x8
+              addi x5, x5, 12345
+              andi x6, x5, 8192
+              beq x6, x0, skip
+              addi x7, x7, 1
+         skip: addi x1, x1, -1
+              bne x1, x0, l
+              halt"
+    )
+}
+
+#[test]
+fn deeper_frontend_raises_mispredict_cost() {
+    let src = mispredicting_loop(4000);
+    let shallow_cfg = CoreConfig { frontend_depth: 1, ..CoreConfig::alpha21264_like() };
+    let deep_cfg = CoreConfig { frontend_depth: 10, ..CoreConfig::alpha21264_like() };
+    let shallow = run(shallow_cfg, &src);
+    let deep = run(deep_cfg, &src);
+    assert!(
+        deep.stats().cycles as f64 > shallow.stats().cycles as f64 * 1.05,
+        "the paper added rename stages precisely because they lengthen branch resolution: \
+         shallow {} vs deep {}",
+        shallow.stats().cycles,
+        deep.stats().cycles
+    );
+    // Roughly similar recovery counts (same program, same predictor).
+    let r1 = shallow.stats().recoveries as f64;
+    let r2 = deep.stats().recoveries as f64;
+    assert!((r1 - r2).abs() / r1 < 0.3, "recoveries {r1} vs {r2}");
+}
+
+#[test]
+fn memory_latency_parameters_are_visible() {
+    // A dependent pointer-increment chase across 8 KB pages: all loads
+    // miss L1 and TLB entries churn.
+    let src = "        li x1, 0x400000
+                       li x2, 800
+                  l:   lw x3, 0(x1)
+                       add x1, x1, x3
+                       addi x1, x1, 8192
+                       addi x2, x2, -1
+                       bne x2, x0, l
+                       halt";
+    let near = CoreConfig { mem_latency: 20, ..CoreConfig::alpha21264_like() };
+    let far = CoreConfig { mem_latency: 400, ..CoreConfig::alpha21264_like() };
+    let fast = run(near, src);
+    let slow = run(far, src);
+    assert!(
+        slow.stats().cycles > fast.stats().cycles * 3,
+        "memory latency must dominate a dependent miss chain: {} vs {}",
+        slow.stats().cycles,
+        fast.stats().cycles
+    );
+}
+
+#[test]
+fn tlb_miss_penalty_applies() {
+    let src = "        li x1, 0x400000
+                       li x2, 2000
+                  l:   lw x3, 0(x1)
+                       addi x1, x1, 4096   # new page every load
+                       addi x2, x2, -1
+                       bne x2, x0, l
+                       halt";
+    let no_penalty = CoreConfig { tlb_miss_penalty: 0, ..CoreConfig::alpha21264_like() };
+    let heavy = CoreConfig { tlb_miss_penalty: 200, ..CoreConfig::alpha21264_like() };
+    let fast = run(no_penalty, src);
+    let slow = run(heavy, src);
+    // The penalties overlap across the two memory ports and the window,
+    // so the visible cost is far below 2000 × 200 serial cycles — but a
+    // >2x slowdown must remain.
+    assert!(
+        slow.stats().cycles > fast.stats().cycles * 2,
+        "TLB miss penalty must be visible: {} vs {}",
+        slow.stats().cycles,
+        fast.stats().cycles
+    );
+}
+
+#[test]
+fn activity_attribution_tracks_workload_character() {
+    let int_src = "     li x1, 20000
+                   l:   addi x2, x2, 1
+                        xor  x3, x3, x2
+                        add  x4, x4, x3
+                        addi x1, x1, -1
+                        bne x1, x0, l
+                        halt";
+    let fp_src = "      li x1, 20000
+                        fcvt.d.w f1, x1
+                        fcvt.d.w f2, x1
+                        fcvt.d.w f3, x1
+                   l:   fadd f1, f2, f3
+                        fmul f2, f3, f1
+                        fadd f3, f1, f2
+                        addi x1, x1, -1
+                        bne x1, x0, l
+                        halt";
+    let mut totals = Vec::new();
+    for src in [int_src, fp_src] {
+        let p = assemble(src).unwrap();
+        let mut core = Core::new(CoreConfig::alpha21264_like(), &p);
+        let mut int_acc = 0u64;
+        let mut fp_acc = 0u64;
+        while !core.finished() {
+            let a = core.cycle();
+            int_acc += u64::from(a[Block::IntExec]);
+            fp_acc += u64::from(a[Block::FpExec]);
+        }
+        totals.push((int_acc, fp_acc));
+    }
+    let (int_int, int_fp) = totals[0];
+    let (fp_int, fp_fp) = totals[1];
+    assert!(int_int > 10 * int_fp.max(1), "int kernel: {int_int} int vs {int_fp} fp");
+    assert!(fp_fp > fp_int / 2, "fp kernel: {fp_fp} fp vs {fp_int} int");
+    assert!(fp_fp > 10 * int_fp.max(1), "fp kernel uses the FP cluster far more");
+}
+
+#[test]
+fn fetch_width_limit_throttles() {
+    let src = "     li x1, 20000
+               l:   addi x2, x2, 1
+                    addi x3, x3, 1
+                    addi x4, x4, 1
+                    addi x1, x1, -1
+                    bne x1, x0, l
+                    halt";
+    let p = assemble(src).unwrap();
+    let mut full = Core::new(CoreConfig::alpha21264_like(), &p);
+    while !full.finished() {
+        full.cycle();
+    }
+    let mut narrow = Core::new(CoreConfig::alpha21264_like(), &p);
+    narrow.set_control(CoreControl { fetch_width_limit: Some(1), ..CoreControl::default() });
+    let mut guard = 0;
+    while !narrow.finished() {
+        narrow.cycle();
+        guard += 1;
+        assert!(guard < 5_000_000);
+    }
+    // Full width fetches the 5-instruction body in two groups (fetch
+    // stops at the taken loop branch), so the ideal ratio is ~2.5x, not
+    // the naive 4x.
+    assert!(
+        narrow.stats().cycles as f64 > full.stats().cycles as f64 * 2.0,
+        "width-1 fetch must throttle a 4-wide machine: {} vs {}",
+        narrow.stats().cycles,
+        full.stats().cycles
+    );
+}
+
+#[test]
+fn smaller_window_hurts_memory_parallelism() {
+    // Independent misses: a big window overlaps them, a tiny one cannot.
+    let src = "        li x1, 0x800000
+                       li x2, 3000
+                  l:   lw x3, 0(x1)
+                       lw x4, 8192(x1)
+                       lw x5, 16384(x1)
+                       lw x6, 24576(x1)
+                       addi x1, x1, 32768
+                       addi x2, x2, -1
+                       bne x2, x0, l
+                       halt";
+    let big = CoreConfig::alpha21264_like();
+    let small = CoreConfig { ruu_size: 8, lsq_size: 4, ..CoreConfig::alpha21264_like() };
+    let wide = run(big, src);
+    let tiny = run(small, src);
+    assert!(
+        tiny.stats().cycles as f64 > wide.stats().cycles as f64 * 1.5,
+        "an 8-entry window cannot overlap misses: {} vs {}",
+        tiny.stats().cycles,
+        wide.stats().cycles
+    );
+}
+
+#[test]
+fn store_load_forwarding_beats_cache_round_trip() {
+    // Same-address store→load pairs: with forwarding these are fast even
+    // though the line may be L1-resident anyway; verify forwards counted.
+    let src = "        li x1, 0x200000
+                       li x2, 5000
+                  l:   sw x2, 0(x1)
+                       lw x3, 0(x1)
+                       add x4, x4, x3
+                       addi x2, x2, -1
+                       bne x2, x0, l
+                       halt";
+    let core = run(CoreConfig::alpha21264_like(), src);
+    assert!(
+        core.stats().forwards > 4000,
+        "most loads should forward from the preceding store, got {}",
+        core.stats().forwards
+    );
+}
+
+#[test]
+fn icache_misses_stall_fetch_for_big_code() {
+    // A long straight-line body (larger than L1I) looped a few times.
+    let mut body = String::from("     li x1, 30\nl:\n");
+    for i in 0..20_000 {
+        body.push_str(&format!("      addi x{}, x{}, 1\n", 2 + (i % 8), 2 + (i % 8)));
+    }
+    body.push_str("      addi x1, x1, -1\n      bne x1, x0, l\n      halt\n");
+    let core = run(CoreConfig::alpha21264_like(), &body);
+    // 20K insts × 4B = 80 KB of code > 64 KB L1I: every iteration
+    // re-misses some lines.
+    assert!(
+        core.stats().icache_misses > 4_000,
+        "code footprint exceeds L1I, got {} misses",
+        core.stats().icache_misses
+    );
+    let ipc = core.stats().ipc();
+    assert!(ipc < 3.0, "fetch stalls must cap IPC, got {ipc}");
+}
+
+#[test]
+fn wrong_path_consumes_fetch_but_never_commits() {
+    let src = mispredicting_loop(3000);
+    let core = run(CoreConfig::alpha21264_like(), &src);
+    let s = core.stats();
+    assert!(s.wrong_path_fetched > 3000, "wrong path fetched: {}", s.wrong_path_fetched);
+    // Committed = architectural count: exactly what the functional CPU
+    // would retire. (li×3 + halt + iterations × body)
+    assert!(s.committed < s.fetched, "speculation fetches more than commits");
+    assert_eq!(
+        s.committed,
+        {
+            let p = assemble(&src).unwrap();
+            let mut cpu = tdtm_frontend::Cpu::new(&p);
+            cpu.run_to_halt(10_000_000).unwrap()
+        },
+        "timing model must commit the architectural stream exactly"
+    );
+}

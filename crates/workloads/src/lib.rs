@@ -1,0 +1,29 @@
+//! # tdtm-workloads — the synthetic SPEC CPU2000 stand-in suite
+//!
+//! The paper evaluates on 18 SPEC2000 programs (Alpha binaries, reference
+//! inputs, EIO traces). Those are unavailable here, so this crate provides
+//! 18 deterministic TDISA programs *named after* the paper's benchmarks,
+//! each built from parameterized kernels ([`kernels`]) whose
+//! microarchitectural profile — instruction mix, ILP, branch
+//! predictability, memory footprint, burstiness — is tuned so the suite
+//! spans the paper's four thermal-behavior categories (Table 5): extreme,
+//! high, medium, and low thermal stress. See `DESIGN.md` §4 for why this
+//! substitution preserves the DTM evaluation.
+//!
+//! Each workload declares a functional *warmup* instruction count (the
+//! analogue of the paper's 2-billion-instruction skip) so initialization
+//! code is excluded from the timed region.
+//!
+//! # Examples
+//!
+//! ```
+//! let suite = tdtm_workloads::suite();
+//! assert_eq!(suite.len(), 18);
+//! let art = tdtm_workloads::by_name("art").expect("art is in the suite");
+//! assert_eq!(art.category, tdtm_workloads::ThermalCategory::Extreme);
+//! ```
+
+pub mod kernels;
+mod suite;
+
+pub use suite::{by_name, suite, ThermalCategory, Workload};

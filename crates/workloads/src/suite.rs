@@ -1,0 +1,188 @@
+//! The 18-program suite and its thermal-category assignments.
+
+use crate::kernels;
+use tdtm_isa::asm::assemble_named;
+use tdtm_isa::Program;
+
+/// Thermal-behavior category (the paper's Table 5 partitioning).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ThermalCategory {
+    /// Sustained operation at or past the emergency threshold without DTM.
+    Extreme,
+    /// Long stretches just under the threshold, few or no emergencies.
+    High,
+    /// Occasional thermal stress.
+    Medium,
+    /// Never near the threshold.
+    Low,
+}
+
+impl ThermalCategory {
+    /// Display label.
+    pub fn name(self) -> &'static str {
+        match self {
+            ThermalCategory::Extreme => "extreme",
+            ThermalCategory::High => "high",
+            ThermalCategory::Medium => "medium",
+            ThermalCategory::Low => "low",
+        }
+    }
+}
+
+impl std::fmt::Display for ThermalCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One benchmark: a named program plus its intended thermal category and
+/// functional warmup length.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Benchmark name (a SPEC CPU2000 program name).
+    pub name: &'static str,
+    /// Intended thermal category.
+    pub category: ThermalCategory,
+    /// Instructions to fast-forward functionally before timing (the
+    /// analogue of the paper's 2-billion-instruction skip).
+    pub warmup_insts: u64,
+    program: Program,
+}
+
+impl Workload {
+    fn new(
+        name: &'static str,
+        category: ThermalCategory,
+        warmup_insts: u64,
+        source: String,
+    ) -> Workload {
+        let program = assemble_named(&source, name)
+            .unwrap_or_else(|e| panic!("workload `{name}` failed to assemble: {e}"));
+        Workload { name, category, warmup_insts, program }
+    }
+
+    /// The assembled program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+}
+
+/// Builds the full 18-program suite, in the paper's Table 4 order.
+pub fn suite() -> Vec<Workload> {
+    use ThermalCategory::*;
+    vec![
+        // gzip: integer compression windows — L1-resident load bursts.
+        Workload::new("gzip", Medium, 64, kernels::load_bound(32 * 1024, 4, true)),
+        // wupwise: large-stride FP-era stream — memory-bound and cool.
+        Workload::new("wupwise", Low, 64, kernels::mem_stream(8 * 1024 * 1024, 8192, false)),
+        // vpr: placement/routing pointer structures — serialized chase.
+        Workload::new(
+            "vpr",
+            Low,
+            kernels::pointer_chase_warmup(1 << 17),
+            kernels::pointer_chase(1 << 17, 40961),
+        ),
+        // gcc: dense, high-ILP integer code.
+        Workload::new("gcc", Extreme, 64, kernels::int_dense(10)),
+        // mesa: moderate-ILP FP rendering loop.
+        Workload::new("mesa", High, 64, kernels::fp_dense(6, 4)),
+        // art: bursty — alternating hot FP bursts and cold miss phases.
+        Workload::new("art", Extreme, 64, kernels::mixed_phases(100_000, 15_000, 1 << 20)),
+        // equake: dense FP with heavy multiplies.
+        Workload::new("equake", Extreme, 64, kernels::fp_dense(8, 6)),
+        // crafty: search code — effectively random branches.
+        Workload::new("crafty", Low, 64, kernels::branchy(0x2000, 4)),
+        // facerec: FP plus integer address arithmetic, both clusters busy.
+        Workload::new("facerec", High, 64, kernels::fp_dense(10, 2)),
+        // fma3d: dense matrix arithmetic (FP + memory).
+        Workload::new("fma3d", Medium, kernels::matmul_warmup(20), kernels::matmul(20)),
+        // parser: branchy with moderate work.
+        Workload::new("parser", Low, 64, kernels::branchy(0x1000, 8)),
+        // eon: mixed int/FP rendering at moderate intensity.
+        Workload::new("eon", Medium, 64, kernels::int_fp_mix(3, 3)),
+        // perlbmk: call-dense interpreter-style integer code.
+        Workload::new("perlbmk", High, 64, kernels::call_heavy(12)),
+        // gap: hashed small-table accesses with integer work.
+        Workload::new("gap", Medium, 64, kernels::hash_mix(1 << 15, 6)),
+        // vortex: database-ish object accesses over a hot working set.
+        Workload::new("vortex", Medium, 64, kernels::hash_mix(1 << 14, 6)),
+        // bzip2: high-IPC integer with predictable branches.
+        Workload::new("bzip2", Extreme, 64, kernels::int_dense(16)),
+        // twolf: pointer-chasing placement with a medium footprint.
+        Workload::new(
+            "twolf",
+            Low,
+            kernels::pointer_chase_warmup(1 << 15),
+            kernels::pointer_chase(1 << 15, 10241),
+        ),
+        // apsi: both execution clusters saturated.
+        Workload::new("apsi", Extreme, 64, kernels::int_fp_mix(6, 5)),
+    ]
+}
+
+/// Looks up one workload by benchmark name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    suite().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdtm_frontend::Cpu;
+
+    #[test]
+    fn suite_has_the_papers_18_benchmarks() {
+        let s = suite();
+        assert_eq!(s.len(), 18);
+        let names: std::collections::HashSet<&str> = s.iter().map(|w| w.name).collect();
+        assert_eq!(names.len(), 18, "names are unique");
+        for expected in [
+            "gzip", "wupwise", "vpr", "gcc", "mesa", "art", "equake", "crafty", "facerec",
+            "fma3d", "parser", "eon", "perlbmk", "gap", "vortex", "bzip2", "twolf", "apsi",
+        ] {
+            assert!(names.contains(expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn all_categories_are_represented() {
+        let s = suite();
+        for cat in [
+            ThermalCategory::Extreme,
+            ThermalCategory::High,
+            ThermalCategory::Medium,
+            ThermalCategory::Low,
+        ] {
+            let n = s.iter().filter(|w| w.category == cat).count();
+            assert!(n >= 3, "category {cat} has only {n} members");
+        }
+    }
+
+    #[test]
+    fn every_workload_executes_past_its_warmup() {
+        for w in suite() {
+            let mut cpu = Cpu::new(w.program());
+            let budget = w.warmup_insts + 20_000;
+            for i in 0..budget {
+                let stepped = cpu
+                    .step()
+                    .unwrap_or_else(|e| panic!("{} failed at inst {i}: {e}", w.name));
+                assert!(stepped.is_some(), "{} halted early at inst {i}", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        let w = by_name("gcc").expect("gcc exists");
+        assert_eq!(w.name, "gcc");
+        assert!(by_name("not-a-benchmark").is_none());
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = by_name("crafty").unwrap();
+        let b = by_name("crafty").unwrap();
+        assert_eq!(a.program().insts, b.program().insts);
+    }
+}

@@ -1,0 +1,64 @@
+//! Controller design walkthrough: models a thermal block as the paper's
+//! first-order-plus-dead-time plant, designs P/PD/PI/PID gains with the
+//! phase-constant method, verifies stability (Routh-Hurwitz on the Padé
+//! approximation, plus gain/phase margins), and simulates the closed-loop
+//! step responses.
+//!
+//! ```text
+//! cargo run --release --example controller_design
+//! ```
+
+use tdtm::control::design::{design_controller, ziegler_nichols, ControllerKind, FopdtPlant};
+use tdtm::control::response::{simulate_step, ResponseMetrics};
+use tdtm::control::stability::{margins, routh_hurwitz};
+
+fn main() {
+    // Plant: ~8 K of controllable temperature swing per unit of fetch
+    // duty, the 84 us block time constant, and half the 667 ns sampling
+    // period as dead time.
+    let plant = FopdtPlant { gain: 8.0, time_constant: 8.4e-5, delay: 333e-9 };
+    println!(
+        "plant: P(s) = {} e^(-{:.0}ns s) / ({:.0}us s + 1)\n",
+        plant.gain,
+        plant.delay * 1e9,
+        plant.time_constant * 1e6
+    );
+
+    for kind in [ControllerKind::P, ControllerKind::Pd, ControllerKind::Pi, ControllerKind::Pid] {
+        let gains = design_controller(&plant, kind);
+        let open_loop = gains.transfer_function().series(&plant.transfer_function());
+        let m = margins(&open_loop, 1.0, 1e10);
+        let routh = routh_hurwitz(&open_loop.pade1().characteristic_polynomial());
+        let response = simulate_step(&plant, &gains, 1.0, 6.0 * plant.time_constant);
+        let metrics = ResponseMetrics::from_response(&response);
+
+        println!("{kind:?}:");
+        println!("  gains: Kp={:.3}  Ki={:.3e}  Kd={:.3e}", gains.kp, gains.ki, gains.kd);
+        println!(
+            "  margins: phase {:.1} deg, gain {:.1}x; Routh-Hurwitz stable: {}",
+            m.phase_margin.to_degrees(),
+            m.gain_margin,
+            routh.is_stable()
+        );
+        println!(
+            "  step: overshoot {:.1}%, settling {:.1} us, final {:.3}",
+            100.0 * metrics.overshoot_fraction,
+            metrics.settling_time * 1e6,
+            metrics.final_value
+        );
+    }
+
+    println!("\nZiegler-Nichols (ablation baseline) for PID:");
+    let zn = ziegler_nichols(&plant, ControllerKind::Pid);
+    let metrics =
+        ResponseMetrics::from_response(&simulate_step(&plant, &zn, 1.0, 6.0 * plant.time_constant));
+    println!(
+        "  gains: Kp={:.3}  Ki={:.3e}  Kd={:.3e}; overshoot {:.1}%",
+        zn.kp,
+        zn.ki,
+        zn.kd,
+        100.0 * metrics.overshoot_fraction
+    );
+    println!("\nthe integral controllers settle with zero offset, which is what lets the");
+    println!("paper place the DTM setpoint only 0.2 K below the emergency threshold.");
+}

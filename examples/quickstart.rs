@@ -1,0 +1,60 @@
+//! Quickstart: assemble a small program, run it under PID-controlled
+//! dynamic thermal management, and print the run report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tdtm::core::{SimConfig, Simulator};
+use tdtm::dtm::PolicyKind;
+use tdtm::isa::asm::assemble_named;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A hot little kernel: dense independent integer work.
+    let program = assemble_named(
+        "     li x31, 2000000000
+         l:   addi x5, x5, 1
+              addi x6, x6, 2
+              xor  x7, x7, x5
+              add  x8, x8, x6
+              addi x9, x9, 1
+              xor  x10, x10, x8
+              add  x11, x11, x5
+              slli x12, x6, 1
+              addi x31, x31, -1
+              bne  x31, x0, l
+              halt",
+        "quickstart-kernel",
+    )?;
+
+    let mut config = SimConfig::default();
+    config.max_insts = 500_000;
+    config.thermal_warmup_cycles = 20_000;
+    config.dtm.policy = PolicyKind::Pid;
+
+    let mut sim = Simulator::new(config, program);
+    let report = sim.run();
+
+    println!("workload:          {}", report.name);
+    println!("policy:            {}", report.policy);
+    println!("cycles / insts:    {} / {}", report.cycles, report.committed);
+    println!("IPC:               {:.2}", report.ipc);
+    println!("avg chip power:    {:.1} W (peak cycle {:.1} W)", report.avg_power, report.max_power);
+    println!(
+        "thermal emergency: {} cycles ({:.3}% of time)",
+        report.emergency_cycles,
+        100.0 * report.emergency_fraction()
+    );
+    println!(
+        "DTM engaged on {} of {} controller samples ({} fetch cycles gated)",
+        report.engaged_samples, report.samples, report.gated_cycles
+    );
+    println!("\nper-structure temperatures (heatsink at 103 C, emergency at 111 C):");
+    for b in &report.blocks {
+        println!(
+            "  {:16} avg {:7.2} C   max {:7.2} C   avg power {:5.2} W",
+            b.name, b.avg_temp, b.max_temp, b.avg_power
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Record-once, replay-many: capture a benchmark's power trace from one
+//! cycle-level simulation, then sweep heatsink temperatures and emergency
+//! thresholds through the thermal model in milliseconds.
+//!
+//! ```text
+//! cargo run --release --example replay_sweep [benchmark]
+//! ```
+
+use tdtm::core::replay::{replay, threshold_sweep};
+use tdtm::core::{SimConfig, Simulator};
+use tdtm::dtm::PolicyKind;
+use tdtm::workloads::by_name;
+
+fn main() {
+    let bench = std::env::args().nth(1).unwrap_or_else(|| "art".to_string());
+    let workload = by_name(&bench).unwrap_or_else(|| {
+        eprintln!("unknown benchmark `{bench}`");
+        std::process::exit(1);
+    });
+
+    let mut cfg = SimConfig::default();
+    cfg.max_insts = 1_500_000;
+    cfg.thermal_warmup_cycles = 0;
+    cfg.dtm.policy = PolicyKind::None;
+
+    println!("recording {bench}'s power trace (one cycle-level simulation)...");
+    let t0 = std::time::Instant::now();
+    let mut sim = Simulator::for_workload(cfg.clone(), &workload);
+    sim.record_power_trace(256);
+    let report = sim.run();
+    let trace = sim.power_trace().expect("recorded").clone();
+    println!(
+        "  {} cycles, IPC {:.2}, {} trace samples, {:.1} s\n",
+        report.cycles,
+        report.ipc,
+        trace.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    println!("threshold sweep at the 103 C operating point:");
+    let thresholds = [109.0, 110.0, 111.0, 112.0];
+    let t1 = std::time::Instant::now();
+    for (th, outcome) in threshold_sweep(&trace, &cfg.blocks, 103.0, &thresholds, false) {
+        println!("  > {th:5.1} C: {:5.1}% of time", 100.0 * outcome.hot_fraction());
+    }
+
+    println!("\nheatsink what-ifs against the 111 C emergency threshold:");
+    for heatsink in [100.0, 101.5, 103.0, 104.5, 106.0] {
+        let outcome = replay(&trace, &cfg.blocks, heatsink, 111.0, false);
+        println!(
+            "  heatsink {heatsink:5.1} C: max block {:6.2} C, {:5.1}% in emergency",
+            outcome.max_temp,
+            100.0 * outcome.hot_fraction()
+        );
+    }
+    println!(
+        "\n(all {} replays took {:.0} ms — the open-loop path is ~1000x cheaper than",
+        thresholds.len() + 5,
+        t1.elapsed().as_secs_f64() * 1e3
+    );
+    println!("re-simulating; use it for anything that doesn't feed back into execution.)");
+}

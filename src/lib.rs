@@ -1,0 +1,48 @@
+//! # tdtm — control-theoretic dynamic thermal management with localized thermal-RC modeling
+//!
+//! A from-scratch Rust reproduction of Skadron, Abdelzaher & Stan,
+//! *"Control-Theoretic Techniques and Thermal-RC Modeling for Accurate and
+//! Localized Dynamic Thermal Management"* (HPCA 2002).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`isa`] — the TDISA instruction set and assembler;
+//! * [`frontend`] — functional simulation (the oracle instruction stream);
+//! * [`uarch`] — the cycle-level out-of-order core with per-structure
+//!   activity counting and a fetch-toggling actuator;
+//! * [`power`] — the Wattch-style activity-based dynamic power model;
+//! * [`thermal`] — the paper's contribution: lumped thermal-RC models at
+//!   functional-block granularity, plus chip-wide and boxcar-proxy models;
+//! * [`control`] — transfer functions, PID design, and discrete controllers
+//!   with anti-windup;
+//! * [`dtm`] — dynamic thermal management policies (fixed toggling,
+//!   throttling, speculation control, V/f scaling, and the P/PI/PID
+//!   control-theoretic policies);
+//! * [`workloads`] — the 18 synthetic SPEC2000 stand-in programs;
+//! * [`core`] — the simulator loop, metrics, and experiment drivers.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tdtm::core::{SimConfig, Simulator};
+//! use tdtm::dtm::PolicyKind;
+//!
+//! let mut config = SimConfig::default();
+//! config.max_insts = 20_000;
+//! config.dtm.policy = PolicyKind::Pid;
+//! let workload = tdtm::workloads::by_name("gcc").expect("known workload");
+//! let mut sim = Simulator::new(config, workload.program().clone());
+//! let report = sim.run();
+//! assert!(report.committed >= 20_000);
+//! assert_eq!(report.emergency_cycles, 0);
+//! ```
+
+pub use tdtm_control as control;
+pub use tdtm_core as core;
+pub use tdtm_dtm as dtm;
+pub use tdtm_frontend as frontend;
+pub use tdtm_isa as isa;
+pub use tdtm_power as power;
+pub use tdtm_thermal as thermal;
+pub use tdtm_uarch as uarch;
+pub use tdtm_workloads as workloads;

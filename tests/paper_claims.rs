@@ -1,0 +1,165 @@
+//! Integration tests pinning the paper's qualitative claims, each tagged
+//! with the section it reproduces.
+
+use tdtm::control::design::{design_controller, ControllerKind, FopdtPlant};
+use tdtm::core::experiments::{proxy_comparison, ExperimentScale};
+use tdtm::core::{SimConfig, Simulator};
+use tdtm::dtm::PolicyKind;
+use tdtm::thermal::block_model::{table3_blocks, BlockModel};
+use tdtm::thermal::chipwide::{ChipWideModel, ChipWideParams};
+use tdtm::thermal::BoxcarProxy;
+use tdtm::workloads::by_name;
+
+/// Section 4.3: "localized heating occurs much faster — typically orders
+/// of magnitude faster — than chip-wide heating."
+#[test]
+fn localized_heating_beats_chipwide_by_orders_of_magnitude() {
+    let blocks = table3_blocks();
+    let chip = ChipWideParams::paper_defaults();
+    for b in &blocks {
+        let ratio = chip.dominant_time_constant() / b.time_constant();
+        assert!(ratio > 1e4, "{}: ratio {ratio:.0} should exceed 10^4", b.name);
+    }
+}
+
+/// Section 6: a fast local burst drives a block into emergency while the
+/// chip-wide model barely moves.
+#[test]
+fn chipwide_model_misses_local_emergencies() {
+    let dt = 1.0 / 1.5e9;
+    let mut local = BlockModel::new(table3_blocks(), 103.0, dt);
+    let mut chip = ChipWideModel::new(ChipWideParams::paper_defaults(), 27.0);
+    chip.set_temperatures(103.0, 95.0);
+
+    // 300 us of a regfile-melting burst.
+    let burst = [1.0, 2.0, 4.2, 1.0, 2.0, 3.0, 1.0];
+    let cycles = (300e-6 / dt) as u64;
+    for _ in 0..cycles {
+        local.step(&burst);
+        chip.step(45.0, dt);
+    }
+    assert!(local.any_above(111.0), "regfile should pass emergency locally");
+    assert!(
+        (chip.die_temperature() - 103.0).abs() < 1.0,
+        "chip-wide moved {:.3} K, should be <1 K",
+        chip.die_temperature() - 103.0
+    );
+}
+
+/// Section 2.1/6: "heating is an exponential effect that a boxcar average
+/// cannot capture" — a burst that heats a block past emergency leaves a
+/// long-window boxcar average nearly untouched.
+#[test]
+fn boxcar_average_misses_exponential_bursts() {
+    let dt = 1.0 / 1.5e9;
+    let mut model = BlockModel::new(table3_blocks(), 103.0, dt);
+    let mut boxcar = BoxcarProxy::new(500_000);
+    let regfile = 2; // index in table3 order
+    let r = model.params()[regfile].r;
+
+    // Long idle prefix fills the window with low power.
+    let idle = [0.5; 7];
+    for _ in 0..500_000 {
+        model.step(&idle);
+        boxcar.push(idle[regfile]);
+    }
+    // 60 us burst (~0.7 tau): the block heats most of the way...
+    let mut burst = idle;
+    burst[regfile] = 4.2;
+    for _ in 0..(60e-6 / dt) as u64 {
+        model.step(&burst);
+        boxcar.push(burst[regfile]);
+    }
+    let temp = model.temperatures()[regfile];
+    assert!(temp > 108.0, "block heated to {temp:.2}");
+    // ...while the 500K boxcar estimate still reads cold.
+    let est = boxcar.average() * r + 103.0;
+    assert!(
+        temp - est > 2.0,
+        "boxcar estimate {est:.2} should lag true temperature {temp:.2} by kelvins"
+    );
+}
+
+/// Section 6 / Tables 9-10: on a real bursty workload, the long-window
+/// proxy misses true emergency cycles.
+#[test]
+fn proxy_comparison_shows_missed_emergencies_on_bursty_runs() {
+    let w = by_name("art").expect("suite");
+    let scale = ExperimentScale { insts: 600_000, warmup_cycles: 20_000 };
+    let (report, proxies) = proxy_comparison(&w, scale, &[500_000], &[], 47.0);
+    if report.emergency_cycles == 0 {
+        // Scale-dependent: at tiny scales art may not reach its burst.
+        eprintln!("skipping: no emergencies at this scale");
+        return;
+    }
+    let mut agg = tdtm::thermal::comparison::AgreementCounts::new();
+    for (_, c) in &proxies[0].per_block {
+        agg.merge(c);
+    }
+    assert!(
+        agg.missed > 0,
+        "a 500K-cycle boxcar should miss some of art's {} emergency cycles",
+        report.emergency_cycles
+    );
+}
+
+/// Section 3/7: the controllers hold the hottest block essentially at the
+/// setpoint — within the 0.2 K margin to the emergency threshold.
+#[test]
+fn pid_holds_temperature_at_the_setpoint() {
+    let w = by_name("apsi").expect("suite");
+    let mut cfg: SimConfig = SimConfig::default();
+    cfg.max_insts = 400_000;
+    cfg.thermal_warmup_cycles = 50_000;
+    cfg.dtm.policy = PolicyKind::Pid;
+    let mut sim = Simulator::for_workload(cfg.clone(), &w);
+    let r = sim.run();
+    assert_eq!(r.emergency_cycles, 0, "never enter thermal emergency");
+    let hottest = r.hottest_block();
+    assert!(
+        hottest.max_temp <= cfg.dtm.emergency,
+        "{} peaked at {:.2}",
+        hottest.name,
+        hottest.max_temp
+    );
+    assert!(
+        hottest.max_temp > cfg.dtm.setpoint - 0.5,
+        "control should ride near the setpoint, peaked at {:.2}",
+        hottest.max_temp
+    );
+}
+
+/// Section 3.2: the controller design methodology yields stable loops for
+/// every thermal block's plant, not just the longest-tau one.
+#[test]
+fn designs_are_stable_for_every_block_plant() {
+    use tdtm::control::stability::{margins, routh_hurwitz};
+    for b in table3_blocks() {
+        let plant = FopdtPlant { gain: 8.0, time_constant: b.time_constant(), delay: 333e-9 };
+        for kind in [ControllerKind::P, ControllerKind::Pi, ControllerKind::Pid] {
+            let gains = design_controller(&plant, kind);
+            let ol = gains.transfer_function().series(&plant.transfer_function());
+            assert!(
+                routh_hurwitz(&ol.pade1().characteristic_polynomial()).is_stable(),
+                "{}/{kind:?} unstable",
+                b.name
+            );
+            let m = margins(&ol, 1.0, 1e10);
+            assert!(m.phase_margin.to_degrees() > 45.0, "{}/{kind:?}: {m:?}", b.name);
+        }
+    }
+}
+
+/// Section 5.3: the actuator exposes eight evenly spaced toggling levels,
+/// and the M controller's mapping matches the paper's example (50% error
+/// → toggle2).
+#[test]
+fn actuator_levels_and_manual_mapping() {
+    use tdtm::dtm::{build_policy, DtmConfig};
+    let cfg = DtmConfig { policy: PolicyKind::Manual, ..DtmConfig::default() };
+    let mut m = build_policy(&cfg);
+    let mut temps = [103.0f64; 7];
+    temps[3] = 110.0; // halfway through the 109..111 range
+    let cmd = m.sample(&temps);
+    assert_eq!(cmd.fetch_duty, 0.5, "50% error must map to toggle2");
+}

@@ -1,0 +1,170 @@
+//! Property-based tests (proptest) on core data structures and
+//! invariants across the workspace.
+
+use proptest::prelude::*;
+use tdtm::control::design::PidGains;
+use tdtm::control::pid::{quantize, PidController};
+use tdtm::isa::encoding::{decode, encode};
+use tdtm::isa::{FReg, Inst, Op, Reg};
+use tdtm::thermal::block_model::{table3_blocks, BlockModel};
+use tdtm::thermal::BoxcarProxy;
+use tdtm::uarch::FetchGate;
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let all = Op::all();
+    (0..all.len()).prop_map(move |i| all[i])
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    (arb_op(), 0u8..32, 0u8..32, 0u8..32, any::<i32>()).prop_map(|(op, a, b, c, imm)| Inst {
+        op,
+        rd: Reg::new(a),
+        rs1: Reg::new(b),
+        rs2: Reg::new(c),
+        fd: FReg::new(a),
+        fs1: FReg::new(b),
+        fs2: FReg::new(c),
+        imm,
+    })
+}
+
+proptest! {
+    /// Encoding is lossless for the operand fields each opcode uses.
+    #[test]
+    fn encoding_round_trips(inst in arb_inst()) {
+        let e = encode(&inst);
+        let back = decode(e.word, e.ext).expect("own encodings decode");
+        // Round-trip again: the decoded form is canonical (unused fields
+        // zeroed), so a second round trip must be exact.
+        let e2 = encode(&back);
+        let back2 = decode(e2.word, e2.ext).expect("decodes");
+        prop_assert_eq!(back, back2);
+        prop_assert_eq!(back2.op, inst.op);
+        prop_assert_eq!(back2.imm, inst.imm);
+    }
+
+    /// The fetch gate delivers exactly floor-or-ceiling of duty × cycles.
+    #[test]
+    fn fetch_gate_duty_accounting(level in 0u32..=8, cycles in 1usize..4096) {
+        let duty = level as f64 / 8.0;
+        let mut gate = FetchGate::with_duty(duty);
+        let enabled = (0..cycles).filter(|_| gate.tick()).count() as f64;
+        let expected = duty * cycles as f64;
+        prop_assert!((enabled - expected).abs() <= 1.0,
+            "duty {duty}: {enabled} enabled of {cycles} (expected ~{expected})");
+    }
+
+    /// Quantization stays within the actuator range and on the grid.
+    #[test]
+    fn quantize_is_on_grid(cmd in -10.0f64..10.0, levels in 1u32..=32) {
+        let q = quantize(cmd, levels);
+        prop_assert!((0.0..=1.0).contains(&q));
+        let steps = q * levels as f64;
+        prop_assert!((steps - steps.round()).abs() < 1e-9);
+    }
+
+    /// PID output always respects the actuator limits, whatever the error
+    /// sequence.
+    #[test]
+    fn pid_output_always_clamped(errors in prop::collection::vec(-50.0f64..50.0, 1..200)) {
+        let gains = PidGains { kp: 3.0, ki: 1000.0, kd: 1e-4 };
+        let mut pid = PidController::new(gains, 667e-9, 0.0, 1.0);
+        for e in errors {
+            let u = pid.sample(e);
+            prop_assert!((0.0..=1.0).contains(&u), "output {u} out of range");
+            prop_assert!(pid.integral() >= 0.0, "paper rule: integral never negative");
+        }
+    }
+
+    /// Thermal monotonicity: more power never yields a lower temperature
+    /// (same initial state, same step count).
+    #[test]
+    fn thermal_step_is_monotone_in_power(
+        p in prop::collection::vec(0.0f64..15.0, 7),
+        extra in 0.1f64..5.0,
+        steps in 1usize..500,
+    ) {
+        let dt = 1e-6;
+        let mut low = BlockModel::new(table3_blocks(), 103.0, dt);
+        let mut high = BlockModel::new(table3_blocks(), 103.0, dt);
+        let p_low: Vec<f64> = p.clone();
+        let p_high: Vec<f64> = p.iter().map(|x| x + extra).collect();
+        for _ in 0..steps {
+            low.step(&p_low);
+            high.step(&p_high);
+        }
+        for i in 0..7 {
+            prop_assert!(high.temperatures()[i] >= low.temperatures()[i]);
+        }
+    }
+
+    /// Block temperature never exceeds the hottest steady state reachable
+    /// from the applied powers, and never drops below the heatsink.
+    #[test]
+    fn thermal_state_is_bounded(
+        powers in prop::collection::vec(prop::collection::vec(0.0f64..20.0, 7), 1..100),
+    ) {
+        let dt = 1e-6;
+        let mut m = BlockModel::new(table3_blocks(), 103.0, dt);
+        let mut max_ss = [103.0f64; 7];
+        for p in &powers {
+            m.step(p);
+            for i in 0..7 {
+                max_ss[i] = max_ss[i].max(m.steady_state(i, p[i]));
+                let t = m.temperatures()[i];
+                prop_assert!(t >= 103.0 - 1e-9);
+                prop_assert!(t <= max_ss[i] + 1e-9, "block {i}: {t} above envelope {}", max_ss[i]);
+            }
+        }
+    }
+
+    /// The boxcar average is always within the min..max of its window.
+    #[test]
+    fn boxcar_average_bounded(samples in prop::collection::vec(0.0f64..100.0, 1..300), window in 1usize..64) {
+        let mut b = BoxcarProxy::new(window);
+        let mut recent: Vec<f64> = Vec::new();
+        for &s in &samples {
+            b.push(s);
+            recent.push(s);
+            if recent.len() > window {
+                recent.remove(0);
+            }
+            let lo = recent.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = recent.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(b.average() >= lo - 1e-9 && b.average() <= hi + 1e-9);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Functional and timed execution always agree on program output.
+    #[test]
+    fn timing_model_preserves_architectural_results(seed in 0u64..1000) {
+        // A small program with a data-dependent loop derived from the seed.
+        let n = 5 + (seed % 40);
+        let src = format!(
+            "     li x1, {n}
+                  li x5, 0
+             l:   add x5, x5, x1
+                  addi x1, x1, -1
+                  bne x1, x0, l
+                  out x5
+                  halt"
+        );
+        let program = tdtm::isa::asm::assemble(&src).expect("assembles");
+        let mut cpu = tdtm::frontend::Cpu::new(&program);
+        cpu.run_to_halt(100_000).expect("halts");
+
+        let mut core = tdtm::uarch::Core::new(tdtm::uarch::CoreConfig::alpha21264_like(), &program);
+        let mut guard = 0;
+        while !core.finished() {
+            core.cycle();
+            guard += 1;
+            prop_assert!(guard < 1_000_000, "timing model hung");
+        }
+        prop_assert_eq!(core.output(), cpu.output());
+        prop_assert_eq!(core.stats().committed, cpu.retired_count());
+    }
+}

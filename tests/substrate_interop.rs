@@ -1,0 +1,122 @@
+//! Cross-crate contract tests: the calibration assumptions that make the
+//! layered model hang together (power peaks ↔ thermal resistances ↔ DTM
+//! thresholds ↔ controller plant model).
+
+use tdtm::control::design::FopdtPlant;
+use tdtm::dtm::DtmConfig;
+use tdtm::power::{PowerConfig, PowerModel};
+use tdtm::thermal::block_model::table3_blocks;
+use tdtm::thermal::SiliconProperties;
+use tdtm::uarch::activity::THERMAL_BLOCKS;
+use tdtm::uarch::CoreConfig;
+
+/// The paper's whole premise requires every thermally tracked structure to
+/// be *able* to exceed the emergency threshold at peak activity, and none
+/// to exceed it at idle — otherwise its benchmark categories can't exist.
+#[test]
+fn peak_power_and_thermal_r_bracket_the_emergency_threshold() {
+    let power = PowerModel::new(&PowerConfig::default(), &CoreConfig::alpha21264_like());
+    let dtm = DtmConfig::default();
+    let heatsink = 103.0;
+    for (params, hw) in table3_blocks().iter().zip(THERMAL_BLOCKS) {
+        let peak_delta = power.peak(hw) * params.r;
+        let idle_delta = 0.1 * power.peak(hw) * params.r; // cc3 idle floor
+        assert!(
+            heatsink + peak_delta > dtm.emergency,
+            "{}: peak steady state {:.1} C cannot reach the {:.1} C threshold",
+            params.name,
+            heatsink + peak_delta,
+            dtm.emergency
+        );
+        assert!(
+            heatsink + idle_delta < dtm.trigger,
+            "{}: idle steady state {:.1} C must sit below the trigger",
+            params.name,
+            heatsink + idle_delta
+        );
+    }
+}
+
+/// The DTM config's plant model must describe the actual thermal blocks:
+/// tau is the longest block RC (the paper's rule) and the gain is in the
+/// band of peak-power × R across blocks.
+#[test]
+fn dtm_plant_model_matches_the_thermal_substrate() {
+    let dtm = DtmConfig::default();
+    let blocks = table3_blocks();
+    let longest_tau =
+        blocks.iter().map(|b| b.time_constant()).fold(0.0f64, f64::max);
+    assert!(
+        (dtm.plant_tau - longest_tau).abs() / longest_tau < 0.05,
+        "plant tau {} vs longest block tau {}",
+        dtm.plant_tau,
+        longest_tau
+    );
+
+    let power = PowerModel::new(&PowerConfig::default(), &CoreConfig::alpha21264_like());
+    let deltas: Vec<f64> = blocks
+        .iter()
+        .zip(THERMAL_BLOCKS)
+        .map(|(b, hw)| power.peak(hw) * b.r)
+        .collect();
+    let lo = deltas.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = deltas.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        (lo * 0.8..=hi * 1.2).contains(&dtm.plant_gain),
+        "plant gain {} outside the blocks' controllable-swing band [{lo:.1}, {hi:.1}]",
+        dtm.plant_gain
+    );
+
+    // And the designed loop must be stable for that plant.
+    let plant = FopdtPlant {
+        gain: dtm.plant_gain,
+        time_constant: dtm.plant_tau,
+        delay: dtm.loop_delay(1.5e9),
+    };
+    let gains =
+        tdtm::control::design::design_controller(&plant, tdtm::control::design::ControllerKind::Pid);
+    let ol = gains.transfer_function().series(&plant.transfer_function());
+    assert!(tdtm::control::stability::routh_hurwitz(&ol.pade1().characteristic_polynomial())
+        .is_stable());
+}
+
+/// Table 3 consistency: the thermal parameters in `tdtm-thermal` derive
+/// from the same silicon constants and areas everywhere.
+#[test]
+fn table3_parameters_are_internally_consistent() {
+    let si = SiliconProperties::effective();
+    for b in table3_blocks() {
+        assert!((b.r - si.r_normal(b.area).0).abs() < 1e-12, "{}", b.name);
+        assert!((b.c - si.c_block(b.area).0).abs() < 1e-15, "{}", b.name);
+        assert!(
+            (b.time_constant() - si.block_time_constant().0).abs() < 1e-12,
+            "{}: tau must equal the material identity rho·c_v·t^2",
+            b.name
+        );
+    }
+}
+
+/// The stress threshold used in metrics is exactly 1 K under emergency
+/// (the paper's Table 4 pairing), and the CT setpoint sits between the
+/// non-CT trigger and the emergency level.
+#[test]
+fn threshold_ordering_is_the_papers() {
+    let d = DtmConfig::default();
+    assert!(d.trigger < d.setpoint && d.setpoint < d.emergency);
+    assert!((d.emergency - d.setpoint - 0.2).abs() < 1e-9);
+    assert!((d.emergency - d.trigger - 2.0).abs() < 1e-9);
+    assert!(d.backup_trigger > d.setpoint && d.backup_trigger < d.emergency);
+}
+
+/// Sampling is far below the thermal time scale — the premise of the
+/// paper's continuous-domain controller design.
+#[test]
+fn sampling_is_quasi_continuous() {
+    let d = DtmConfig::default();
+    let period = d.sample_period(1.5e9);
+    assert!(
+        d.plant_tau / period > 100.0,
+        "thermal tau must dwarf the sampling period ({} vs {period})",
+        d.plant_tau
+    );
+}
