@@ -2,37 +2,29 @@
 //! paper argues dedicated adder+multiplier hardware for it is negligible)
 //! and the one-time design cost.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tdtm_bench::microbench::{black_box, Harness};
 use tdtm_control::design::{design_controller, ControllerKind, FopdtPlant};
 use tdtm_control::pid::{quantize, PidController};
 use tdtm_dtm::{build_policy, DtmConfig, PolicyKind};
 
-fn bench_controller(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new();
     let plant = FopdtPlant { gain: 8.0, time_constant: 8.4e-5, delay: 333e-9 };
     let gains = design_controller(&plant, ControllerKind::Pid);
 
     let mut pid = PidController::new(gains, 667e-9, 0.0, 1.0);
-    c.bench_function("pid_sample", |b| {
-        let mut e = 0.1f64;
-        b.iter(|| {
-            e = -e;
-            black_box(pid.sample(black_box(e)))
-        })
+    let mut e = 0.1f64;
+    h.bench("pid_sample", || {
+        e = -e;
+        pid.sample(black_box(e))
     });
 
-    c.bench_function("quantize_8_levels", |b| b.iter(|| quantize(black_box(0.37), 8)));
+    h.bench("quantize_8_levels", || quantize(black_box(0.37), 8));
 
     let cfg = DtmConfig { policy: PolicyKind::Pid, ..DtmConfig::default() };
     let mut policy = build_policy(&cfg);
     let temps = [109.0, 110.0, 110.5, 109.5, 108.0, 110.9, 107.0];
-    c.bench_function("pid_policy_sample_7_blocks", |b| {
-        b.iter(|| policy.sample(black_box(&temps)))
-    });
+    h.bench("pid_policy_sample_7_blocks", || policy.sample(black_box(&temps)));
 
-    c.bench_function("design_pid_controller", |b| {
-        b.iter(|| design_controller(black_box(&plant), ControllerKind::Pid))
-    });
+    h.bench("design_pid_controller", || design_controller(black_box(&plant), ControllerKind::Pid));
 }
-
-criterion_group!(benches, bench_controller);
-criterion_main!(benches);

@@ -1,23 +1,20 @@
 //! End-to-end simulation throughput: cycles per second of the timing
 //! core alone and of the full core→power→thermal loop.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tdtm_bench::microbench::{black_box, Harness};
 use tdtm_power::{PowerConfig, PowerModel};
 use tdtm_thermal::block_model::{table3_blocks, BlockModel};
 use tdtm_uarch::{Core, CoreConfig};
 use tdtm_workloads::by_name;
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator");
-    group.throughput(Throughput::Elements(1));
+fn main() {
+    let mut h = Harness::new();
 
     for bench in ["gcc", "crafty"] {
         let w = by_name(bench).expect("suite workload");
         let mut core = Core::with_skip(CoreConfig::alpha21264_like(), w.program(), w.warmup_insts);
-        group.bench_function(format!("core_cycle_{bench}"), |b| {
-            b.iter(|| {
-                black_box(core.cycle());
-            })
+        h.bench(&format!("core_cycle_{bench}"), || {
+            black_box(core.cycle());
         });
     }
 
@@ -26,17 +23,10 @@ fn bench_simulator(c: &mut Criterion) {
     let mut core = Core::with_skip(core_cfg, w.program(), w.warmup_insts);
     let power = PowerModel::new(&PowerConfig::default(), &core_cfg);
     let mut thermal = BlockModel::new(table3_blocks(), 103.0, core_cfg.cycle_time());
-    group.bench_function("full_loop_cycle_gcc", |b| {
-        b.iter(|| {
-            let activity = core.cycle();
-            let sample = power.cycle_power(activity);
-            thermal.step(&sample.thermal_powers());
-            black_box(thermal.temperatures()[0])
-        })
+    h.bench("full_loop_cycle_gcc", || {
+        let activity = core.cycle();
+        let sample = power.cycle_power(activity);
+        thermal.step(&sample.thermal_powers());
+        black_box(thermal.temperatures()[0])
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_simulator);
-criterion_main!(benches);

@@ -2,23 +2,20 @@
 //! is "computationally efficient": per-cycle thermal stepping must be
 //! negligible next to pipeline and power modeling.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tdtm_bench::microbench::{black_box, Harness};
 use tdtm_thermal::block_model::{table3_blocks, BlockModel};
 use tdtm_thermal::network::RcNetwork;
 
-fn bench_thermal(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new();
     let dt = 1.0 / 1.5e9;
     let powers = [3.0, 8.0, 2.5, 4.0, 9.0, 6.0, 5.0];
 
     let mut exact = BlockModel::new(table3_blocks(), 103.0, dt);
-    c.bench_function("block_model_step_exact_7_blocks", |b| {
-        b.iter(|| exact.step(black_box(&powers)))
-    });
+    h.bench("block_model_step_exact_7_blocks", || exact.step(black_box(&powers)));
 
     let mut euler = BlockModel::new(table3_blocks(), 103.0, dt);
-    c.bench_function("block_model_step_euler_7_blocks", |b| {
-        b.iter(|| euler.step_euler(black_box(&powers)))
-    });
+    h.bench("block_model_step_euler_7_blocks", || euler.step_euler(black_box(&powers)));
 
     // The full network (blocks + tangential + heatsink) for comparison:
     // the fidelity the simplified model avoids paying for.
@@ -39,10 +36,5 @@ fn bench_thermal(c: &mut Criterion) {
     for (n, p) in nodes.iter().zip(powers) {
         net.set_power(*n, p);
     }
-    c.bench_function("full_rc_network_step_9_nodes", |b| {
-        b.iter(|| net.step(black_box(dt)))
-    });
+    h.bench("full_rc_network_step_9_nodes", || net.step(black_box(dt)));
 }
-
-criterion_group!(benches, bench_thermal);
-criterion_main!(benches);

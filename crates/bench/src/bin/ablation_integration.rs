@@ -5,13 +5,14 @@
 //! before temperature error matters — the cost knob for faster
 //! simulation.
 
+use tdtm_core::engine::{shard_map, thread_count};
 use tdtm_core::report::TextTable;
 use tdtm_thermal::block_model::{table3_blocks, BlockModel};
 
 /// A deterministic bursty power trace generator (hot/cool phases plus a
 /// pseudo-random flutter), mimicking per-block power from a real run.
 fn power_at(cycle: u64) -> [f64; 7] {
-    let phase_hot = (cycle / 150_000) % 2 == 0;
+    let phase_hot = (cycle / 150_000).is_multiple_of(2);
     let flutter = ((cycle.wrapping_mul(2654435761)) >> 24) as f64 / 255.0; // 0..1
     let base = if phase_hot { 1.0 } else { 0.25 };
     [
@@ -47,8 +48,14 @@ fn main() {
         cycles
     );
 
-    let mut t = TextTable::new(["batch (cycles)", "max error vs per-cycle (K)", "steps taken"]);
-    for batch in [1u64, 4, 16, 64, 256, 1024, 4096, 16_384] {
+    // Each batch size is an independent cell (its reference model is
+    // recomputed inside the cell, so cells share nothing); shard them
+    // across the engine's workers. shard_map returns rows in batch order
+    // regardless of thread count.
+    let batches = [1u64, 4, 16, 64, 256, 1024, 4096, 16_384];
+    let threads = thread_count();
+    let rows = shard_map(&batches, threads, |_, &batch| {
+        let start = std::time::Instant::now();
         let mut reference = BlockModel::new(table3_blocks(), 103.0, dt);
         let mut batched = BlockModel::new(table3_blocks(), 103.0, dt * batch as f64);
         let mut acc = [0.0f64; 7];
@@ -71,8 +78,20 @@ fn main() {
                 }
             }
         }
-        t.row([batch.to_string(), format!("{max_err:.2e}"), steps.to_string()]);
+        (batch, max_err, steps, start.elapsed().as_secs_f64())
+    });
+
+    let mut t =
+        TextTable::new(["batch (cycles)", "max error vs per-cycle (K)", "steps taken", "wall (s)"]);
+    for (batch, max_err, steps, wall) in rows {
+        t.row([
+            batch.to_string(),
+            format!("{max_err:.2e}"),
+            steps.to_string(),
+            format!("{wall:.3}"),
+        ]);
     }
+    println!("({} cells on {threads} thread(s))\n", batches.len());
     println!("{}", t.render());
     println!("batching the exact update with mean power stays within millikelvins out to");
     println!("thousands of cycles (the thermal dynamics are the 84 us block constants, not");

@@ -42,7 +42,7 @@ fn main() {
         let uu = unprotected.sample(e);
         let interesting = k < 2
             || (k + 5 >= phase1 && k < phase1 + 10)
-            || (k >= phase1 && (k - phase1) % 10 == 0);
+            || (k >= phase1 && (k - phase1).is_multiple_of(10));
         if interesting {
             t.row([
                 k.to_string(),

@@ -5,8 +5,8 @@
 //! entering thermal emergency.
 
 use tdtm_bench::banner;
-use tdtm_core::experiments::{compare_policies_suite, ExperimentScale};
-use tdtm_core::report::TextTable;
+use tdtm_core::experiments::{compare_policies_grid, group_policy_comparisons, ExperimentScale};
+use tdtm_core::report::{grid_summary, TextTable};
 use tdtm_dtm::PolicyKind;
 
 fn main() {
@@ -21,7 +21,10 @@ fn main() {
         PolicyKind::Pi,
         PolicyKind::Pid,
     ];
-    let rows = compare_policies_suite(scale, &policies);
+    // The whole (18 benchmarks × 7 policies) grid shards across
+    // TDTM_THREADS workers; the reports are thread-count independent.
+    let results = compare_policies_grid(scale, &policies).run();
+    let rows = group_policy_comparisons(&results);
 
     let mut header = vec!["benchmark".to_string(), "base emerg".to_string()];
     for p in policies {
@@ -72,4 +75,7 @@ fn main() {
              with the trigger only 0.2 K below the emergency threshold"
         );
     }
+
+    println!("\n-- engine observability --\n");
+    println!("{}", grid_summary(&results));
 }

@@ -5,10 +5,9 @@
 //! the chip-wide view misses.
 
 use tdtm_bench::banner;
+use tdtm_core::engine::ExperimentGrid;
 use tdtm_core::experiments::ExperimentScale;
-use tdtm_core::report::TextTable;
-use tdtm_core::{SimConfig, Simulator};
-use tdtm_dtm::PolicyKind;
+use tdtm_core::report::{grid_summary, TextTable};
 use tdtm_thermal::chipwide::{ChipWideModel, ChipWideParams};
 use tdtm_workloads::by_name;
 
@@ -17,15 +16,26 @@ fn main() {
     banner("Section 6: localized vs chip-wide heating (art)", scale);
 
     let w = by_name("art").expect("art in suite");
-    let mut cfg: SimConfig = scale.config(PolicyKind::None);
-    cfg.max_insts = scale.insts.max(1_500_000);
+    // A single-cell grid: `art` without DTM, stretched to at least 1.5M
+    // instructions so the burst structure shows, with trace recording
+    // attached through the engine's custom-driver hook.
+    let grid = ExperimentGrid::new(scale)
+        .workload(w)
+        .variant("long", |cfg| cfg.max_insts = cfg.max_insts.max(1_500_000));
+    let cfg = grid.cells()[0].config();
     let emergency = cfg.dtm.emergency;
     let cycle_time = cfg.cycle_time();
-    let mut sim = Simulator::for_workload(cfg, &w);
     let stride = 25_000u64;
-    sim.record_trace(stride);
-    let report = sim.run();
-    let trace = sim.trace().expect("recorded").clone();
+    let results = grid.run_with(|cell| {
+        let mut sim = cell.simulator();
+        sim.record_trace(stride);
+        let report = sim.run();
+        let trace = sim.trace().expect("recorded").clone();
+        (report, trace)
+    });
+    let run = &results.runs[0];
+    let report = &run.report;
+    let trace = &run.extra;
 
     // Integrate the chip-wide model against the recorded power series.
     let mut chip = ChipWideModel::new(ChipWideParams::paper_defaults(), 27.0);
@@ -85,4 +95,7 @@ fn main() {
         chip_max - 103.0
     );
     println!("at chip granularity (block tau ~84 us vs chip tau ~1 minute).");
+
+    println!("\n-- engine observability --\n");
+    println!("{}", grid_summary(&results));
 }

@@ -5,9 +5,8 @@
 //! 500 K-cycle windows.
 
 use tdtm_bench::banner;
-use tdtm_core::experiments::{proxy_comparison, ExperimentScale};
-use tdtm_core::report::TextTable;
-use tdtm_workloads::suite;
+use tdtm_core::experiments::{proxy_comparison_suite, ExperimentScale};
+use tdtm_core::report::{grid_summary, TextTable};
 
 fn main() {
     let scale = ExperimentScale::from_env();
@@ -34,10 +33,12 @@ fn main() {
     // absolute scale (25-77 W averages), so the analogous operating point
     // is ~70 W; 47 W at our scale would simply be "always triggered".
     let chip_threshold_w = 70.0;
-    for w in suite() {
-        let (report, proxies) = proxy_comparison(&w, scale, &windows, &windows, chip_threshold_w);
-        let true_pct = 100.0 * report.emergency_fraction();
-        for p in &proxies {
+    // One engine cell per benchmark, sharded across TDTM_THREADS workers;
+    // each cell's extra payload is its proxy scores.
+    let results = proxy_comparison_suite(scale, &windows, &windows, chip_threshold_w);
+    for run in &results.runs {
+        let true_pct = 100.0 * run.report.emergency_fraction();
+        for p in &run.extra {
             // Aggregate blocks for the per-structure proxy; the chip-wide
             // proxy has a single entry.
             let mut agg = tdtm_thermal::comparison::AgreementCounts::new();
@@ -45,7 +46,7 @@ fn main() {
                 agg.merge(c);
             }
             let row = [
-                w.name.to_string(),
+                run.bench.clone(),
                 p.label.split_whitespace().last().unwrap_or("?").to_string(),
                 format!("{true_pct:.2}%"),
                 format!("{:.2}%", 100.0 * agg.miss_cycle_rate()),
@@ -65,4 +66,7 @@ fn main() {
     println!("{}", chip_wide.render());
     println!("missed %: cycles the RC model says are emergencies that the proxy fails to flag,");
     println!("as a fraction of all (block-)cycles; false trig %: proxy triggers with no emergency.");
+
+    println!("\n-- engine observability --\n");
+    println!("{}", grid_summary(&results));
 }

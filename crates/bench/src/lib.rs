@@ -1,8 +1,8 @@
 //! # tdtm-bench — benchmark harness and table/figure regeneration
 //!
 //! One binary per table/figure of the paper (see `DESIGN.md` §3 for the
-//! index), plus Criterion microbenchmarks backing the "computationally
-//! efficient" claims:
+//! index), plus std-only microbenchmarks ([`microbench`]) backing the
+//! "computationally efficient" claims:
 //!
 //! ```text
 //! cargo run -p tdtm-bench --release --bin table04_benchmarks
@@ -12,6 +12,8 @@
 //!
 //! Every binary reads the `TDTM_INSTS` environment variable to scale the
 //! per-benchmark instruction budget (default 1,000,000).
+
+pub mod microbench;
 
 use tdtm_core::experiments::ExperimentScale;
 

@@ -103,6 +103,8 @@ impl Mul<f64> for Complex {
 
 impl Div for Complex {
     type Output = Complex;
+    // Division via the reciprocal is the point, not a typo for `/`.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, o: Complex) -> Complex {
         self * o.recip()
     }
@@ -133,7 +135,7 @@ mod tests {
     fn arithmetic_identities() {
         let z = Complex::new(3.0, -4.0);
         assert_eq!(z.abs(), 5.0);
-        assert_eq!((z * z.recip() - Complex::ONE).abs() < 1e-15, true);
+        assert!((z * z.recip() - Complex::ONE).abs() < 1e-15);
         assert_eq!(Complex::J * Complex::J, Complex::new(-1.0, 0.0));
         assert_eq!(z + (-z), Complex::ZERO);
     }

@@ -35,7 +35,7 @@ impl DiscreteTransferFunction {
     /// coefficient, or if `period` is not positive.
     pub fn new(num: Vec<f64>, den: Vec<f64>, period: f64) -> DiscreteTransferFunction {
         assert!(period > 0.0, "period must be positive");
-        assert!(den.first().map_or(false, |&a| a != 0.0), "a_0 must be nonzero");
+        assert!(den.first().is_some_and(|&a| a != 0.0), "a_0 must be nonzero");
         DiscreteTransferFunction { num, den, period }
     }
 

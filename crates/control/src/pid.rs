@@ -205,6 +205,45 @@ mod tests {
     }
 
     #[test]
+    fn integral_clamp_matches_doc_comment() {
+        // The module doc promises two invariants: `Ki·∫e` is held inside
+        // the actuator range (rule 1), and ∫e never goes negative
+        // (rule 2). Drive the controller through saturation in both
+        // directions and check the invariants at every sample.
+        let ki = 4.0;
+        let (out_min, out_max) = (0.0, 1.0);
+        let mut c = PidController::new(
+            PidGains { kp: 0.5, ki, kd: 0.0 },
+            0.25,
+            out_min,
+            out_max,
+        );
+        let drive = |c: &mut PidController, error: f64, n: usize| {
+            for _ in 0..n {
+                let out = c.sample(error);
+                assert!((out_min..=out_max).contains(&out), "output {out} escaped actuator range");
+                let i_term = ki * c.integral();
+                assert!(
+                    i_term >= out_min - 1e-12 && i_term <= out_max + 1e-12,
+                    "Ki·∫e = {i_term} escaped the actuator range"
+                );
+                assert!(c.integral() >= 0.0, "integral went negative: {}", c.integral());
+            }
+        };
+        // Saturate high: the integral must stop at Ki·∫e = out_max.
+        drive(&mut c, 3.0, 40);
+        assert!((ki * c.integral() - out_max).abs() < 1e-9, "clamped at the rail");
+        // One sign flip ends saturation immediately (no unwinding tail).
+        assert!(c.sample(-0.5) < out_max, "must leave saturation in one sample");
+        // Saturate low: the non-negative rule pins ∫e at zero, not at
+        // Ki·∫e = out_min (which would also be zero here) or below.
+        drive(&mut c, -3.0, 40);
+        assert_eq!(c.integral(), 0.0, "paper rule: integral never negative");
+        // Recovery from the low rail is symmetric: positive error acts at once.
+        assert!(c.sample(1.0) > out_min, "must leave the low rail in one sample");
+    }
+
+    #[test]
     fn integral_never_negative_with_paper_rule() {
         let mut c = PidController::new(PidGains { ki: 1.0, kp: 0.1, ..PidGains::default() }, 1.0, 0.0, 1.0);
         for _ in 0..50 {

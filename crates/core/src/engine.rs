@@ -1,0 +1,477 @@
+//! The parallel, deterministic experiment engine.
+//!
+//! The paper's result tables are grids: every benchmark crossed with every
+//! policy (Section 7), or with every proxy configuration (Tables 9/10).
+//! Each cell is an independent simulation, so the grid shards perfectly
+//! across threads — but the *results* must not depend on scheduling.
+//!
+//! [`ExperimentGrid`] enumerates (workload × policy × config-variant)
+//! cells in a fixed order, [`shard_map`] fans them out over
+//! `std::thread::scope` workers, and results come back keyed by cell
+//! index. The reports are byte-identical regardless of worker count:
+//! `TDTM_THREADS=1` reproduces `TDTM_THREADS=8` exactly (only the
+//! wall-clock observability in [`RunObservation`] varies).
+//!
+//! ```
+//! use tdtm_core::engine::ExperimentGrid;
+//! use tdtm_core::experiments::ExperimentScale;
+//! use tdtm_dtm::PolicyKind;
+//!
+//! let grid = ExperimentGrid::new(ExperimentScale::quick())
+//!     .workload(tdtm_workloads::by_name("gcc").unwrap())
+//!     .policies(&[PolicyKind::None, PolicyKind::Pid]);
+//! let results = grid.run();
+//! assert_eq!(results.runs.len(), 2);
+//! assert!(results.runs[0].obs.thermal_steps > 0);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crate::config::SimConfig;
+use crate::experiments::ExperimentScale;
+use crate::metrics::RunReport;
+use crate::simulator::Simulator;
+use tdtm_dtm::PolicyKind;
+use tdtm_workloads::{suite, Workload};
+
+/// A configuration override applied to a cell's [`SimConfig`] after the
+/// scale and policy are set. A plain function pointer so cells stay
+/// `Clone` and trivially shareable across workers.
+pub type ConfigPatch = fn(&mut SimConfig);
+
+/// Worker count for [`ExperimentGrid::run`]: the `TDTM_THREADS`
+/// environment variable if set to a positive integer, else the machine's
+/// available parallelism.
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var("TDTM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Applies `f` to every item of `items`, sharding the work across
+/// `threads` scoped worker threads. Workers pull items from a shared
+/// atomic cursor (so uneven cell costs still balance), but the returned
+/// vector is ordered by item index — identical for any thread count.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the first worker panic observed).
+pub fn shard_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut keyed: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => keyed.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    keyed.sort_by_key(|&(i, _)| i);
+    keyed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// One cell of an [`ExperimentGrid`]: a workload under a policy with a
+/// named configuration variant, at a fixed position in the grid.
+#[derive(Clone)]
+pub struct GridCell {
+    /// Position in the grid's enumeration order (results come back in
+    /// this order).
+    pub index: usize,
+    /// The benchmark to run.
+    pub workload: Workload,
+    /// The DTM policy for this cell.
+    pub policy: PolicyKind,
+    /// Name of the configuration variant ("base" when none was given).
+    pub variant: &'static str,
+    /// The grid's scale.
+    pub scale: ExperimentScale,
+    patch: ConfigPatch,
+}
+
+impl GridCell {
+    /// A human-readable cell label, e.g. `gcc/PID` or `art/none/cold`.
+    pub fn label(&self) -> String {
+        if self.variant == "base" {
+            format!("{}/{}", self.workload.name, self.policy)
+        } else {
+            format!("{}/{}/{}", self.workload.name, self.policy, self.variant)
+        }
+    }
+
+    /// The cell's full configuration: scale + policy, then the variant
+    /// patch.
+    pub fn config(&self) -> SimConfig {
+        let mut cfg = self.scale.config(self.policy);
+        (self.patch)(&mut cfg);
+        cfg
+    }
+
+    /// A ready-to-run simulator for this cell.
+    pub fn simulator(&self) -> Simulator {
+        Simulator::for_workload(self.config(), &self.workload)
+    }
+}
+
+/// Host-side observability for one cell run: wall-clock cost, simulated
+/// throughput, and work counters. Unlike the [`RunReport`], these vary
+/// run to run and between thread counts — they are diagnostics, not
+/// results.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RunObservation {
+    /// Host wall-clock seconds spent on the cell.
+    pub wall_seconds: f64,
+    /// Thermal-model steps taken (= total simulated cycles, including
+    /// warmup).
+    pub thermal_steps: u64,
+    /// Instructions retired over counted cycles.
+    pub committed: u64,
+    /// Controller (DTM policy) invocations.
+    pub dtm_samples: u64,
+}
+
+impl RunObservation {
+    fn from_report(report: &RunReport, wall_seconds: f64) -> RunObservation {
+        RunObservation {
+            wall_seconds,
+            thermal_steps: report.total_cycles,
+            committed: report.committed,
+            dtm_samples: report.samples,
+        }
+    }
+
+    /// Simulated cycles per host second (the simulator's throughput on
+    /// this cell).
+    pub fn cycles_per_second(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.thermal_steps as f64 / self.wall_seconds
+        }
+    }
+}
+
+/// The result of one grid cell: the cell's identity, its deterministic
+/// [`RunReport`], host-side observability, and any extra payload produced
+/// by a [`run_with`](ExperimentGrid::run_with) closure.
+#[derive(Clone, Debug)]
+pub struct RunResult<R = ()> {
+    /// The cell's position in the grid enumeration.
+    pub index: usize,
+    /// Benchmark name.
+    pub bench: String,
+    /// Policy of the cell.
+    pub policy: PolicyKind,
+    /// Configuration-variant name.
+    pub variant: &'static str,
+    /// The deterministic simulation report.
+    pub report: RunReport,
+    /// Host-side timing and counters (not deterministic).
+    pub obs: RunObservation,
+    /// Extra payload from `run_with` (unit for plain runs).
+    pub extra: R,
+}
+
+impl<R> RunResult<R> {
+    /// The cell label (`bench/policy[/variant]`).
+    pub fn label(&self) -> String {
+        if self.variant == "base" {
+            format!("{}/{}", self.bench, self.policy)
+        } else {
+            format!("{}/{}/{}", self.bench, self.policy, self.variant)
+        }
+    }
+}
+
+/// All results of one grid execution, in cell order.
+#[derive(Clone, Debug)]
+pub struct GridResults<R = ()> {
+    /// One result per cell, ordered by cell index.
+    pub runs: Vec<RunResult<R>>,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Host wall-clock seconds for the whole grid.
+    pub wall_seconds: f64,
+}
+
+impl<R> GridResults<R> {
+    /// The deterministic reports alone, in cell order.
+    pub fn reports(&self) -> Vec<RunReport> {
+        self.runs.iter().map(|r| r.report.clone()).collect()
+    }
+
+    /// Total thermal steps across all cells.
+    pub fn total_thermal_steps(&self) -> u64 {
+        self.runs.iter().map(|r| r.obs.thermal_steps).sum()
+    }
+
+    /// Total instructions retired across all cells.
+    pub fn total_committed(&self) -> u64 {
+        self.runs.iter().map(|r| r.obs.committed).sum()
+    }
+
+    /// Aggregate simulated cycles per host second over the grid (total
+    /// steps over grid wall time — reflects the parallel speedup).
+    pub fn aggregate_cycles_per_second(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.total_thermal_steps() as f64 / self.wall_seconds
+        }
+    }
+}
+
+/// A (workload × policy × config-variant) experiment grid.
+///
+/// Build with the fluent methods, then [`run`](ExperimentGrid::run) (or
+/// [`run_with`](ExperimentGrid::run_with) to attach per-cell
+/// instrumentation). Cells are enumerated workload-major, then policy,
+/// then variant, and results always come back in that order.
+#[derive(Clone)]
+pub struct ExperimentGrid {
+    scale: ExperimentScale,
+    workloads: Vec<Workload>,
+    policies: Vec<PolicyKind>,
+    variants: Vec<(&'static str, ConfigPatch)>,
+}
+
+fn no_patch(_: &mut SimConfig) {}
+
+impl ExperimentGrid {
+    /// An empty grid at the given scale (no workloads yet; one implicit
+    /// `None` policy and one implicit `base` variant).
+    pub fn new(scale: ExperimentScale) -> ExperimentGrid {
+        ExperimentGrid {
+            scale,
+            workloads: Vec::new(),
+            policies: vec![PolicyKind::None],
+            variants: vec![("base", no_patch)],
+        }
+    }
+
+    /// Adds the full 18-benchmark suite as the workload axis.
+    pub fn suite(mut self) -> ExperimentGrid {
+        self.workloads.extend(suite());
+        self
+    }
+
+    /// Adds one workload to the workload axis.
+    pub fn workload(mut self, workload: Workload) -> ExperimentGrid {
+        self.workloads.push(workload);
+        self
+    }
+
+    /// Replaces the policy axis.
+    pub fn policies(mut self, policies: &[PolicyKind]) -> ExperimentGrid {
+        self.policies = policies.to_vec();
+        self
+    }
+
+    /// Replaces the variant axis with a single named configuration patch.
+    pub fn variant(mut self, name: &'static str, patch: ConfigPatch) -> ExperimentGrid {
+        self.variants = vec![(name, patch)];
+        self
+    }
+
+    /// Replaces the variant axis with several named configuration patches
+    /// (one cell per variant per workload per policy).
+    pub fn variants(mut self, variants: &[(&'static str, ConfigPatch)]) -> ExperimentGrid {
+        self.variants = variants.to_vec();
+        self
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.workloads.len() * self.policies.len() * self.variants.len()
+    }
+
+    /// Whether the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enumerates the cells in grid order: workload-major, then policy,
+    /// then variant.
+    pub fn cells(&self) -> Vec<GridCell> {
+        let mut cells = Vec::with_capacity(self.len());
+        for workload in &self.workloads {
+            for &policy in &self.policies {
+                for &(variant, patch) in &self.variants {
+                    cells.push(GridCell {
+                        index: cells.len(),
+                        workload: workload.clone(),
+                        policy,
+                        variant,
+                        scale: self.scale,
+                        patch,
+                    });
+                }
+            }
+        }
+        cells
+    }
+
+    /// Runs every cell on [`thread_count`] workers.
+    pub fn run(&self) -> GridResults {
+        self.run_threads(thread_count())
+    }
+
+    /// Runs every cell on exactly `threads` workers. The reports are
+    /// identical for any `threads` value.
+    pub fn run_threads(&self, threads: usize) -> GridResults {
+        self.run_with_threads(threads, |cell| (cell.simulator().run(), ()))
+    }
+
+    /// Runs every cell through a custom driver on [`thread_count`]
+    /// workers. The driver builds and runs the cell's simulator itself
+    /// (typically starting from [`GridCell::simulator`]) so it can attach
+    /// proxies, traces, or sensors, and returns the report plus any extra
+    /// payload.
+    pub fn run_with<R, F>(&self, f: F) -> GridResults<R>
+    where
+        R: Send,
+        F: Fn(&GridCell) -> (RunReport, R) + Sync,
+    {
+        self.run_with_threads(thread_count(), f)
+    }
+
+    /// [`run_with`](ExperimentGrid::run_with) on exactly `threads`
+    /// workers.
+    pub fn run_with_threads<R, F>(&self, threads: usize, f: F) -> GridResults<R>
+    where
+        R: Send,
+        F: Fn(&GridCell) -> (RunReport, R) + Sync,
+    {
+        let cells = self.cells();
+        let grid_start = Instant::now();
+        let runs = shard_map(&cells, threads, |_, cell| {
+            let start = Instant::now();
+            let (report, extra) = f(cell);
+            let wall = start.elapsed().as_secs_f64();
+            RunResult {
+                index: cell.index,
+                bench: cell.workload.name.to_string(),
+                policy: cell.policy,
+                variant: cell.variant,
+                obs: RunObservation::from_report(&report, wall),
+                report,
+                extra,
+            }
+        });
+        GridResults { runs, threads, wall_seconds: grid_start.elapsed().as_secs_f64() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdtm_workloads::by_name;
+
+    #[test]
+    fn shard_map_preserves_order_at_any_thread_count() {
+        let items: Vec<usize> = (0..37).collect();
+        for threads in [1, 2, 4, 16, 64] {
+            let out = shard_map(&items, threads, |i, &x| {
+                assert_eq!(i, x);
+                x * 10
+            });
+            let expect: Vec<usize> = items.iter().map(|&x| x * 10).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn shard_map_handles_empty_and_single() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(shard_map(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(shard_map(&[9u8], 4, |_, &x| x), vec![9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell exploded")]
+    fn shard_map_propagates_worker_panics() {
+        let items: Vec<usize> = (0..8).collect();
+        shard_map(&items, 4, |_, &x| {
+            if x == 5 {
+                panic!("cell exploded");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn cells_enumerate_workload_major_with_stable_indices() {
+        let grid = ExperimentGrid::new(ExperimentScale::quick())
+            .workload(by_name("gcc").unwrap())
+            .workload(by_name("art").unwrap())
+            .policies(&[PolicyKind::None, PolicyKind::Pid])
+            .variants(&[("base", no_patch), ("hot", |cfg| cfg.heatsink_temp = 107.0)]);
+        let cells = grid.cells();
+        assert_eq!(cells.len(), 8);
+        assert_eq!(grid.len(), 8);
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.index, i);
+        }
+        assert_eq!(cells[0].label(), "gcc/none");
+        assert_eq!(cells[1].label(), "gcc/none/hot");
+        assert_eq!(cells[2].label(), "gcc/PID");
+        assert_eq!(cells[4].label(), "art/none");
+        assert!((cells[1].config().heatsink_temp - 107.0).abs() < 1e-12);
+        assert!((cells[0].config().heatsink_temp - 107.0).abs() > 1.0);
+    }
+
+    #[test]
+    fn grid_run_reports_come_back_in_cell_order() {
+        let grid = ExperimentGrid::new(ExperimentScale::quick())
+            .workload(by_name("gcc").unwrap())
+            .policies(&[PolicyKind::None, PolicyKind::Toggle1]);
+        let results = grid.run_threads(2);
+        assert_eq!(results.threads, 2);
+        assert_eq!(results.runs.len(), 2);
+        assert_eq!(results.runs[0].policy, PolicyKind::None);
+        assert_eq!(results.runs[1].policy, PolicyKind::Toggle1);
+        for run in &results.runs {
+            assert!(run.obs.thermal_steps >= run.report.cycles);
+            assert!(run.obs.committed >= 30_000);
+            assert!(run.obs.wall_seconds > 0.0);
+            assert!(run.obs.cycles_per_second() > 0.0);
+        }
+        assert!(results.total_thermal_steps() > 0);
+        assert!(results.aggregate_cycles_per_second() > 0.0);
+    }
+
+    #[test]
+    fn thread_count_is_at_least_one() {
+        assert!(thread_count() >= 1);
+    }
+}

@@ -4,11 +4,12 @@
 //! print tables; keeping the logic here makes it testable.
 
 use crate::config::SimConfig;
+use crate::engine::{ExperimentGrid, GridResults};
 use crate::metrics::RunReport;
 use crate::simulator::Simulator;
 use tdtm_dtm::PolicyKind;
 use tdtm_thermal::comparison::AgreementCounts;
-use tdtm_workloads::{suite, ThermalCategory, Workload};
+use tdtm_workloads::{ThermalCategory, Workload};
 
 /// How much simulation to run per benchmark (scale knob for every
 /// experiment driver).
@@ -51,9 +52,11 @@ impl ExperimentScale {
 
     /// A [`SimConfig`] at this scale with the given policy.
     pub fn config(&self, policy: PolicyKind) -> SimConfig {
-        let mut cfg = SimConfig::default();
-        cfg.max_insts = self.insts;
-        cfg.thermal_warmup_cycles = self.warmup_cycles;
+        let mut cfg = SimConfig {
+            max_insts: self.insts,
+            thermal_warmup_cycles: self.warmup_cycles,
+            ..SimConfig::default()
+        };
         cfg.dtm.policy = policy;
         cfg
     }
@@ -66,9 +69,10 @@ pub fn characterize(workload: &Workload, scale: ExperimentScale) -> RunReport {
     sim.run()
 }
 
-/// Characterizes the whole 18-benchmark suite without DTM.
+/// Characterizes the whole 18-benchmark suite without DTM, sharded over
+/// the experiment engine.
 pub fn characterize_suite(scale: ExperimentScale) -> Vec<RunReport> {
-    suite().iter().map(|w| characterize(w, scale)).collect()
+    ExperimentGrid::new(scale).suite().run().reports()
 }
 
 /// Assigns a measured thermal category from a characterization run,
@@ -104,20 +108,15 @@ pub struct ProxyReport {
     pub per_block: Vec<(String, AgreementCounts)>,
 }
 
-/// Runs one workload with no DTM while scoring boxcar power proxies
-/// against the RC thermal model.
-pub fn proxy_comparison(
+/// Runs one proxy-scoring cell: builds the simulator from `cfg`, attaches
+/// the boxcar proxies, runs, and labels the agreement counts.
+fn proxy_cell_run(
+    cfg: SimConfig,
     workload: &Workload,
-    scale: ExperimentScale,
     structure_windows: &[usize],
     chipwide_windows: &[usize],
     chip_threshold_w: f64,
 ) -> (RunReport, Vec<ProxyReport>) {
-    let mut cfg = scale.config(PolicyKind::None);
-    // Cold-start the thermal state: the proxy comparison is about how the
-    // boxcar lags real heating *transients*, so the jump-started steady
-    // state would hide exactly the dynamics Tables 9/10 measure.
-    cfg.warm_start = false;
     let block_names: Vec<String> = cfg.blocks.iter().map(|b| b.name.clone()).collect();
     let mut sim = Simulator::for_workload(cfg, workload);
     for &w in structure_windows {
@@ -150,6 +149,46 @@ pub fn proxy_comparison(
     (report, proxies)
 }
 
+/// Runs one workload with no DTM while scoring boxcar power proxies
+/// against the RC thermal model.
+pub fn proxy_comparison(
+    workload: &Workload,
+    scale: ExperimentScale,
+    structure_windows: &[usize],
+    chipwide_windows: &[usize],
+    chip_threshold_w: f64,
+) -> (RunReport, Vec<ProxyReport>) {
+    let mut cfg = scale.config(PolicyKind::None);
+    // Cold-start the thermal state: the proxy comparison is about how the
+    // boxcar lags real heating *transients*, so the jump-started steady
+    // state would hide exactly the dynamics Tables 9/10 measure.
+    cfg.warm_start = false;
+    proxy_cell_run(cfg, workload, structure_windows, chipwide_windows, chip_threshold_w)
+}
+
+/// The Tables 9/10 proxy comparison over the whole suite, one engine cell
+/// per benchmark (each cold-started; see [`proxy_comparison`]). The extra
+/// payload of each cell is its [`ProxyReport`] list.
+pub fn proxy_comparison_suite(
+    scale: ExperimentScale,
+    structure_windows: &[usize],
+    chipwide_windows: &[usize],
+    chip_threshold_w: f64,
+) -> GridResults<Vec<ProxyReport>> {
+    ExperimentGrid::new(scale)
+        .suite()
+        .variant("cold", |cfg| cfg.warm_start = false)
+        .run_with(|cell| {
+            proxy_cell_run(
+                cell.config(),
+                &cell.workload,
+                structure_windows,
+                chipwide_windows,
+                chip_threshold_w,
+            )
+        })
+}
+
 /// One benchmark's DTM-policy comparison (the Section 7 results).
 #[derive(Clone, Debug)]
 pub struct DtmComparison {
@@ -171,32 +210,69 @@ impl DtmComparison {
     }
 }
 
+/// The policy axis for a comparison grid: the non-DTM baseline first,
+/// then each requested policy.
+fn baseline_first(policies: &[PolicyKind]) -> Vec<PolicyKind> {
+    let mut axis = vec![PolicyKind::None];
+    axis.extend(policies.iter().copied().filter(|&p| p != PolicyKind::None));
+    axis
+}
+
+/// The (suite × {baseline, policies…}) grid behind
+/// [`compare_policies_suite`] — exposed so binaries can run it themselves
+/// and print the engine's observability summary.
+pub fn compare_policies_grid(scale: ExperimentScale, policies: &[PolicyKind]) -> ExperimentGrid {
+    ExperimentGrid::new(scale).suite().policies(&baseline_first(policies))
+}
+
+/// Groups an executed comparison grid (baseline-first policy axis, as
+/// built by [`compare_policies_grid`]) into per-benchmark comparisons.
+///
+/// # Panics
+///
+/// Panics if the grid does not open each benchmark with a
+/// [`PolicyKind::None`] baseline cell.
+pub fn group_policy_comparisons(results: &GridResults) -> Vec<DtmComparison> {
+    let mut out: Vec<DtmComparison> = Vec::new();
+    for run in &results.runs {
+        if run.policy == PolicyKind::None {
+            out.push(DtmComparison {
+                bench: run.bench.clone(),
+                baseline: run.report.clone(),
+                runs: Vec::new(),
+            });
+        } else {
+            let current = out
+                .last_mut()
+                .filter(|c| c.bench == run.bench)
+                .expect("each benchmark must open with its PolicyKind::None baseline");
+            current.runs.push(run.report.clone());
+        }
+    }
+    out
+}
+
 /// Runs one workload under the baseline and each listed policy.
 pub fn compare_policies(
     workload: &Workload,
     scale: ExperimentScale,
     policies: &[PolicyKind],
 ) -> DtmComparison {
-    let baseline = characterize(workload, scale);
-    let runs = policies
-        .iter()
-        .map(|&p| {
-            let mut sim = Simulator::for_workload(scale.config(p), workload);
-            sim.run()
-        })
-        .collect();
-    DtmComparison { bench: workload.name.to_string(), baseline, runs }
+    let grid = ExperimentGrid::new(scale)
+        .workload(workload.clone())
+        .policies(&baseline_first(policies));
+    group_policy_comparisons(&grid.run())
+        .pop()
+        .expect("one workload yields one comparison")
 }
 
-/// Runs the policy comparison across the whole suite.
+/// Runs the policy comparison across the whole suite, sharded over the
+/// experiment engine.
 pub fn compare_policies_suite(
     scale: ExperimentScale,
     policies: &[PolicyKind],
 ) -> Vec<DtmComparison> {
-    suite()
-        .iter()
-        .map(|w| compare_policies(w, scale, policies))
-        .collect()
+    group_policy_comparisons(&compare_policies_grid(scale, policies).run())
 }
 
 /// Mean performance loss (100 − %-of-baseline) across comparisons for one
@@ -275,6 +351,30 @@ mod tests {
         let pct = cmp.percent_of_baseline(PolicyKind::Pid).unwrap();
         assert!(pct > 0.0 && pct <= 100.0 + 1e-9, "pct {pct}");
         assert!(cmp.percent_of_baseline(PolicyKind::Manual).is_none());
+    }
+
+    #[test]
+    fn grouping_matches_grid_order_and_baselines() {
+        let gcc = by_name("gcc").unwrap();
+        let art = by_name("art").unwrap();
+        let grid = ExperimentGrid::new(ExperimentScale::quick())
+            .workload(gcc.clone())
+            .workload(art)
+            .policies(&baseline_first(&[PolicyKind::Toggle1]));
+        let grouped = group_policy_comparisons(&grid.run_threads(3));
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped[0].bench, "gcc");
+        assert_eq!(grouped[1].bench, "art");
+        for cmp in &grouped {
+            assert_eq!(cmp.baseline.policy, "none");
+            assert_eq!(cmp.runs.len(), 1);
+            assert!(cmp.percent_of_baseline(PolicyKind::Toggle1).is_some());
+        }
+        // The engine-backed single-workload path reproduces the same
+        // reports (bitwise: the simulation is deterministic).
+        let serial = compare_policies(&gcc, ExperimentScale::quick(), &[PolicyKind::Toggle1]);
+        assert_eq!(serial.baseline, grouped[0].baseline);
+        assert_eq!(serial.runs, grouped[0].runs);
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   emergency, % of non-DTM IPC, per-structure temperatures);
 //! * [`experiments`] — drivers that regenerate each of the paper's tables
 //!   and result figures (see `DESIGN.md` for the index);
+//! * [`engine`] — the parallel experiment engine: [`ExperimentGrid`]
+//!   shards (workload × policy × variant) cells across scoped threads
+//!   (`TDTM_THREADS`) with deterministic, cell-ordered results;
 //! * [`report`] — plain-text table formatting shared by the `tdtm-bench`
 //!   binaries.
 //!
@@ -33,6 +36,7 @@
 //! ```
 
 pub mod config;
+pub mod engine;
 pub mod experiments;
 pub mod metrics;
 pub mod replay;
@@ -40,5 +44,6 @@ pub mod report;
 pub mod simulator;
 
 pub use config::SimConfig;
+pub use engine::{ExperimentGrid, GridResults, RunResult};
 pub use metrics::{BlockMetrics, RunReport};
 pub use simulator::Simulator;

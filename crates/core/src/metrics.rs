@@ -3,10 +3,8 @@
 //! "Our metrics of success are the percentage of cycles spent in thermal
 //! emergency and percentage of the non-DTM IPC."
 
-use serde::Serialize;
-
 /// Per-structure results of one run.
-#[derive(Clone, PartialEq, Debug, Serialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct BlockMetrics {
     /// Structure name (paper Table 3 naming).
     pub name: String,
@@ -26,7 +24,7 @@ pub struct BlockMetrics {
 }
 
 /// Results of one simulation run.
-#[derive(Clone, PartialEq, Debug, Serialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct RunReport {
     /// Workload name.
     pub name: String,
@@ -34,6 +32,10 @@ pub struct RunReport {
     pub policy: String,
     /// Cycles counted (after warmup).
     pub cycles: u64,
+    /// Total simulated cycles including warmup — every one of these took
+    /// a thermal-model step, so this is also the thermal-step count the
+    /// engine reports as host throughput.
+    pub total_cycles: u64,
     /// Instructions committed over counted cycles.
     pub committed: u64,
     /// Wall-clock seconds of counted simulated time (accounts for
@@ -124,6 +126,7 @@ mod tests {
             name: "t".into(),
             policy: "none".into(),
             cycles,
+            total_cycles: cycles + 500,
             committed,
             wall_time: cycles as f64 / 1.5e9,
             ipc: committed as f64 / cycles as f64,

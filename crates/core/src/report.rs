@@ -115,6 +115,41 @@ pub fn f(value: f64, decimals: usize) -> String {
     format!("{value:.decimals$}")
 }
 
+/// Renders the engine's per-grid observability summary: one row per cell
+/// with host wall-clock, simulated-cycle throughput, and work counters,
+/// plus an aggregate footer. Timing varies run to run; everything else is
+/// deterministic.
+pub fn grid_summary<R>(results: &crate::engine::GridResults<R>) -> String {
+    let mut t = TextTable::new([
+        "cell",
+        "wall (s)",
+        "Mcycles/s",
+        "insts retired",
+        "thermal steps",
+        "ctrl invocations",
+    ]);
+    for run in &results.runs {
+        t.row([
+            run.label(),
+            format!("{:.3}", run.obs.wall_seconds),
+            format!("{:.2}", run.obs.cycles_per_second() / 1e6),
+            run.obs.committed.to_string(),
+            run.obs.thermal_steps.to_string(),
+            run.obs.dtm_samples.to_string(),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(&format!(
+        "{} cells on {} thread(s): {:.2} s wall, {} thermal steps, aggregate {:.2} Mcycles/s\n",
+        results.runs.len(),
+        results.threads,
+        results.wall_seconds,
+        results.total_thermal_steps(),
+        results.aggregate_cycles_per_second() / 1e6,
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,7 +179,7 @@ mod tests {
     #[test]
     fn formatting_helpers() {
         assert_eq!(pct(0.1234), "12.34%");
-        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(f(1.23456, 2), "1.23");
     }
 
     #[test]
@@ -154,6 +189,7 @@ mod tests {
             name: "gcc".into(),
             policy: "PID".into(),
             cycles: 100,
+            total_cycles: 150,
             committed: 300,
             wall_time: 100.0 / 1.5e9,
             ipc: 3.0,
@@ -185,5 +221,18 @@ mod tests {
         assert_eq!(header.split(',').count(), row.split(',').count());
         assert!(row.starts_with("gcc,PID,100,300,3.0000,"));
         assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn grid_summary_renders_counters_and_footer() {
+        use crate::engine::ExperimentGrid;
+        use crate::experiments::ExperimentScale;
+        let grid = ExperimentGrid::new(ExperimentScale::quick())
+            .workload(tdtm_workloads::by_name("gcc").expect("known workload"));
+        let results = grid.run_threads(1);
+        let s = grid_summary(&results);
+        assert!(s.contains("gcc/none"), "summary:\n{s}");
+        assert!(s.contains("thermal steps"));
+        assert!(s.contains("1 cells on 1 thread(s)"));
     }
 }

@@ -404,8 +404,8 @@ impl Simulator {
 
             // Power-trace recording.
             if let Some(rec) = &mut self.power_trace {
-                for i in 0..NUM_THERMAL {
-                    rec.acc[i] += thermal_powers[i];
+                for (acc, &p) in rec.acc.iter_mut().zip(&thermal_powers) {
+                    *acc += p;
                 }
                 rec.acc_total += total_power;
                 rec.count += 1;
@@ -420,7 +420,7 @@ impl Simulator {
 
             // Trace recording.
             if let Some(trace) = &mut self.trace {
-                if cycle % trace.stride == 0 {
+                if cycle.is_multiple_of(trace.stride) {
                     let mut temps_arr = [0.0; NUM_THERMAL];
                     temps_arr.copy_from_slice(temps);
                     trace.cycles.push(cycle);
@@ -431,7 +431,7 @@ impl Simulator {
             }
 
             // DTM sampling.
-            if (cycle + 1) % interval == 0 {
+            if (cycle + 1).is_multiple_of(interval) {
                 self.sensors.read_all(temps, &mut sensed);
                 let cmd = self.policy.sample(&sensed);
                 samples += 1;
@@ -470,6 +470,7 @@ impl Simulator {
             name: self.name.clone(),
             policy: self.policy.kind().to_string(),
             cycles: counted_cycles,
+            total_cycles: cycle,
             committed,
             wall_time,
             ipc: committed as f64 / n,

@@ -141,8 +141,13 @@ impl DtmPolicy for Triggered {
 
     fn kind(&self) -> PolicyKind {
         match self.action {
-            TriggeredAction::Toggle(d) if d == 0.0 => PolicyKind::Toggle1,
-            TriggeredAction::Toggle(_) => PolicyKind::Toggle2,
+            TriggeredAction::Toggle(d) => {
+                if d == 0.0 {
+                    PolicyKind::Toggle1
+                } else {
+                    PolicyKind::Toggle2
+                }
+            }
             TriggeredAction::Throttle(_) => PolicyKind::Throttle,
             TriggeredAction::SpecControl(_) => PolicyKind::SpecControl,
             TriggeredAction::VfScale => PolicyKind::VfScale,

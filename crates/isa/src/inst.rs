@@ -10,6 +10,7 @@ use std::fmt;
 /// concrete operand fields live in [`Inst`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 #[repr(u8)]
+#[derive(Default)]
 pub enum Op {
     // Integer register-register ALU.
     Add,
@@ -90,6 +91,7 @@ pub enum Op {
     /// Append `rs1` to the program's output channel.
     Out,
     /// No operation.
+    #[default]
     Nop,
 }
 
@@ -262,11 +264,6 @@ pub struct Inst {
     pub imm: i32,
 }
 
-impl Default for Op {
-    fn default() -> Op {
-        Op::Nop
-    }
-}
 
 impl Inst {
     /// A canonical `nop`.

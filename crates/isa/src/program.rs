@@ -49,7 +49,7 @@ impl Program {
     /// The instruction at virtual address `addr`, if it falls inside the
     /// text segment.
     pub fn inst_at(&self, addr: u64) -> Option<&Inst> {
-        if addr < TEXT_BASE || addr % 4 != 0 {
+        if addr < TEXT_BASE || !addr.is_multiple_of(4) {
             return None;
         }
         self.insts.get(((addr - TEXT_BASE) / 4) as usize)

@@ -1,16 +1,12 @@
-//! Property tests tying the three instruction representations together:
-//! decoded struct ⇄ binary encoding ⇄ assembly text.
+//! Randomized tests tying the three instruction representations together:
+//! decoded struct ⇄ binary encoding ⇄ assembly text. Cases are drawn from
+//! the in-repo deterministic PRNG, so every failure reproduces exactly.
 
-use proptest::prelude::*;
 use tdtm_isa::asm::assemble;
 use tdtm_isa::encoding::{decode, encode};
 use tdtm_isa::image;
 use tdtm_isa::{FReg, Inst, Op, Program, Reg};
-
-fn arb_op() -> impl Strategy<Value = Op> {
-    let all = Op::all();
-    (0..all.len()).prop_map(move |i| all[i])
-}
+use tdtm_prng::{cases, Rng};
 
 /// Whether an opcode's assembly syntax carries an immediate operand.
 fn uses_imm(op: Op) -> bool {
@@ -46,72 +42,82 @@ fn uses_imm(op: Op) -> bool {
 /// pair. Random operand fields are projected through the assembler once
 /// (which zeroes the fields an opcode's syntax does not carry) so the
 /// round-trip properties below test idempotence on the canonical form.
-fn arb_canonical_inst() -> impl Strategy<Value = Inst> {
-    (arb_op(), 0u8..32, 1u8..32, 1u8..32, -100_000i32..100_000).prop_map(
-        |(op, a, b, c, imm)| {
-            let raw = Inst {
-                op,
-                rd: Reg::new(a),
-                rs1: Reg::new(b),
-                rs2: Reg::new(c),
-                fd: FReg::new(a),
-                fs1: FReg::new(b),
-                fs2: FReg::new(c),
-                imm: if uses_imm(op) { imm } else { 0 },
-            };
-            let text = raw.to_string();
-            let assembled = assemble(&text)
-                .unwrap_or_else(|e| panic!("`{text}` failed to assemble: {e}"));
-            assembled.insts[0]
-        },
-    )
+fn arb_canonical_inst(rng: &mut Rng) -> Inst {
+    let all = Op::all();
+    let op = all[rng.index(all.len())];
+    let a = rng.range_i64(0, 32) as u8;
+    let b = rng.range_i64(1, 32) as u8;
+    let c = rng.range_i64(1, 32) as u8;
+    let imm = rng.range_i64(-100_000, 100_000) as i32;
+    let raw = Inst {
+        op,
+        rd: Reg::new(a),
+        rs1: Reg::new(b),
+        rs2: Reg::new(c),
+        fd: FReg::new(a),
+        fs1: FReg::new(b),
+        fs2: FReg::new(c),
+        imm: if uses_imm(op) { imm } else { 0 },
+    };
+    let text = raw.to_string();
+    let assembled = assemble(&text).unwrap_or_else(|e| panic!("`{text}` failed to assemble: {e}"));
+    assembled.insts[0]
 }
 
-proptest! {
-    /// The disassembly of any instruction reassembles to itself.
-    #[test]
-    fn display_reassembles(inst in arb_canonical_inst()) {
+/// The disassembly of any instruction reassembles to itself.
+#[test]
+fn display_reassembles() {
+    cases(256, 0x15a_0001, |rng| {
+        let inst = arb_canonical_inst(rng);
         let text = inst.to_string();
-        let program = assemble(&text)
-            .unwrap_or_else(|e| panic!("`{text}` failed to assemble: {e}"));
-        prop_assert_eq!(program.insts.len(), 1, "one line, one instruction: `{}`", text);
-        prop_assert_eq!(program.insts[0], inst, "`{}`", text);
-    }
+        let program =
+            assemble(&text).unwrap_or_else(|e| panic!("`{text}` failed to assemble: {e}"));
+        assert_eq!(program.insts.len(), 1, "one line, one instruction: `{text}`");
+        assert_eq!(program.insts[0], inst, "`{text}`");
+    });
+}
 
-    /// Canonical instructions survive the binary encoding exactly.
-    #[test]
-    fn encoding_round_trips_canonical(inst in arb_canonical_inst()) {
+/// Canonical instructions survive the binary encoding exactly.
+#[test]
+fn encoding_round_trips_canonical() {
+    cases(256, 0x15a_0002, |rng| {
+        let inst = arb_canonical_inst(rng);
         let e = encode(&inst);
-        prop_assert_eq!(decode(e.word, e.ext).expect("decodes"), inst);
-    }
+        assert_eq!(decode(e.word, e.ext).expect("decodes"), inst);
+    });
+}
 
-    /// Whole programs survive the binary image format.
-    #[test]
-    fn image_round_trips_programs(insts in prop::collection::vec(arb_canonical_inst(), 0..200),
-                                  data in prop::collection::vec(any::<u8>(), 0..512)) {
+/// Whole programs survive the binary image format.
+#[test]
+fn image_round_trips_programs() {
+    cases(32, 0x15a_0003, |rng| {
+        let n_insts = rng.range_i64(0, 200);
+        let n_data = rng.range_i64(0, 512);
         let mut p = Program::new("prop");
-        p.insts = insts;
-        if !data.is_empty() {
+        p.insts = (0..n_insts).map(|_| arb_canonical_inst(rng)).collect();
+        if n_data > 0 {
             p.data.push(tdtm_isa::program::DataSegment {
                 base: tdtm_isa::program::DATA_BASE,
-                bytes: data,
+                bytes: (0..n_data).map(|_| rng.next_u64() as u8).collect(),
             });
         }
         let img = image::save(&p);
         let back = image::load(&img).expect("loads");
-        prop_assert_eq!(p, back);
-    }
+        assert_eq!(p, back);
+    });
+}
 
-    /// Corrupting any single byte of an image never panics: it either
-    /// still loads (the byte was slack, e.g. inside data) or errors
-    /// cleanly.
-    #[test]
-    fn image_loader_is_total(byte_index in 0usize..64, new_value in any::<u8>()) {
-        let p = assemble("li x1, 5\nl: addi x1, x1, -1\nbne x1, x0, l\nhalt").expect("assembles");
-        let mut img = image::save(&p);
-        if byte_index < img.len() {
-            img[byte_index] = new_value;
+/// Corrupting any single byte of an image never panics: it either still
+/// loads (the byte was slack, e.g. inside data) or errors cleanly.
+#[test]
+fn image_loader_is_total() {
+    let p = assemble("li x1, 5\nl: addi x1, x1, -1\nbne x1, x0, l\nhalt").expect("assembles");
+    let img = image::save(&p);
+    for byte_index in 0..img.len().min(64) {
+        for new_value in [0x00u8, 0x01, 0x7f, 0x80, 0xff] {
+            let mut corrupt = img.clone();
+            corrupt[byte_index] = new_value;
+            let _ = image::load(&corrupt); // must not panic
         }
-        let _ = image::load(&img); // must not panic
     }
 }

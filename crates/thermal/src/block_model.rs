@@ -147,8 +147,8 @@ impl BlockModel {
     /// Panics if `powers.len()` differs from the number of blocks.
     pub fn warm_start(&mut self, powers: &[Watts]) {
         assert_eq!(powers.len(), self.params.len(), "one power per block");
-        for i in 0..self.temps.len() {
-            self.temps[i] = self.heatsink + powers[i] * self.params[i].r;
+        for (temp, (&power, p)) in self.temps.iter_mut().zip(powers.iter().zip(&self.params)) {
+            *temp = self.heatsink + power * p.r;
         }
     }
 
@@ -168,9 +168,14 @@ impl BlockModel {
     /// Panics if `powers.len()` differs from the number of blocks.
     pub fn step(&mut self, powers: &[Watts]) {
         assert_eq!(powers.len(), self.params.len(), "one power per block");
-        for i in 0..self.temps.len() {
-            let t_ss = self.heatsink + powers[i] * self.params[i].r;
-            self.temps[i] = t_ss + (self.temps[i] - t_ss) * self.decay[i];
+        for ((temp, &power), (p, &decay)) in self
+            .temps
+            .iter_mut()
+            .zip(powers)
+            .zip(self.params.iter().zip(&self.decay))
+        {
+            let t_ss = self.heatsink + power * p.r;
+            *temp = t_ss + (*temp - t_ss) * decay;
         }
     }
 
@@ -182,9 +187,8 @@ impl BlockModel {
     /// Panics if `powers.len()` differs from the number of blocks.
     pub fn step_euler(&mut self, powers: &[Watts]) {
         assert_eq!(powers.len(), self.params.len(), "one power per block");
-        for i in 0..self.temps.len() {
-            let p = &self.params[i];
-            self.temps[i] += self.dt / p.c * (powers[i] - (self.temps[i] - self.heatsink) / p.r);
+        for ((temp, &power), p) in self.temps.iter_mut().zip(powers).zip(&self.params) {
+            *temp += self.dt / p.c * (power - (*temp - self.heatsink) / p.r);
         }
     }
 
@@ -255,8 +259,8 @@ mod tests {
         for _ in 0..1000 {
             coarse.step(&powers);
         }
-        for i in 0..2 {
-            let expect = m.steady_state(i, powers[i]);
+        for (i, &p) in powers.iter().enumerate() {
+            let expect = m.steady_state(i, p);
             assert!(
                 (coarse.temperatures()[i] - expect).abs() < 1e-3,
                 "block {i}: {} vs {expect}",
@@ -351,5 +355,66 @@ mod tests {
     fn power_vector_length_checked() {
         let mut m = two_block_model();
         m.step(&[1.0]);
+    }
+
+    #[test]
+    fn set_dt_recomputes_the_precomputed_decay() {
+        // Regression guard for the V/f-scaling path: `step` uses a decay
+        // factor precomputed from dt, so a `set_dt` that forgot to refresh
+        // it would silently keep integrating at the old cycle time. A
+        // model re-timed via `set_dt` must step bit-identically to one
+        // constructed at the new dt.
+        let powers = [6.0, 3.0];
+        let slow_dt = 2.5 * DT; // e.g. frequency scaled down to 0.4x
+        let mut retimed = two_block_model();
+        for _ in 0..100 {
+            retimed.step(&powers);
+        }
+        let mut fresh = BlockModel::new(retimed.params().to_vec(), 100.0, slow_dt);
+        for (i, &t) in retimed.temperatures().to_vec().iter().enumerate() {
+            fresh.set_temperature(i, t);
+        }
+        retimed.set_dt(slow_dt);
+        assert_eq!(retimed.dt(), slow_dt);
+        for _ in 0..100 {
+            retimed.step(&powers);
+            fresh.step(&powers);
+        }
+        assert_eq!(retimed.temperatures(), fresh.temperatures());
+        // And the re-timed trajectory actually differs from never
+        // re-timing (i.e. the test would catch a stale decay factor).
+        let mut stale = two_block_model();
+        for _ in 0..200 {
+            stale.step(&powers);
+        }
+        assert!(
+            (stale.temperatures()[0] - retimed.temperatures()[0]).abs() > 1e-9,
+            "coarser dt must change the trajectory"
+        );
+    }
+
+    #[test]
+    fn set_heatsink_needs_no_decay_refresh() {
+        // The decay factor e^{-dt/RC} does not involve the heatsink
+        // temperature, so `set_heatsink` only shifts the steady state: a
+        // model whose heatsink moved mid-run must step bit-identically to
+        // one constructed at the new heatsink from the same temperatures.
+        let powers = [4.0, 7.0];
+        let mut moved = two_block_model();
+        for _ in 0..50 {
+            moved.step(&powers);
+        }
+        moved.set_heatsink(108.0);
+        assert_eq!(moved.heatsink(), 108.0);
+        let mut fresh = BlockModel::new(moved.params().to_vec(), 108.0, DT);
+        for (i, &t) in moved.temperatures().to_vec().iter().enumerate() {
+            fresh.set_temperature(i, t);
+        }
+        for _ in 0..50 {
+            moved.step(&powers);
+            fresh.step(&powers);
+        }
+        assert_eq!(moved.temperatures(), fresh.temperatures());
+        assert_eq!(moved.steady_state(0, 4.0), 108.0 + 4.0 * moved.params()[0].r);
     }
 }

@@ -234,11 +234,10 @@ impl HybridPredictor {
                     self.btb_insert(pc, target);
                 }
             }
-            OpClass::Jump => {
-                if inst.op == Op::Jalr && !Self::is_return(inst) {
+            OpClass::Jump
+                if inst.op == Op::Jalr && !Self::is_return(inst) => {
                     self.btb_insert(pc, target);
                 }
-            }
             _ => {}
         }
     }
@@ -316,7 +315,7 @@ mod tests {
         let mut last = None;
         for _ in 0..20 {
             let pred = p.predict(pc, &b);
-            if pred.taken != true {
+            if !pred.taken {
                 p.repair(&b, pred.checkpoint, true);
             }
             p.commit(pc, &b, &pred, true, pc - 16);

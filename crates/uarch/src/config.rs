@@ -20,7 +20,7 @@ impl CacheConfig {
     ///
     /// Panics if the geometry is inconsistent or not a power of two.
     pub fn sets(&self) -> usize {
-        assert!(self.size % (self.assoc * self.line) == 0, "inconsistent cache geometry");
+        assert!(self.size.is_multiple_of(self.assoc * self.line), "inconsistent cache geometry");
         let sets = self.size / (self.assoc * self.line);
         assert!(sets.is_power_of_two() && self.line.is_power_of_two(), "sizes must be powers of two");
         sets

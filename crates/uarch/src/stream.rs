@@ -3,9 +3,8 @@
 //! generator used between a mispredicted fetch and the branch's
 //! resolution.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use tdtm_frontend::{Cpu, ExecError, Retired};
+use tdtm_prng::Rng;
 use tdtm_isa::{FReg, Inst, Op, Program, Reg};
 
 /// Buffered access to the functional simulator's retired-instruction
@@ -108,7 +107,7 @@ impl OracleStream {
 /// runs remain reproducible.
 #[derive(Clone, Debug)]
 pub struct WrongPathGenerator {
-    rng: SmallRng,
+    rng: Rng,
     recent_addrs: [u64; 16],
     cursor: usize,
 }
@@ -117,7 +116,7 @@ impl WrongPathGenerator {
     /// Creates a generator with a fixed seed.
     pub fn new(seed: u64) -> WrongPathGenerator {
         WrongPathGenerator {
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Rng::new(seed),
             recent_addrs: [0x10_0000; 16],
             cursor: 0,
         }
@@ -133,19 +132,19 @@ impl WrongPathGenerator {
     /// Produces the next synthetic instruction and, for memory ops, its
     /// synthetic effective address.
     pub fn next_inst(&mut self) -> (Inst, Option<u64>) {
-        let r = |rng: &mut SmallRng| Reg::new(rng.gen_range(1..32));
-        let f = |rng: &mut SmallRng| FReg::new(rng.gen_range(0..32));
-        let roll: u32 = self.rng.gen_range(0..100);
+        let r = |rng: &mut Rng| Reg::new(rng.range_i64(1, 32) as u8);
+        let f = |rng: &mut Rng| FReg::new(rng.range_i64(0, 32) as u8);
+        let roll = self.rng.range_i64(0, 100);
         if roll < 40 {
             let ops = [Op::Add, Op::Sub, Op::And, Op::Or, Op::Xor, Op::Slt, Op::Addi, Op::Slli];
-            let op = ops[self.rng.gen_range(0..ops.len())];
+            let op = ops[self.rng.index(ops.len())];
             (
                 Inst {
                     op,
                     rd: r(&mut self.rng),
                     rs1: r(&mut self.rng),
                     rs2: r(&mut self.rng),
-                    imm: self.rng.gen_range(-64..64),
+                    imm: self.rng.range_i64(-64, 64) as i32,
                     ..Inst::default()
                 },
                 None,
@@ -178,14 +177,14 @@ impl WrongPathGenerator {
                     op: Op::Beq,
                     rs1: r(&mut self.rng),
                     rs2: r(&mut self.rng),
-                    imm: self.rng.gen_range(-32..32) * 4,
+                    imm: self.rng.range_i64(-32, 32) as i32 * 4,
                     ..Inst::default()
                 },
                 None,
             )
         } else {
             let ops = [Op::Fadd, Op::Fmul, Op::Fsub];
-            let op = ops[self.rng.gen_range(0..ops.len())];
+            let op = ops[self.rng.index(ops.len())];
             (
                 Inst {
                     op,
@@ -200,8 +199,8 @@ impl WrongPathGenerator {
     }
 
     fn synthetic_addr(&mut self) -> u64 {
-        let base = self.recent_addrs[self.rng.gen_range(0..self.recent_addrs.len())];
-        let offset: i64 = self.rng.gen_range(-256..256);
+        let base = self.recent_addrs[self.rng.index(self.recent_addrs.len())];
+        let offset = self.rng.range_i64(-256, 256);
         (base as i64 + offset * 8).max(0x1000) as u64
     }
 }

@@ -27,9 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "quickstart-kernel",
     )?;
 
-    let mut config = SimConfig::default();
-    config.max_insts = 500_000;
-    config.thermal_warmup_cycles = 20_000;
+    let mut config = SimConfig {
+        max_insts: 500_000,
+        thermal_warmup_cycles: 20_000,
+        ..SimConfig::default()
+    };
     config.dtm.policy = PolicyKind::Pid;
 
     let mut sim = Simulator::new(config, program);

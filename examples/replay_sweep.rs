@@ -18,9 +18,11 @@ fn main() {
         std::process::exit(1);
     });
 
-    let mut cfg = SimConfig::default();
-    cfg.max_insts = 1_500_000;
-    cfg.thermal_warmup_cycles = 0;
+    let mut cfg = SimConfig {
+        max_insts: 1_500_000,
+        thermal_warmup_cycles: 0,
+        ..SimConfig::default()
+    };
     cfg.dtm.policy = PolicyKind::None;
 
     println!("recording {bench}'s power trace (one cycle-level simulation)...");

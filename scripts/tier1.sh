@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 gate (see ROADMAP.md): build, full test suite, and strict lints
+# on the crates the experiment engine leans on. Run from anywhere; the
+# script cd's to the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: release build =="
+cargo build --release --workspace
+
+echo "== tier 1: tests =="
+cargo test -q --workspace
+
+echo "== tier 1: clippy (tdtm-core, tdtm-thermal) =="
+cargo clippy -p tdtm-core -p tdtm-thermal --all-targets -- -D warnings
+
+echo "tier 1: OK"

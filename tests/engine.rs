@@ -1,0 +1,112 @@
+//! The engine's determinism contract: a sharded experiment grid must
+//! produce byte-identical results for any worker count (`TDTM_THREADS=1`
+//! reproduces `TDTM_THREADS=N`), and every enumerated cell must be run
+//! exactly once.
+
+use tdtm::core::engine::{shard_map, ExperimentGrid};
+use tdtm::core::experiments::ExperimentScale;
+use tdtm::core::report::reports_to_csv;
+use tdtm::dtm::PolicyKind;
+use tdtm::workloads::by_name;
+
+fn small_grid() -> ExperimentGrid {
+    ExperimentGrid::new(ExperimentScale::quick())
+        .workload(by_name("gcc").expect("suite workload"))
+        .workload(by_name("art").expect("suite workload"))
+        .workload(by_name("crafty").expect("suite workload"))
+        .policies(&[PolicyKind::None, PolicyKind::Pid])
+}
+
+#[test]
+fn one_thread_reproduces_many_threads_byte_for_byte() {
+    let grid = small_grid();
+    let serial = grid.run_threads(1);
+    let parallel = grid.run_threads(4);
+    assert_eq!(serial.threads, 1);
+    assert_eq!(parallel.threads, 4);
+
+    // The scientific results are identical down to the serialized bytes;
+    // only the host-side timing observability may differ.
+    let csv_serial = reports_to_csv(&serial.reports());
+    let csv_parallel = reports_to_csv(&parallel.reports());
+    assert_eq!(csv_serial, csv_parallel, "thread count must not leak into results");
+    for (a, b) in serial.runs.iter().zip(&parallel.runs) {
+        assert_eq!(a.report, b.report, "cell {} diverged across thread counts", a.label());
+        assert_eq!(a.obs.thermal_steps, b.obs.thermal_steps);
+        assert_eq!(a.obs.committed, b.obs.committed);
+        assert_eq!(a.obs.dtm_samples, b.obs.dtm_samples);
+    }
+}
+
+#[test]
+fn per_run_observability_is_populated() {
+    let results = small_grid().run_threads(2);
+    for run in &results.runs {
+        assert!(run.obs.wall_seconds > 0.0, "{}: wall clock missing", run.label());
+        assert!(run.obs.cycles_per_second() > 0.0, "{}: throughput missing", run.label());
+        assert!(run.obs.thermal_steps >= run.report.cycles);
+        assert!(run.obs.committed >= 30_000, "{}: quick scale retires >=30k", run.label());
+        assert!(run.obs.dtm_samples > 0, "{}: the controller must be invoked", run.label());
+    }
+    assert!(results.wall_seconds > 0.0);
+}
+
+#[test]
+fn every_cell_appears_exactly_once() {
+    // Property-style sweep over randomly shaped grids: the enumeration
+    // must cover the full cross product with stable, gapless indices, and
+    // an executed grid must return exactly one result per cell, in order.
+    let names = ["gcc", "art", "crafty", "mesa", "gzip"];
+    let policy_pool =
+        [PolicyKind::None, PolicyKind::Toggle1, PolicyKind::Pid, PolicyKind::Throttle];
+    tdtm_prng::cases(16, 0x5eed_e791, |rng| {
+        let n_workloads = 1 + rng.index(3);
+        let n_policies = 1 + rng.index(policy_pool.len() - 1);
+        let start = rng.index(names.len());
+        let mut grid = ExperimentGrid::new(ExperimentScale::quick());
+        // Consecutive names from a random start: distinct by construction.
+        for k in 0..n_workloads {
+            grid = grid.workload(by_name(names[(start + k) % names.len()]).unwrap());
+        }
+        let policies: Vec<PolicyKind> = policy_pool[..n_policies].to_vec();
+        grid = grid.policies(&policies);
+
+        let cells = grid.cells();
+        assert_eq!(cells.len(), n_workloads * n_policies);
+        let mut labels: Vec<String> = cells.iter().map(|c| c.label()).collect();
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.index, i, "indices must be gapless and in order");
+        }
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), cells.len(), "no duplicate cells");
+    });
+
+    // Execute one shaped grid and check the run-once property end to end:
+    // results come back one per cell, in cell order, with matching labels.
+    let grid = small_grid();
+    let cells = grid.cells();
+    let results = grid.run_threads(3);
+    assert_eq!(results.runs.len(), cells.len());
+    for (cell, run) in cells.iter().zip(&results.runs) {
+        assert_eq!(run.index, cell.index);
+        assert_eq!(run.label(), cell.label());
+        assert_eq!(run.report.name, cell.workload.name);
+        assert_eq!(run.report.policy, cell.policy.to_string());
+    }
+}
+
+#[test]
+fn shard_map_runs_each_item_once_under_contention() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    let hits: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(0)).collect();
+    let items: Vec<usize> = (0..100).collect();
+    let out = shard_map(&items, 8, |i, &x| {
+        hits[x].fetch_add(1, Ordering::SeqCst);
+        i
+    });
+    assert_eq!(out, items, "results keyed by item index");
+    for (i, h) in hits.iter().enumerate() {
+        assert_eq!(h.load(Ordering::SeqCst), 1, "item {i} must run exactly once");
+    }
+}

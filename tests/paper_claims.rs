@@ -108,9 +108,11 @@ fn proxy_comparison_shows_missed_emergencies_on_bursty_runs() {
 #[test]
 fn pid_holds_temperature_at_the_setpoint() {
     let w = by_name("apsi").expect("suite");
-    let mut cfg: SimConfig = SimConfig::default();
-    cfg.max_insts = 400_000;
-    cfg.thermal_warmup_cycles = 50_000;
+    let mut cfg = SimConfig {
+        max_insts: 400_000,
+        thermal_warmup_cycles: 50_000,
+        ..SimConfig::default()
+    };
     cfg.dtm.policy = PolicyKind::Pid;
     let mut sim = Simulator::for_workload(cfg.clone(), &w);
     let r = sim.run();

@@ -1,7 +1,7 @@
-//! Property-based tests (proptest) on core data structures and
-//! invariants across the workspace.
+//! Randomized property tests on core data structures and invariants
+//! across the workspace. Each property draws its cases from the in-repo
+//! deterministic PRNG (`tdtm-prng`), so failures reproduce exactly.
 
-use proptest::prelude::*;
 use tdtm::control::design::PidGains;
 use tdtm::control::pid::{quantize, PidController};
 use tdtm::isa::encoding::{decode, encode};
@@ -9,14 +9,15 @@ use tdtm::isa::{FReg, Inst, Op, Reg};
 use tdtm::thermal::block_model::{table3_blocks, BlockModel};
 use tdtm::thermal::BoxcarProxy;
 use tdtm::uarch::FetchGate;
+use tdtm_prng::{cases, Rng};
 
-fn arb_op() -> impl Strategy<Value = Op> {
+fn arb_inst(rng: &mut Rng) -> Inst {
     let all = Op::all();
-    (0..all.len()).prop_map(move |i| all[i])
-}
-
-fn arb_inst() -> impl Strategy<Value = Inst> {
-    (arb_op(), 0u8..32, 0u8..32, 0u8..32, any::<i32>()).prop_map(|(op, a, b, c, imm)| Inst {
+    let op = all[rng.index(all.len())];
+    let a = rng.range_i64(0, 32) as u8;
+    let b = rng.range_i64(0, 32) as u8;
+    let c = rng.range_i64(0, 32) as u8;
+    Inst {
         op,
         rd: Reg::new(a),
         rs1: Reg::new(b),
@@ -24,106 +25,128 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
         fd: FReg::new(a),
         fs1: FReg::new(b),
         fs2: FReg::new(c),
-        imm,
-    })
+        imm: rng.next_u64() as i32,
+    }
 }
 
-proptest! {
-    /// Encoding is lossless for the operand fields each opcode uses.
-    #[test]
-    fn encoding_round_trips(inst in arb_inst()) {
+/// Encoding is lossless for the operand fields each opcode uses.
+#[test]
+fn encoding_round_trips() {
+    cases(256, 0x5eed_0001, |rng| {
+        let inst = arb_inst(rng);
         let e = encode(&inst);
         let back = decode(e.word, e.ext).expect("own encodings decode");
         // Round-trip again: the decoded form is canonical (unused fields
         // zeroed), so a second round trip must be exact.
         let e2 = encode(&back);
         let back2 = decode(e2.word, e2.ext).expect("decodes");
-        prop_assert_eq!(back, back2);
-        prop_assert_eq!(back2.op, inst.op);
-        prop_assert_eq!(back2.imm, inst.imm);
-    }
+        assert_eq!(back, back2);
+        assert_eq!(back2.op, inst.op);
+        assert_eq!(back2.imm, inst.imm);
+    });
+}
 
-    /// The fetch gate delivers exactly floor-or-ceiling of duty × cycles.
-    #[test]
-    fn fetch_gate_duty_accounting(level in 0u32..=8, cycles in 1usize..4096) {
+/// The fetch gate delivers exactly floor-or-ceiling of duty × cycles.
+#[test]
+fn fetch_gate_duty_accounting() {
+    cases(128, 0x5eed_0002, |rng| {
+        let level = rng.range_i64(0, 9) as u32;
+        let cycles = rng.range_i64(1, 4096) as usize;
         let duty = level as f64 / 8.0;
         let mut gate = FetchGate::with_duty(duty);
         let enabled = (0..cycles).filter(|_| gate.tick()).count() as f64;
         let expected = duty * cycles as f64;
-        prop_assert!((enabled - expected).abs() <= 1.0,
-            "duty {duty}: {enabled} enabled of {cycles} (expected ~{expected})");
-    }
+        assert!(
+            (enabled - expected).abs() <= 1.0,
+            "duty {duty}: {enabled} enabled of {cycles} (expected ~{expected})"
+        );
+    });
+}
 
-    /// Quantization stays within the actuator range and on the grid.
-    #[test]
-    fn quantize_is_on_grid(cmd in -10.0f64..10.0, levels in 1u32..=32) {
+/// Quantization stays within the actuator range and on the grid.
+#[test]
+fn quantize_is_on_grid() {
+    cases(256, 0x5eed_0003, |rng| {
+        let cmd = rng.range_f64(-10.0, 10.0);
+        let levels = rng.range_i64(1, 33) as u32;
         let q = quantize(cmd, levels);
-        prop_assert!((0.0..=1.0).contains(&q));
+        assert!((0.0..=1.0).contains(&q));
         let steps = q * levels as f64;
-        prop_assert!((steps - steps.round()).abs() < 1e-9);
-    }
+        assert!((steps - steps.round()).abs() < 1e-9);
+    });
+}
 
-    /// PID output always respects the actuator limits, whatever the error
-    /// sequence.
-    #[test]
-    fn pid_output_always_clamped(errors in prop::collection::vec(-50.0f64..50.0, 1..200)) {
+/// PID output always respects the actuator limits, whatever the error
+/// sequence.
+#[test]
+fn pid_output_always_clamped() {
+    cases(64, 0x5eed_0004, |rng| {
         let gains = PidGains { kp: 3.0, ki: 1000.0, kd: 1e-4 };
         let mut pid = PidController::new(gains, 667e-9, 0.0, 1.0);
-        for e in errors {
+        let n = rng.range_i64(1, 200);
+        for _ in 0..n {
+            let e = rng.range_f64(-50.0, 50.0);
             let u = pid.sample(e);
-            prop_assert!((0.0..=1.0).contains(&u), "output {u} out of range");
-            prop_assert!(pid.integral() >= 0.0, "paper rule: integral never negative");
+            assert!((0.0..=1.0).contains(&u), "output {u} out of range");
+            assert!(pid.integral() >= 0.0, "paper rule: integral never negative");
         }
-    }
+    });
+}
 
-    /// Thermal monotonicity: more power never yields a lower temperature
-    /// (same initial state, same step count).
-    #[test]
-    fn thermal_step_is_monotone_in_power(
-        p in prop::collection::vec(0.0f64..15.0, 7),
-        extra in 0.1f64..5.0,
-        steps in 1usize..500,
-    ) {
+/// Thermal monotonicity: more power never yields a lower temperature
+/// (same initial state, same step count).
+#[test]
+fn thermal_step_is_monotone_in_power() {
+    cases(48, 0x5eed_0005, |rng| {
         let dt = 1e-6;
         let mut low = BlockModel::new(table3_blocks(), 103.0, dt);
         let mut high = BlockModel::new(table3_blocks(), 103.0, dt);
-        let p_low: Vec<f64> = p.clone();
-        let p_high: Vec<f64> = p.iter().map(|x| x + extra).collect();
+        let p_low: Vec<f64> = (0..7).map(|_| rng.range_f64(0.0, 15.0)).collect();
+        let extra = rng.range_f64(0.1, 5.0);
+        let p_high: Vec<f64> = p_low.iter().map(|x| x + extra).collect();
+        let steps = rng.range_i64(1, 500);
         for _ in 0..steps {
             low.step(&p_low);
             high.step(&p_high);
         }
         for i in 0..7 {
-            prop_assert!(high.temperatures()[i] >= low.temperatures()[i]);
+            assert!(high.temperatures()[i] >= low.temperatures()[i]);
         }
-    }
+    });
+}
 
-    /// Block temperature never exceeds the hottest steady state reachable
-    /// from the applied powers, and never drops below the heatsink.
-    #[test]
-    fn thermal_state_is_bounded(
-        powers in prop::collection::vec(prop::collection::vec(0.0f64..20.0, 7), 1..100),
-    ) {
+/// Block temperature never exceeds the hottest steady state reachable
+/// from the applied powers, and never drops below the heatsink.
+#[test]
+fn thermal_state_is_bounded() {
+    cases(48, 0x5eed_0006, |rng| {
         let dt = 1e-6;
         let mut m = BlockModel::new(table3_blocks(), 103.0, dt);
         let mut max_ss = [103.0f64; 7];
-        for p in &powers {
-            m.step(p);
+        let steps = rng.range_i64(1, 100);
+        for _ in 0..steps {
+            let p: Vec<f64> = (0..7).map(|_| rng.range_f64(0.0, 20.0)).collect();
+            m.step(&p);
             for i in 0..7 {
                 max_ss[i] = max_ss[i].max(m.steady_state(i, p[i]));
                 let t = m.temperatures()[i];
-                prop_assert!(t >= 103.0 - 1e-9);
-                prop_assert!(t <= max_ss[i] + 1e-9, "block {i}: {t} above envelope {}", max_ss[i]);
+                assert!(t >= 103.0 - 1e-9);
+                assert!(t <= max_ss[i] + 1e-9, "block {i}: {t} above envelope {}", max_ss[i]);
             }
         }
-    }
+    });
+}
 
-    /// The boxcar average is always within the min..max of its window.
-    #[test]
-    fn boxcar_average_bounded(samples in prop::collection::vec(0.0f64..100.0, 1..300), window in 1usize..64) {
+/// The boxcar average is always within the min..max of its window.
+#[test]
+fn boxcar_average_bounded() {
+    cases(64, 0x5eed_0007, |rng| {
+        let window = rng.range_i64(1, 64) as usize;
+        let n = rng.range_i64(1, 300);
         let mut b = BoxcarProxy::new(window);
         let mut recent: Vec<f64> = Vec::new();
-        for &s in &samples {
+        for _ in 0..n {
+            let s = rng.range_f64(0.0, 100.0);
             b.push(s);
             recent.push(s);
             if recent.len() > window {
@@ -131,19 +154,17 @@ proptest! {
             }
             let lo = recent.iter().copied().fold(f64::INFINITY, f64::min);
             let hi = recent.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            prop_assert!(b.average() >= lo - 1e-9 && b.average() <= hi + 1e-9);
+            assert!(b.average() >= lo - 1e-9 && b.average() <= hi + 1e-9);
         }
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Functional and timed execution always agree on program output.
-    #[test]
-    fn timing_model_preserves_architectural_results(seed in 0u64..1000) {
+/// Functional and timed execution always agree on program output.
+#[test]
+fn timing_model_preserves_architectural_results() {
+    cases(16, 0x5eed_0008, |rng| {
         // A small program with a data-dependent loop derived from the seed.
-        let n = 5 + (seed % 40);
+        let n = 5 + rng.range_i64(0, 40);
         let src = format!(
             "     li x1, {n}
                   li x5, 0
@@ -162,9 +183,9 @@ proptest! {
         while !core.finished() {
             core.cycle();
             guard += 1;
-            prop_assert!(guard < 1_000_000, "timing model hung");
+            assert!(guard < 1_000_000, "timing model hung");
         }
-        prop_assert_eq!(core.output(), cpu.output());
-        prop_assert_eq!(core.stats().committed, cpu.retired_count());
-    }
+        assert_eq!(core.output(), cpu.output());
+        assert_eq!(core.stats().committed, cpu.retired_count());
+    });
 }
