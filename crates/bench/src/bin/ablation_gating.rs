@@ -39,7 +39,7 @@ fn main() {
                 name.to_string(),
                 format!("{:.1}", r.avg_power),
                 format!("{:.1}", r.max_power),
-                format!("{:.2}", r.hottest_block().max_temp),
+                format!("{:.2}", r.hottest_block().expect("blocks tracked").max_temp),
                 format!("{:.2}%", 100.0 * r.emergency_fraction()),
             ]);
         }

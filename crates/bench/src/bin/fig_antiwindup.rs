@@ -26,20 +26,26 @@ fn main() {
     let cool_error = 5.0; // 5 K below setpoint, uncloseable
     let hot_error = -1.0;
 
+    // Each `sample_detailed` call reports the controller's internals —
+    // the P/I decomposition, the pre-clamp integral, and the saturation
+    // flag — so the table reads them straight off the `PidSample` instead
+    // of poking controller state between calls.
     let mut t = TextTable::new([
         "sample",
         "error (K)",
         "protected duty",
-        "protected integral",
+        "protected Ki*int",
+        "sat?",
         "unprotected duty",
-        "unprotected integral",
+        "unprotected Ki*int",
+        "sat?",
     ]);
     let phase1 = 3000usize;
     let phase2 = 40usize;
     for k in 0..(phase1 + phase2) {
         let e = if k < phase1 { cool_error } else { hot_error };
-        let up = protected.sample(e);
-        let uu = unprotected.sample(e);
+        let sp = protected.sample_detailed(e);
+        let su = unprotected.sample_detailed(e);
         let interesting = k < 2
             || (k + 5 >= phase1 && k < phase1 + 10)
             || (k >= phase1 && (k - phase1).is_multiple_of(10));
@@ -47,10 +53,12 @@ fn main() {
             t.row([
                 k.to_string(),
                 format!("{e:+.1}"),
-                format!("{up:.3}"),
-                format!("{:.3e}", protected.integral()),
-                format!("{uu:.3}"),
-                format!("{:.3e}", unprotected.integral()),
+                format!("{:.3}", sp.output),
+                format!("{:.3}", sp.i_term),
+                if sp.saturated { "*".into() } else { String::new() },
+                format!("{:.3}", su.output),
+                format!("{:.3}", su.i_term),
+                if su.saturated { "*".into() } else { String::new() },
             ]);
         }
     }
@@ -61,7 +69,7 @@ fn main() {
             c.sample(cool_error);
         }
         let mut n = 0;
-        while c.sample(hot_error) >= 1.0 && n < 1_000_000 {
+        while c.sample_detailed(hot_error).saturated && n < 1_000_000 {
             n += 1;
         }
         n

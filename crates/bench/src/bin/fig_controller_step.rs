@@ -61,6 +61,30 @@ fn main() {
         series.row(row);
     }
     println!("{}", series.render());
+
+    // The simulated response carries the controller's internal terms at
+    // every step (`Response::samples`), so the P/I/D decomposition is
+    // read directly off the recorded `PidSample`s rather than re-derived
+    // from gains and output curves.
+    println!("-- PID actuation decomposed into P/I/D terms (from recorded samples) --\n");
+    let pid = &curves.last().expect("PID simulated").1;
+    let mut terms = TextTable::new(["t (us)", "error", "P term", "I term", "D term", "u"]);
+    for k in 0..12 {
+        let idx = (k * (pid.samples.len() - 1)) / 11;
+        let s = &pid.samples[idx];
+        terms.row([
+            format!("{:.1}", idx as f64 * pid.dt * 1e6),
+            format!("{:+.3}", s.error),
+            format!("{:+.3}", s.p_term),
+            format!("{:+.3}", s.i_term),
+            format!("{:+.3}", s.d_term),
+            format!("{:+.3}", s.output),
+        ]);
+    }
+    println!("{}", terms.render());
+    println!("early on the P (and D) terms dominate; as the error closes they hand off to");
+    println!("the integral, which alone holds the final actuation — the reason PI/PID have");
+    println!("no steady-state offset.\n");
     println!("P and PD settle with a steady-state offset; PI and PID reach the setpoint exactly");
     println!("(the integral action), which is why they can run 0.2 K below the emergency limit.");
 }

@@ -63,7 +63,7 @@ fn main() {
             cfg.leakage = model;
             let mut sim = Simulator::for_workload(cfg, &w);
             let r = sim.run();
-            let max_t = r.hottest_block().max_temp;
+            let max_t = r.hottest_block().expect("blocks tracked").max_temp;
             row.push(if max_t > 200.0 { "RUNAWAY".to_string() } else { format!("{max_t:.2}") });
             row.push(format!("{:.2}%", 100.0 * r.emergency_fraction()));
         }

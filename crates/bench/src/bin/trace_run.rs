@@ -1,0 +1,184 @@
+//! `trace_run` — dump an annotated in-run telemetry trace for any
+//! workload×policy cell.
+//!
+//! Runs one simulation with full telemetry (event ring + metrics registry
+//! + phase timers) and prints the run summary, the host-time phase
+//! profile, the merged metrics, and the retained event trace as JSONL
+//! (or CSV with `--csv`). This is the interactive complement to the
+//! figure binaries: where they aggregate, this answers "what did the
+//! controller do at cycle 41 000?".
+//!
+//! ```text
+//! cargo run -p tdtm-bench --release --bin trace_run -- gcc pid
+//! cargo run -p tdtm-bench --release --bin trace_run -- art hierarchical --stride 100 --csv
+//! ```
+
+use tdtm_core::experiments::ExperimentScale;
+use tdtm_core::Simulator;
+use tdtm_dtm::PolicyKind;
+use tdtm_telemetry::TelemetryConfig;
+use tdtm_workloads::{by_name, suite};
+
+struct Args {
+    workload: String,
+    policy: PolicyKind,
+    stride: u64,
+    capacity: usize,
+    csv: bool,
+    insts: Option<u64>,
+}
+
+const USAGE: &str = "usage: trace_run <workload> <policy> [--stride N] [--capacity N] [--csv] [--insts N]
+
+  <workload>   a suite benchmark name (see below)
+  <policy>     a DTM policy name (see below)
+  --stride N   record dense events (controller samples, sensor reads)
+               every N-th DTM sample only (default 1: every sample)
+  --capacity N event ring capacity; oldest events drop past it (default 65536)
+  --csv        dump events as CSV instead of JSONL
+  --insts N    committed-instruction budget (default: TDTM_INSTS or 1000000)";
+
+fn parse_args() -> Result<Args, String> {
+    let mut positional = Vec::new();
+    let mut stride = 1u64;
+    let mut capacity = 65_536usize;
+    let mut csv = false;
+    let mut insts = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            argv.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--stride" => {
+                stride = value("--stride")?.parse().map_err(|e| format!("--stride: {e}"))?;
+                if stride == 0 {
+                    return Err("--stride must be nonzero".into());
+                }
+            }
+            "--capacity" => {
+                capacity = value("--capacity")?.parse().map_err(|e| format!("--capacity: {e}"))?;
+                if capacity == 0 {
+                    return Err("--capacity must be nonzero".into());
+                }
+            }
+            "--csv" => csv = true,
+            "--insts" => {
+                insts = Some(value("--insts")?.parse().map_err(|e| format!("--insts: {e}"))?);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [workload, policy_name] = positional.as_slice() else {
+        return Err("expected exactly <workload> and <policy>".into());
+    };
+    let policy = PolicyKind::parse(policy_name)
+        .ok_or_else(|| format!("unknown policy `{policy_name}`"))?;
+    Ok(Args { workload: workload.clone(), policy, stride, capacity, csv, insts })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{USAGE}\n");
+            eprintln!(
+                "workloads: {}",
+                suite().iter().map(|w| w.name).collect::<Vec<_>>().join(" ")
+            );
+            eprintln!(
+                "policies:  {}",
+                PolicyKind::all().map(PolicyKind::name).join(" ")
+            );
+            std::process::exit(if msg.is_empty() { 0 } else { 2 });
+        }
+    };
+    let Some(workload) = by_name(&args.workload) else {
+        eprintln!(
+            "error: unknown workload `{}`; choose one of: {}",
+            args.workload,
+            suite().iter().map(|w| w.name).collect::<Vec<_>>().join(" ")
+        );
+        std::process::exit(2);
+    };
+
+    let mut scale = ExperimentScale::from_env();
+    if let Some(n) = args.insts {
+        scale.insts = n;
+    }
+    let cfg = scale.config(args.policy);
+    eprintln!(
+        "== trace_run: {} / {} ({} insts, event ring {} deep, stride {}) ==",
+        workload.name,
+        args.policy.name(),
+        scale.insts,
+        args.capacity,
+        args.stride
+    );
+
+    let mut sim = Simulator::for_workload(cfg, &workload);
+    sim.enable_telemetry(&TelemetryConfig::full(args.capacity, args.stride));
+    let report = sim.run();
+    let telemetry = sim.take_telemetry().expect("telemetry was enabled");
+
+    eprintln!(
+        "run: {} cycles, {} committed (IPC {:.3}), avg power {:.1} W, avg chip temp {:.1} C",
+        report.total_cycles, report.committed, report.ipc, report.avg_power, report.avg_chip_temp
+    );
+    eprintln!(
+        "     emergency {:.2}%, stress {:.2}%, {} DTM samples, {} engaged",
+        100.0 * report.emergency_fraction(),
+        100.0 * report.stress_fraction(),
+        report.samples,
+        report.engaged_samples
+    );
+    if let Some(hot) = report.hottest_block() {
+        eprintln!("     hottest block: {} (max {:.2} C, avg {:.2} C)", hot.name, hot.max_temp, hot.avg_temp);
+    }
+
+    if let Some(phases) = &telemetry.phases {
+        eprintln!("\nhost-time phase profile (not deterministic):");
+        eprint!("{}", phases.render_table());
+    }
+    if let Some(metrics) = &telemetry.metrics {
+        let snap = metrics.snapshot();
+        eprintln!("\nmetrics:");
+        for &(name, value) in &snap.counters {
+            eprintln!("  {name:<18} {value}");
+        }
+        for (name, hist) in &snap.histograms {
+            let q = |p: f64| {
+                hist.quantile(p).map_or_else(|| "-".into(), |v| format!("{v:.2}"))
+            };
+            eprintln!(
+                "  {name:<18} n={} p50={} p99={} under={} over={}",
+                hist.count(),
+                q(0.5),
+                q(0.99),
+                hist.underflow,
+                hist.overflow
+            );
+        }
+    }
+
+    if let Some(events) = &telemetry.events {
+        eprintln!(
+            "\nevents: {} retained, {} dropped (oldest-first; ring capacity {})",
+            events.recorded().min(args.capacity as u64),
+            events.dropped(),
+            args.capacity
+        );
+        // The event dump goes to stdout so it can be redirected to a file
+        // while the annotations above stay on the terminal.
+        if args.csv {
+            print!("{}", events.to_csv());
+        } else {
+            print!("{}", events.to_jsonl());
+        }
+    }
+}

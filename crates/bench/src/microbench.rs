@@ -39,7 +39,7 @@ impl Harness {
     }
 
     /// Measures `f`, recording the minimum per-iteration time over
-    /// [`BATCHES`] calibrated batches (the minimum is the standard
+    /// `BATCHES` calibrated batches (the minimum is the standard
     /// low-noise estimator for microbenchmarks).
     pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
         // Calibrate: grow the batch until it runs long enough to time.
@@ -70,9 +70,29 @@ impl Harness {
         self.rows.push((name.to_string(), ns));
     }
 
+    /// Appends an externally measured row (e.g. a whole-run measurement
+    /// normalized per cycle) so it shows up in [`Harness::to_json`]
+    /// alongside the calibrated ones.
+    pub fn push_row(&mut self, name: &str, ns_per_op: f64) {
+        self.rows.push((name.to_string(), ns_per_op));
+    }
+
     /// The recorded `(name, ns_per_op)` rows.
     pub fn results(&self) -> &[(String, f64)] {
         &self.rows
+    }
+
+    /// Renders the recorded rows as a JSON object mapping benchmark name
+    /// to ns/op, for committing machine-readable baselines (e.g.
+    /// `BENCH_telemetry.json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (name, ns)) in self.rows.iter().enumerate() {
+            let sep = if i + 1 < self.rows.len() { "," } else { "" };
+            out.push_str(&format!("  \"{name}\": {ns:.2}{sep}\n"));
+        }
+        out.push_str("}\n");
+        out
     }
 }
 
@@ -90,5 +110,8 @@ mod tests {
         });
         assert_eq!(h.results().len(), 1);
         assert!(h.results()[0].1 > 0.0, "measured time must be positive");
+        let json = h.to_json();
+        assert!(json.starts_with("{\n  \"wrapping_add\": "));
+        assert!(json.ends_with("}\n"));
     }
 }

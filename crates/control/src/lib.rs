@@ -47,6 +47,6 @@ pub mod tf;
 
 pub use complex::Complex;
 pub use design::{ControllerKind, FopdtPlant, PidGains};
-pub use pid::PidController;
+pub use pid::{PidController, PidSample};
 pub use poly::Polynomial;
 pub use tf::TransferFunction;

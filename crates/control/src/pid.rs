@@ -10,7 +10,7 @@
 //!    avoided by freezing the integrator when controller output saturates
 //!    the actuator") — implemented as integral clamping: `Ki·∫e` is held
 //!    inside the actuator range, so saturation never accumulates excess
-//!    integral, and the controller "immediately decrease[s] below
+//!    integral, and the controller "immediately decrease\[s\] below
 //!    saturation" once the error changes sign.
 //! 2. **Non-negative integral** ("we implemented this mechanism in our PI
 //!    and PID controllers by preventing the integral from taking on a
@@ -95,6 +95,15 @@ impl PidController {
     /// saturates, while letting it unwind instantly when the error changes
     /// sign (the behavior Section 3.3 asks for).
     pub fn sample(&mut self, error: f64) -> f64 {
+        self.sample_detailed(error).output
+    }
+
+    /// Like [`sample`](Self::sample), but also reports the internal terms
+    /// of this step for telemetry. `sample` is a thin wrapper around this
+    /// method, so the observed and unobserved paths execute the same
+    /// floating-point operations in the same order — observing a
+    /// controller can never change its output.
+    pub fn sample_detailed(&mut self, error: f64) -> PidSample {
         let derivative = match self.prev_error {
             Some(prev) => (error - prev) / self.period,
             None => 0.0,
@@ -102,6 +111,7 @@ impl PidController {
         self.prev_error = Some(error);
 
         self.integral += error * self.period;
+        let integral_pre_clamp = self.integral;
         if self.anti_windup && self.gains.ki > 0.0 {
             let i_max = self.out_max / self.gains.ki;
             let i_min = self.out_min / self.gains.ki;
@@ -111,10 +121,46 @@ impl PidController {
             self.integral = 0.0;
         }
 
-        let output =
-            self.gains.kp * error + self.gains.ki * self.integral + self.gains.kd * derivative;
-        output.clamp(self.out_min, self.out_max)
+        let p_term = self.gains.kp * error;
+        let i_term = self.gains.ki * self.integral;
+        let d_term = self.gains.kd * derivative;
+        // `+` is left-associative, so this sum is bit-identical to the
+        // former single-expression `p + i + d`.
+        let raw = p_term + i_term + d_term;
+        let output = raw.clamp(self.out_min, self.out_max);
+        PidSample {
+            error,
+            p_term,
+            i_term,
+            d_term,
+            integral_pre_clamp,
+            integral: self.integral,
+            output,
+            saturated: raw < self.out_min || raw > self.out_max,
+        }
     }
+}
+
+/// The internal terms of one PID step, as reported by
+/// [`PidController::sample_detailed`].
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PidSample {
+    /// The error input `T_target − T_measured`.
+    pub error: f64,
+    /// Proportional term `Kp·e`.
+    pub p_term: f64,
+    /// Integral term `Ki·∫e` (after anti-windup clamping).
+    pub i_term: f64,
+    /// Derivative term `Kd·de/dt`.
+    pub d_term: f64,
+    /// Integral `∫e` before anti-windup clamping was applied.
+    pub integral_pre_clamp: f64,
+    /// Integral `∫e` after clamping — the state carried forward.
+    pub integral: f64,
+    /// Actuator command after clamping to the actuator range.
+    pub output: f64,
+    /// Whether the raw `P+I+D` sum fell outside the actuator range.
+    pub saturated: bool,
 }
 
 /// Quantizes a continuous actuator command in `[0, 1]` to one of
@@ -280,5 +326,37 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn bad_period_rejected() {
         let _ = PidController::new(gains(), 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn sample_detailed_matches_sample_bitwise() {
+        let mut plain = PidController::new(gains(), 0.1, 0.0, 1.0);
+        let mut detailed = PidController::new(gains(), 0.1, 0.0, 1.0);
+        let errors = [0.3, -0.1, 2.5, -4.0, 0.0, 0.07, 1.2, -0.9];
+        for &e in &errors {
+            let out = plain.sample(e);
+            let s = detailed.sample_detailed(e);
+            assert_eq!(out.to_bits(), s.output.to_bits(), "divergence at error {e}");
+            assert_eq!(plain.integral().to_bits(), detailed.integral().to_bits());
+        }
+    }
+
+    #[test]
+    fn sample_detailed_reports_terms_and_saturation() {
+        let mut c = PidController::new(PidGains { kp: 1.0, ki: 2.0, kd: 0.0 }, 0.5, 0.0, 1.0);
+        let s = c.sample_detailed(4.0);
+        assert_eq!(s.error, 4.0);
+        assert_eq!(s.p_term, 4.0);
+        assert!(s.saturated, "raw P+I+D of {} must report saturation", s.p_term + s.i_term);
+        assert_eq!(s.output, 1.0);
+        // ∫e before clamp is e·dt = 2.0; the anti-windup clamp holds
+        // Ki·∫e inside [0, 1], i.e. ∫e ≤ 0.5.
+        assert_eq!(s.integral_pre_clamp, 2.0);
+        assert_eq!(s.integral, 0.5);
+        // A negative error unwinds the integral off the rail at once:
+        // ∫e = 0.5 − 0.3·0.5 = 0.35, so raw = −0.3 + 0.7 = 0.4.
+        let s2 = c.sample_detailed(-0.3);
+        assert!(!s2.saturated);
+        assert_eq!(s2.i_term, 2.0 * s2.integral);
     }
 }

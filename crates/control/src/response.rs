@@ -7,7 +7,7 @@
 //! time.
 
 use crate::design::{FopdtPlant, PidGains};
-use crate::pid::PidController;
+use crate::pid::{PidController, PidSample};
 
 /// A sampled closed-loop response.
 #[derive(Clone, Debug)]
@@ -18,6 +18,10 @@ pub struct Response {
     pub output: Vec<f64>,
     /// Setpoint amplitude.
     pub setpoint: f64,
+    /// The controller's internal terms at each step (same length as
+    /// `output`), so figure generators can plot P/I/D decompositions
+    /// without re-deriving controller state.
+    pub samples: Vec<PidSample>,
 }
 
 /// Summary metrics of a step response.
@@ -97,15 +101,18 @@ pub fn simulate_step(
     let mut y = 0.0f64;
     let decay = (-dt / plant.time_constant).exp();
     let mut output = Vec::with_capacity(steps);
+    let mut samples = Vec::with_capacity(steps);
     for _ in 0..steps {
-        let u = controller.sample(setpoint - y);
+        let s = controller.sample_detailed(setpoint - y);
+        let u = s.output;
+        samples.push(s);
         delay_line.push_back(u);
         let u_delayed = delay_line.pop_front().unwrap_or(u);
         let y_ss = plant.gain * u_delayed;
         y = y_ss + (y - y_ss) * decay;
         output.push(y);
     }
-    Response { dt, output, setpoint }
+    Response { dt, output, setpoint, samples }
 }
 
 #[cfg(test)]
@@ -178,6 +185,18 @@ mod tests {
             !m.settled || m.overshoot_fraction > 0.5,
             "1000x gain should destroy the designed margins: {m:?}"
         );
+    }
+
+    #[test]
+    fn response_carries_controller_samples() {
+        let plant = paper_plant();
+        let gains = design_controller(&plant, ControllerKind::Pid);
+        let r = simulate_step(&plant, &gains, 1.0, 0.002);
+        assert_eq!(r.samples.len(), r.output.len());
+        // The first error is the full setpoint step, and each recorded
+        // sample's output is the command that drove the plant that step.
+        assert_eq!(r.samples[0].error, 1.0);
+        assert!(r.samples.iter().all(|s| s.output.is_finite()));
     }
 
     #[test]

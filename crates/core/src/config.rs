@@ -5,6 +5,20 @@ use tdtm_power::PowerConfig;
 use tdtm_thermal::block_model::{table3_blocks, BlockParams};
 use tdtm_uarch::CoreConfig;
 
+/// Ambient temperature of the paper's Table-4 chip-average convention
+/// (°C).
+pub const TABLE4_AMBIENT_C: f64 = 27.0;
+
+/// Chip-wide junction-to-ambient thermal resistance of the Table-4
+/// convention (K/W).
+pub const TABLE4_CHIP_R_K_PER_W: f64 = 0.34;
+
+/// The paper's Table-4 chip-average temperature convention: ambient plus
+/// chip-wide R times average power.
+pub fn table4_chip_temp(avg_power_w: f64) -> f64 {
+    TABLE4_AMBIENT_C + TABLE4_CHIP_R_K_PER_W * avg_power_w
+}
+
 /// Everything one simulation run needs.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -102,5 +116,11 @@ mod tests {
         let cfg = SimConfig::default();
         assert!(cfg.heatsink_temp < cfg.dtm.emergency);
         assert!(cfg.max_cycles > cfg.max_insts);
+    }
+
+    #[test]
+    fn table4_convention_matches_paper_numbers() {
+        assert!((table4_chip_temp(0.0) - 27.0).abs() < 1e-12);
+        assert!((table4_chip_temp(40.0) - 40.6).abs() < 1e-12);
     }
 }

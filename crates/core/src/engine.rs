@@ -33,6 +33,10 @@ use crate::experiments::ExperimentScale;
 use crate::metrics::RunReport;
 use crate::simulator::Simulator;
 use tdtm_dtm::PolicyKind;
+use tdtm_telemetry::{
+    Histogram, HistogramSnapshot, Phase, PhaseProfile, RegistrySnapshot, Telemetry,
+    TelemetryConfig,
+};
 use tdtm_workloads::{suite, Workload};
 
 /// A configuration override applied to a cell's [`SimConfig`] after the
@@ -213,6 +217,22 @@ impl<R> RunResult<R> {
     }
 }
 
+/// Merged telemetry of a whole grid execution.
+///
+/// The simulation metrics merge per-cell snapshots *in cell order*, so
+/// `sim` is byte-identical for any worker-thread count. The phase profile
+/// and wall-time histogram are host-side timing and vary run to run.
+#[derive(Clone, Debug)]
+pub struct GridTelemetry {
+    /// Deterministic simulation metrics summed over all cells.
+    pub sim: RegistrySnapshot,
+    /// Host-time phase profile summed over all cells (includes one
+    /// `GridCell` entry per cell).
+    pub phases: PhaseProfile,
+    /// Histogram of per-cell wall time in milliseconds.
+    pub cell_wall_ms: HistogramSnapshot,
+}
+
 /// All results of one grid execution, in cell order.
 #[derive(Clone, Debug)]
 pub struct GridResults<R = ()> {
@@ -222,6 +242,9 @@ pub struct GridResults<R = ()> {
     pub threads: usize,
     /// Host wall-clock seconds for the whole grid.
     pub wall_seconds: f64,
+    /// Merged grid telemetry, populated by
+    /// [`ExperimentGrid::run_telemetry`] (`None` for plain runs).
+    pub telemetry: Option<GridTelemetry>,
 }
 
 impl<R> GridResults<R> {
@@ -388,7 +411,50 @@ impl ExperimentGrid {
                 extra,
             }
         });
-        GridResults { runs, threads, wall_seconds: grid_start.elapsed().as_secs_f64() }
+        GridResults {
+            runs,
+            threads,
+            wall_seconds: grid_start.elapsed().as_secs_f64(),
+            telemetry: None,
+        }
+    }
+
+    /// Runs every cell with the given telemetry enabled and merges the
+    /// per-cell collections into [`GridResults::telemetry`]. Reports stay
+    /// byte-identical to a plain [`run`](ExperimentGrid::run), and the
+    /// merged simulation metrics (`telemetry.sim`) are identical for any
+    /// `threads` value because per-cell snapshots merge in cell order.
+    pub fn run_telemetry(&self, threads: usize, cfg: &TelemetryConfig) -> GridResults<Telemetry> {
+        let mut results = self.run_with_threads(threads, |cell| {
+            let mut sim = cell.simulator();
+            sim.enable_telemetry(cfg);
+            let report = sim.run();
+            let telemetry = sim.take_telemetry().expect("telemetry was enabled");
+            (report, telemetry)
+        });
+        let mut sim_merged: Option<RegistrySnapshot> = None;
+        let mut phases = PhaseProfile::new();
+        let wall_hist = Histogram::new(0.0, 10_000.0, 100);
+        for run in &results.runs {
+            if let Some(metrics) = &run.extra.metrics {
+                let snap = metrics.snapshot();
+                match &mut sim_merged {
+                    Some(acc) => acc.merge_from(&snap),
+                    None => sim_merged = Some(snap),
+                }
+            }
+            if let Some(profile) = &run.extra.phases {
+                phases.merge_from(profile);
+            }
+            phases.add(Phase::GridCell, (run.obs.wall_seconds * 1e9) as u64, 1);
+            wall_hist.record(run.obs.wall_seconds * 1e3);
+        }
+        results.telemetry = Some(GridTelemetry {
+            sim: sim_merged.unwrap_or_default(),
+            phases,
+            cell_wall_ms: wall_hist.snapshot(),
+        });
+        results
     }
 }
 

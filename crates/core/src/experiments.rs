@@ -90,7 +90,7 @@ pub fn categorize_against(report: &RunReport, emergency: f64) -> ThermalCategory
     } else if report.stress_fraction() > 0.30 {
         ThermalCategory::High
     } else if report.stress_fraction() > 0.0005
-        || report.hottest_block().max_temp > emergency - 2.0
+        || report.hottest_block().is_some_and(|b| b.max_temp > emergency - 2.0)
     {
         ThermalCategory::Medium
     } else {

@@ -42,6 +42,7 @@ pub mod metrics;
 pub mod replay;
 pub mod report;
 pub mod simulator;
+pub mod telemetry;
 
 pub use config::SimConfig;
 pub use engine::{ExperimentGrid, GridResults, RunResult};

@@ -108,12 +108,10 @@ impl RunReport {
         }
     }
 
-    /// The hottest structure (by max temperature).
-    pub fn hottest_block(&self) -> &BlockMetrics {
-        self.blocks
-            .iter()
-            .max_by(|a, b| a.max_temp.total_cmp(&b.max_temp))
-            .expect("runs track at least one block")
+    /// The hottest structure (by max temperature), or `None` for a report
+    /// with no per-block breakdown.
+    pub fn hottest_block(&self) -> Option<&BlockMetrics> {
+        self.blocks.iter().max_by(|a, b| a.max_temp.total_cmp(&b.max_temp))
     }
 }
 
@@ -132,7 +130,7 @@ mod tests {
             ipc: committed as f64 / cycles as f64,
             avg_power: 40.0,
             max_power: 80.0,
-            avg_chip_temp: 27.0 + 0.34 * 40.0,
+            avg_chip_temp: crate::config::table4_chip_temp(40.0),
             emergency_cycles: emergency,
             stress_cycles: emergency * 2,
             blocks: vec![BlockMetrics {
@@ -176,6 +174,13 @@ mod tests {
     #[test]
     fn hottest_block_found() {
         let r = report(10, 10, 0);
-        assert_eq!(r.hottest_block().name, "bpred");
+        assert_eq!(r.hottest_block().expect("has blocks").name, "bpred");
+    }
+
+    #[test]
+    fn hottest_block_is_none_without_blocks() {
+        let mut r = report(10, 10, 0);
+        r.blocks.clear();
+        assert!(r.hottest_block().is_none());
     }
 }

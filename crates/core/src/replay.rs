@@ -228,7 +228,7 @@ mod tests {
         assert!(!trace.is_empty());
 
         let outcome = replay(&trace, &cfg.blocks, cfg.heatsink_temp, cfg.dtm.emergency, false);
-        let live_max = report.hottest_block().max_temp;
+        let live_max = report.hottest_block().expect("simulator reports track blocks").max_temp;
         assert!(
             (outcome.max_temp - live_max).abs() < 0.2,
             "replay max {:.3} vs live max {:.3}",

@@ -2,15 +2,21 @@
 
 use crate::config::SimConfig;
 use crate::metrics::{BlockMetrics, RunReport};
+use crate::telemetry::{sim_metrics_registry, HIST_FETCH_DUTY, HIST_HOTTEST_TEMP};
 use tdtm_dtm::{build_policy_at, DtmCommand, DtmPolicy, SensorModel, TriggerMechanism};
 use tdtm_isa::Program;
 use tdtm_power::PowerModel;
+use tdtm_telemetry::{
+    ControllerSample, Event, EventTrace, Phase, PhaseProfile, Telemetry, TelemetryConfig,
+    ThresholdKind,
+};
 use tdtm_thermal::boxcar::BoxcarProxy;
 use tdtm_thermal::comparison::AgreementCounts;
 use tdtm_thermal::BlockModel;
 use tdtm_uarch::{Core, CoreControl};
 use tdtm_workloads::Workload;
 use std::collections::VecDeque;
+use std::time::Instant;
 
 const NUM_THERMAL: usize = 7;
 
@@ -59,6 +65,111 @@ pub struct Simulator {
     trace: Option<Trace>,
     /// Optional power-trace recording (stride-mean block powers).
     power_trace: Option<PowerTraceRecorder>,
+    /// Telemetry to collect on the next [`run`](Simulator::run); boxed so
+    /// the disabled path pays one pointer test per use site.
+    telemetry: Option<Box<TelemetryState>>,
+    /// Collected telemetry of the last run.
+    collected: Option<Telemetry>,
+}
+
+/// In-flight telemetry collection: the collectors plus the cheap local
+/// accumulators and edge-detection state the run loop updates, flushed
+/// into the registry when the run ends.
+struct TelemetryState {
+    events: Option<EventTrace>,
+    registry: Option<tdtm_telemetry::MetricsRegistry>,
+    /// Cached histogram indices for the hot per-cycle/per-sample records.
+    temp_idx: usize,
+    duty_idx: usize,
+    phases: bool,
+    /// Per-block "currently above emergency" for entry/exit edges.
+    emerg: [bool; NUM_THERMAL],
+    /// Per-block "currently above stress".
+    stress: [bool; NUM_THERMAL],
+    /// Plain local counters (flushed to the registry at run end — the run
+    /// loop is single-threaded, so per-event atomics would be overhead).
+    duty_changes: u64,
+    emergency_entries: u64,
+    stress_entries: u64,
+    sensor_reads: u64,
+    thermal_steps: u64,
+    /// Host-time accumulators for the non-pipeline phases.
+    power_nanos: u64,
+    power_calls: u64,
+    thermal_nanos: u64,
+    thermal_calls: u64,
+    controller_nanos: u64,
+    controller_calls: u64,
+}
+
+impl TelemetryState {
+    fn new(cfg: &TelemetryConfig) -> TelemetryState {
+        let registry = cfg.metrics.then(sim_metrics_registry);
+        let (temp_idx, duty_idx) = registry.as_ref().map_or((0, 0), |reg| {
+            (reg.histogram_index(HIST_HOTTEST_TEMP), reg.histogram_index(HIST_FETCH_DUTY))
+        });
+        TelemetryState {
+            events: cfg.events.map(|e| EventTrace::new(e.capacity, e.stride)),
+            registry,
+            temp_idx,
+            duty_idx,
+            phases: cfg.phases,
+            emerg: [false; NUM_THERMAL],
+            stress: [false; NUM_THERMAL],
+            duty_changes: 0,
+            emergency_entries: 0,
+            stress_entries: 0,
+            sensor_reads: 0,
+            thermal_steps: 0,
+            power_nanos: 0,
+            power_calls: 0,
+            thermal_nanos: 0,
+            thermal_calls: 0,
+            controller_nanos: 0,
+            controller_calls: 0,
+        }
+    }
+
+    /// Per-cycle threshold edge detection and temperature histogram.
+    fn observe_cycle(&mut self, cycle: u64, temps: &[f64], emergency: f64, stress: f64) {
+        let mut hottest = f64::NEG_INFINITY;
+        for (block, &t) in temps.iter().enumerate() {
+            hottest = hottest.max(t);
+            let e_now = t > emergency;
+            if e_now != self.emerg[block] {
+                self.emerg[block] = e_now;
+                if e_now {
+                    self.emergency_entries += 1;
+                }
+                if let Some(trace) = &mut self.events {
+                    trace.record(Event::ThermalEdge {
+                        cycle,
+                        block,
+                        threshold: ThresholdKind::Emergency,
+                        entered: e_now,
+                    });
+                }
+            }
+            let s_now = t > stress;
+            if s_now != self.stress[block] {
+                self.stress[block] = s_now;
+                if s_now {
+                    self.stress_entries += 1;
+                }
+                if let Some(trace) = &mut self.events {
+                    trace.record(Event::ThermalEdge {
+                        cycle,
+                        block,
+                        threshold: ThresholdKind::Stress,
+                        entered: s_now,
+                    });
+                }
+            }
+        }
+        if let Some(reg) = &self.registry {
+            reg.histogram_at(self.temp_idx).record(hottest);
+        }
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -147,8 +258,32 @@ impl Simulator {
             duty_history: Vec::new(),
             trace: None,
             power_trace: None,
+            telemetry: None,
+            collected: None,
             cfg,
         }
+    }
+
+    /// Enables telemetry collection for the next [`run`](Simulator::run).
+    /// The collected [`Telemetry`] is available from
+    /// [`telemetry`](Simulator::telemetry) afterwards. Collection never
+    /// changes the simulation: the [`RunReport`] is byte-identical with
+    /// telemetry on or off.
+    pub fn enable_telemetry(&mut self, cfg: &TelemetryConfig) {
+        if cfg.phases {
+            self.core.set_stage_profiling(true);
+        }
+        self.telemetry = Some(Box::new(TelemetryState::new(cfg)));
+    }
+
+    /// The telemetry collected by the last run, if enabled.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.collected.as_ref()
+    }
+
+    /// Takes ownership of the collected telemetry.
+    pub fn take_telemetry(&mut self) -> Option<Telemetry> {
+        self.collected.take()
     }
 
     /// Enables downsampled trace recording (one sample every `stride`
@@ -267,6 +402,13 @@ impl Simulator {
         let idle_sample = self.power.cycle_power(&tdtm_uarch::Activity::new());
         let mut sensed = [0.0f64; NUM_THERMAL];
 
+        // Detach the telemetry state from `self` for the duration of the
+        // loop so its mutable borrows stay disjoint from the simulator's
+        // components; reattached as `collected` at the end.
+        let mut tstate = self.telemetry.take();
+        let stage_nanos_start = self.core.stage_nanos();
+        let core_cycles_start = self.core.stats().cycles;
+
         loop {
             let counting = cycle >= warmup;
             if counting && counted_cycles == 0 {
@@ -289,7 +431,16 @@ impl Simulator {
                 idle_sample
             } else {
                 let activity = self.core.cycle();
-                self.power.cycle_power(activity)
+                match tstate.as_deref_mut() {
+                    Some(ts) if ts.phases => {
+                        let start = Instant::now();
+                        let sample = self.power.cycle_power(activity);
+                        ts.power_nanos += start.elapsed().as_nanos() as u64;
+                        ts.power_calls += 1;
+                        sample
+                    }
+                    _ => self.power.cycle_power(activity),
+                }
             };
             let scale = self.vf_power_scale;
             let mut thermal_powers = sample.thermal_powers();
@@ -310,7 +461,20 @@ impl Simulator {
                     total_power += lp;
                 }
             }
-            self.thermal.step(&thermal_powers);
+            match tstate.as_deref_mut() {
+                Some(ts) => {
+                    if ts.phases {
+                        let start = Instant::now();
+                        self.thermal.step(&thermal_powers);
+                        ts.thermal_nanos += start.elapsed().as_nanos() as u64;
+                        ts.thermal_calls += 1;
+                    } else {
+                        self.thermal.step(&thermal_powers);
+                    }
+                    ts.thermal_steps += 1;
+                }
+                None => self.thermal.step(&thermal_powers),
+            }
 
             // Warm start: after the first sampling interval, jump blocks
             // to the steady state of the observed average power.
@@ -345,6 +509,9 @@ impl Simulator {
             }
 
             let temps = self.thermal.temperatures();
+            if let Some(ts) = tstate.as_deref_mut() {
+                ts.observe_cycle(cycle, temps, emergency, stress);
+            }
             if counting {
                 counted_cycles += 1;
                 wall_time += nominal_dt / self.vf_freq_scale;
@@ -432,23 +599,89 @@ impl Simulator {
 
             // DTM sampling.
             if (cycle + 1).is_multiple_of(interval) {
+                let dtm_start = match tstate.as_deref() {
+                    Some(ts) if ts.phases => Some(Instant::now()),
+                    _ => None,
+                };
                 self.sensors.read_all(temps, &mut sensed);
-                let cmd = self.policy.sample(&sensed);
+                let cmd = match tstate.as_deref_mut() {
+                    Some(ts) => {
+                        // The observed and unobserved policy paths execute
+                        // identical code (`sample` delegates to
+                        // `sample_observed`), so the command is bit-equal
+                        // either way; only the observer's bookkeeping
+                        // differs. Dense per-sample events honor the
+                        // trace stride; edge events never go through here.
+                        let due = ts
+                            .events
+                            .as_ref()
+                            .is_some_and(|trace| trace.sample_due(samples));
+                        if due {
+                            ts.sensor_reads += sensed.len() as u64;
+                            for (block, &reading) in sensed.iter().enumerate() {
+                                if let Some(trace) = &mut ts.events {
+                                    trace.record(Event::SensorRead { cycle, block, reading });
+                                }
+                            }
+                        }
+                        let events = &mut ts.events;
+                        let cmd = self.policy.sample_observed(&sensed, &mut |block, s| {
+                            if due {
+                                if let Some(trace) = events {
+                                    trace.record(Event::Controller {
+                                        cycle,
+                                        sample: ControllerSample {
+                                            block,
+                                            error: s.error,
+                                            p_term: s.p_term,
+                                            i_term: s.i_term,
+                                            d_term: s.d_term,
+                                            integral_pre_clamp: s.integral_pre_clamp,
+                                            integral: s.integral,
+                                            output: s.output,
+                                            saturated: s.saturated,
+                                        },
+                                    });
+                                }
+                            }
+                        });
+                        if let Some(reg) = &ts.registry {
+                            reg.histogram_at(ts.duty_idx).record(cmd.fetch_duty);
+                        }
+                        cmd
+                    }
+                    None => self.policy.sample(&sensed),
+                };
                 samples += 1;
                 self.duty_history.push(cmd.fetch_duty);
                 match self.cfg.dtm.mechanism {
-                    TriggerMechanism::Direct => self.apply(cmd),
+                    TriggerMechanism::Direct => self.apply(cycle, cmd, &mut tstate),
                     TriggerMechanism::Interrupt { latency_cycles } => {
                         self.pending.push_back((cycle + latency_cycles, cmd));
                     }
                 }
+                if let Some(start) = dtm_start {
+                    let ts = tstate.as_deref_mut().expect("timed block implies state");
+                    ts.controller_nanos += start.elapsed().as_nanos() as u64;
+                    ts.controller_calls += 1;
+                }
             }
             while self.pending.front().is_some_and(|&(at, _)| at <= cycle) {
                 let (_, cmd) = self.pending.pop_front().expect("checked");
-                self.apply(cmd);
+                self.apply(cycle, cmd, &mut tstate);
             }
 
             cycle += 1;
+        }
+
+        if let Some(ts) = tstate {
+            self.collected = Some(self.flush_telemetry(
+                *ts,
+                cycle,
+                samples,
+                stage_nanos_start,
+                core_cycles_start,
+            ));
         }
 
         let stats = *self.core.stats();
@@ -476,7 +709,7 @@ impl Simulator {
             ipc: committed as f64 / n,
             avg_power,
             max_power,
-            avg_chip_temp: 27.0 + 0.34 * avg_power,
+            avg_chip_temp: crate::config::table4_chip_temp(avg_power),
             emergency_cycles,
             stress_cycles,
             blocks,
@@ -488,7 +721,64 @@ impl Simulator {
         }
     }
 
-    fn apply(&mut self, cmd: DtmCommand) {
+    /// Converts the in-flight [`TelemetryState`] into the final
+    /// [`Telemetry`]: flushes the local counters into the registry and
+    /// assembles the phase profile from the core's stage timers and the
+    /// loop's accumulators.
+    fn flush_telemetry(
+        &mut self,
+        ts: TelemetryState,
+        cycles: u64,
+        samples: u64,
+        stage_nanos_start: [u64; 6],
+        core_cycles_start: u64,
+    ) -> Telemetry {
+        if let Some(reg) = &ts.registry {
+            reg.counter("cycles").add(cycles);
+            reg.counter("thermal_steps").add(ts.thermal_steps);
+            reg.counter("dtm_samples").add(samples);
+            reg.counter("duty_changes").add(ts.duty_changes);
+            reg.counter("emergency_entries").add(ts.emergency_entries);
+            reg.counter("stress_entries").add(ts.stress_entries);
+            reg.counter("sensor_reads").add(ts.sensor_reads);
+            if let Some(trace) = &ts.events {
+                reg.counter("events_recorded").add(trace.recorded());
+                reg.counter("events_dropped").add(trace.dropped());
+            }
+        }
+        let phases = ts.phases.then(|| {
+            let mut profile = PhaseProfile::new();
+            let stage = self.core.stage_nanos();
+            let core_cycles = self.core.stats().cycles - core_cycles_start;
+            const STAGES: [Phase; 6] = [
+                Phase::Commit,
+                Phase::Writeback,
+                Phase::Issue,
+                Phase::Dispatch,
+                Phase::Decode,
+                Phase::Fetch,
+            ];
+            for (i, phase) in STAGES.into_iter().enumerate() {
+                profile.add(phase, stage[i] - stage_nanos_start[i], core_cycles);
+            }
+            profile.add(Phase::Power, ts.power_nanos, ts.power_calls);
+            profile.add(Phase::ThermalStep, ts.thermal_nanos, ts.thermal_calls);
+            profile.add(Phase::Controller, ts.controller_nanos, ts.controller_calls);
+            profile
+        });
+        Telemetry { events: ts.events, metrics: ts.registry, phases }
+    }
+
+    fn apply(&mut self, cycle: u64, cmd: DtmCommand, tstate: &mut Option<Box<TelemetryState>>) {
+        if let Some(ts) = tstate.as_deref_mut() {
+            let from = self.core.control().fetch_duty;
+            if cmd.fetch_duty != from {
+                ts.duty_changes += 1;
+                if let Some(trace) = &mut ts.events {
+                    trace.record(Event::DutyChange { cycle, from, to: cmd.fetch_duty });
+                }
+            }
+        }
         self.core.set_control(CoreControl {
             fetch_duty: cmd.fetch_duty,
             fetch_width_limit: cmd.fetch_width_limit,
@@ -562,7 +852,7 @@ mod tests {
     fn hot_loop_heats_int_units_most() {
         let mut sim = Simulator::new(quick(PolicyKind::None), hot_loop_program());
         let r = sim.run();
-        let hottest = r.hottest_block();
+        let hottest = r.hottest_block().expect("seven blocks");
         assert!(
             hottest.name.contains("int") || hottest.name == "regfile" || hottest.name == "bpred",
             "integer-dominated kernel should heat the int path, got {}",
@@ -656,7 +946,7 @@ mod tests {
         let r_leaky = leaky.run();
         assert!(r_leaky.avg_power > r_plain.avg_power + 0.5, "leakage adds watts");
         assert!(
-            r_leaky.hottest_block().max_temp > r_plain.hottest_block().max_temp,
+            r_leaky.hottest_block().unwrap().max_temp > r_plain.hottest_block().unwrap().max_temp,
             "and therefore kelvins"
         );
     }
@@ -686,9 +976,9 @@ mod tests {
         let mut sim = Simulator::new(cfg, hot_loop_program());
         let r = sim.run();
         assert!(
-            r.hottest_block().max_temp > 150.0,
+            r.hottest_block().unwrap().max_temp > 150.0,
             "runaway must diverge, got {:.1}",
-            r.hottest_block().max_temp
+            r.hottest_block().unwrap().max_temp
         );
     }
 

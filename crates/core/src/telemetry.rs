@@ -1,0 +1,55 @@
+//! The simulator's telemetry schema and helpers.
+//!
+//! The collectors themselves live in `tdtm-telemetry`; this module pins
+//! down the *schema* the simulator populates — the counter and histogram
+//! names every run reports — so the experiment engine can merge snapshots
+//! from different cells without guessing at their shape.
+
+use tdtm_telemetry::MetricsRegistry;
+
+/// Counter names the simulator populates, in registration order.
+pub const SIM_COUNTERS: [&str; 9] = [
+    "cycles",
+    "thermal_steps",
+    "dtm_samples",
+    "duty_changes",
+    "emergency_entries",
+    "stress_entries",
+    "sensor_reads",
+    "events_recorded",
+    "events_dropped",
+];
+
+/// Histogram of the per-cycle hottest block temperature (°C).
+pub const HIST_HOTTEST_TEMP: &str = "hottest_temp_c";
+
+/// Histogram of the commanded fetch duty per DTM sample (one bin per
+/// actuator level).
+pub const HIST_FETCH_DUTY: &str = "fetch_duty";
+
+/// Builds the registry every simulator run populates. All runs share this
+/// schema, so their snapshots merge.
+pub fn sim_metrics_registry() -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    for name in SIM_COUNTERS {
+        reg = reg.with_counter(name);
+    }
+    reg.with_histogram(HIST_HOTTEST_TEMP, 80.0, 120.0, 80)
+        .with_histogram(HIST_FETCH_DUTY, 0.0, 1.0, 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_is_self_consistent() {
+        let reg = sim_metrics_registry();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.len(), SIM_COUNTERS.len());
+        assert_eq!(snap.histograms.len(), 2);
+        // Two independently built registries merge (same schema).
+        let mut a = sim_metrics_registry().snapshot();
+        a.merge_from(&snap);
+    }
+}

@@ -1,0 +1,118 @@
+//! Stride edge cases for `Trace` and `PowerTrace` recording.
+//!
+//! The recorders sample every `stride` cycles; these tests pin the edge
+//! behavior: stride 0 is rejected, stride 1 records every cycle, a
+//! stride longer than the run records exactly the cycle-0 sample for the
+//! trace and nothing for the stride-mean power trace, and samples land
+//! exactly on stride multiples around the warmup boundary.
+
+use tdtm_core::{SimConfig, Simulator};
+use tdtm_isa::asm::assemble;
+use tdtm_isa::Program;
+
+fn short_program() -> Program {
+    assemble(
+        "     li x31, 2000000
+         l:   addi x5, x5, 1
+              addi x31, x31, -1
+              bne  x31, x0, l
+              halt",
+    )
+    .expect("valid program")
+}
+
+fn quick() -> SimConfig {
+    let mut cfg = SimConfig::quick_test();
+    cfg.dtm.policy = tdtm_dtm::PolicyKind::None;
+    cfg
+}
+
+#[test]
+#[should_panic(expected = "stride must be nonzero")]
+fn trace_stride_zero_rejected() {
+    let mut sim = Simulator::new(quick(), short_program());
+    sim.record_trace(0);
+}
+
+#[test]
+#[should_panic(expected = "stride must be nonzero")]
+fn power_trace_stride_zero_rejected() {
+    let mut sim = Simulator::new(quick(), short_program());
+    sim.record_power_trace(0);
+}
+
+#[test]
+fn trace_stride_one_records_every_cycle() {
+    let mut sim = Simulator::new(quick(), short_program());
+    sim.record_trace(1);
+    let report = sim.run();
+    let trace = sim.trace().expect("recording enabled");
+    assert_eq!(trace.len() as u64, report.total_cycles, "one sample per simulated cycle");
+    assert_eq!(trace.cycles.first(), Some(&0));
+    assert_eq!(trace.cycles.last(), Some(&(report.total_cycles - 1)));
+}
+
+#[test]
+fn power_trace_stride_one_records_every_cycle() {
+    let mut sim = Simulator::new(quick(), short_program());
+    sim.record_power_trace(1);
+    let report = sim.run();
+    let trace = sim.power_trace().expect("recording enabled");
+    assert_eq!(trace.len() as u64, report.total_cycles);
+}
+
+#[test]
+fn trace_stride_longer_than_run_keeps_only_cycle_zero() {
+    let mut sim = Simulator::new(quick(), short_program());
+    sim.record_trace(u64::MAX);
+    let report = sim.run();
+    assert!(report.total_cycles > 0);
+    let trace = sim.trace().expect("recording enabled");
+    // Cycle 0 is a multiple of any stride, so exactly one sample exists.
+    assert_eq!(trace.len(), 1);
+    assert_eq!(trace.cycles, vec![0]);
+}
+
+#[test]
+fn power_trace_stride_longer_than_run_is_empty() {
+    let mut sim = Simulator::new(quick(), short_program());
+    sim.record_power_trace(u64::MAX);
+    let report = sim.run();
+    assert!(report.total_cycles > 0);
+    let trace = sim.power_trace().expect("recording enabled");
+    // The stride-mean recorder only emits once a full window accumulates;
+    // a window longer than the run never fills.
+    assert_eq!(trace.len(), 0);
+}
+
+#[test]
+fn trace_samples_land_on_stride_multiples_across_the_warmup_boundary() {
+    let stride = 700u64; // deliberately not a divisor of the warmup window
+    let mut cfg = quick();
+    cfg.thermal_warmup_cycles = 1_000;
+    let mut sim = Simulator::new(cfg, short_program());
+    sim.record_trace(stride);
+    let report = sim.run();
+    let trace = sim.trace().expect("recording enabled");
+    for (i, &cycle) in trace.cycles.iter().enumerate() {
+        assert_eq!(cycle, i as u64 * stride, "samples at exact stride multiples");
+    }
+    // The recorder ignores the warmup boundary: the sample before and
+    // after cycle 1000 are 700 and 1400, with no off-by-one skip.
+    assert!(trace.cycles.contains(&700));
+    assert!(trace.cycles.contains(&1400));
+    let expected = report.total_cycles.div_ceil(stride);
+    assert_eq!(trace.len() as u64, expected, "ceil(total/stride) samples");
+}
+
+#[test]
+fn power_trace_emits_only_complete_windows() {
+    let stride = 700u64;
+    let mut sim = Simulator::new(quick(), short_program());
+    sim.record_power_trace(stride);
+    let report = sim.run();
+    let trace = sim.power_trace().expect("recording enabled");
+    // Complete windows only: floor, not ceil — a trailing partial window
+    // is discarded rather than emitted with a short mean.
+    assert_eq!(trace.len() as u64, report.total_cycles / stride);
+}

@@ -52,6 +52,16 @@ impl PolicyKind {
         matches!(self, PolicyKind::P | PolicyKind::Pd | PolicyKind::Pi | PolicyKind::Pid)
     }
 
+    /// Parses a policy from its [`name`](Self::name) or its variant
+    /// identifier (both case-insensitive — `pid`, `PID+vf`, and
+    /// `hierarchical` all resolve), for CLI tools; `None` if the string
+    /// names no policy.
+    pub fn parse(s: &str) -> Option<PolicyKind> {
+        PolicyKind::all().into_iter().find(|k| {
+            k.name().eq_ignore_ascii_case(s) || format!("{k:?}").eq_ignore_ascii_case(s)
+        })
+    }
+
     /// Display name used in tables.
     pub fn name(self) -> &'static str {
         use PolicyKind::*;
@@ -223,6 +233,17 @@ mod tests {
     fn vf_power_scale_is_fv2() {
         let vf = VfSetting { freq_scale: 0.5, vdd_scale: 0.8 };
         assert!((vf.power_scale() - 0.32).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_round_trips_every_name() {
+        for kind in PolicyKind::all() {
+            assert_eq!(PolicyKind::parse(kind.name()), Some(kind));
+            assert_eq!(PolicyKind::parse(&kind.name().to_uppercase()), Some(kind));
+            assert_eq!(PolicyKind::parse(&format!("{kind:?}")), Some(kind));
+        }
+        assert_eq!(PolicyKind::parse("hierarchical"), Some(PolicyKind::Hierarchical));
+        assert_eq!(PolicyKind::parse("bogus"), None);
     }
 
     #[test]

@@ -8,13 +8,28 @@
 use crate::command::DtmCommand;
 use crate::config::{DtmConfig, PolicyKind};
 use tdtm_control::design::{design_controller, ControllerKind, FopdtPlant};
-use tdtm_control::pid::{quantize, PidController};
+use tdtm_control::pid::{quantize, PidController, PidSample};
 
 /// A dynamic thermal management policy.
 pub trait DtmPolicy {
     /// Consumes one sample of sensed block temperatures and returns the
     /// actuator command for the next interval.
     fn sample(&mut self, temps: &[f64]) -> DtmCommand;
+
+    /// Like [`sample`](Self::sample), but reports each internal PID step
+    /// as `(block_index, PidSample)` through `observe`. Policies without
+    /// internal controllers ignore the observer; controller-backed
+    /// policies override this so telemetry can watch the P/I/D terms
+    /// without re-deriving them. Implementations must guarantee the
+    /// observed and unobserved paths produce identical commands.
+    fn sample_observed(
+        &mut self,
+        temps: &[f64],
+        observe: &mut dyn FnMut(usize, PidSample),
+    ) -> DtmCommand {
+        let _ = observe;
+        self.sample(temps)
+    }
 
     /// Number of samples on which the policy restricted the machine.
     fn engaged_samples(&self) -> u64;
@@ -250,14 +265,26 @@ impl CtPolicy {
 
 impl DtmPolicy for CtPolicy {
     fn sample(&mut self, temps: &[f64]) -> DtmCommand {
+        // Delegate so the observed and unobserved paths are literally the
+        // same code — attaching telemetry cannot change the command.
+        self.sample_observed(temps, &mut |_, _| {})
+    }
+
+    fn sample_observed(
+        &mut self,
+        temps: &[f64],
+        observe: &mut dyn FnMut(usize, PidSample),
+    ) -> DtmCommand {
         if !self.initialized {
             self.ensure_size(temps.len());
         }
         assert_eq!(temps.len(), self.controllers.len(), "one controller per sensed block");
         let mut duty: f64 = 1.0;
-        for (c, &t) in self.controllers.iter_mut().zip(temps) {
+        for (block, (c, &t)) in self.controllers.iter_mut().zip(temps).enumerate() {
             let error = self.cfg.setpoint - t;
-            let u = (c.sample(error) + self.bias).clamp(0.0, 1.0);
+            let s = c.sample_detailed(error);
+            observe(block, s);
+            let u = (s.output + self.bias).clamp(0.0, 1.0);
             duty = duty.min(u);
         }
         let duty = quantize(duty, self.cfg.quantize_levels);
@@ -313,8 +340,16 @@ impl Hierarchical {
 
 impl DtmPolicy for Hierarchical {
     fn sample(&mut self, temps: &[f64]) -> DtmCommand {
+        self.sample_observed(temps, &mut |_, _| {})
+    }
+
+    fn sample_observed(
+        &mut self,
+        temps: &[f64],
+        observe: &mut dyn FnMut(usize, PidSample),
+    ) -> DtmCommand {
         self.sample_count += 1;
-        let mut cmd = self.primary.sample(temps);
+        let mut cmd = self.primary.sample_observed(temps, observe);
         let truly_hot = temps.iter().any(|&t| t > self.cfg.backup_trigger);
         if truly_hot {
             let delay_samples = self.cfg.policy_delay / self.cfg.sample_interval.max(1);
@@ -518,6 +553,28 @@ mod tests {
             assert!(p.sample(&cool()).vf.is_some(), "held at sample {i}");
         }
         assert!(p.sample(&cool()).vf.is_none(), "released after the delay");
+    }
+
+    #[test]
+    fn observed_and_unobserved_sampling_agree_bitwise() {
+        let mut plain = build_policy(&config(PolicyKind::Pid));
+        let mut observed = build_policy(&config(PolicyKind::Hierarchical));
+        let mut plain_h = build_policy(&config(PolicyKind::Hierarchical));
+        let mut observed_p = build_policy(&config(PolicyKind::Pid));
+        let mut seen = 0usize;
+        for t in [108.0, 110.9, 111.5, 112.0, 109.0, 110.85] {
+            let temps = hot_block(t);
+            let a = plain.sample(&temps);
+            let b = observed_p.sample_observed(&temps, &mut |_, s| {
+                seen += 1;
+                assert!(s.output.is_finite());
+            });
+            assert_eq!(a.fetch_duty.to_bits(), b.fetch_duty.to_bits());
+            let c = plain_h.sample(&temps);
+            let d = observed.sample_observed(&temps, &mut |_, _| {});
+            assert_eq!(c, d, "hierarchical observed path diverged at {t}");
+        }
+        assert_eq!(seen, 6 * 7, "one PidSample per block per sample");
     }
 
     #[test]

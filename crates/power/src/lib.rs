@@ -8,7 +8,7 @@
 //! ```
 //!
 //! where `P_peak = E_access · accesses_max · f` comes from an abridged
-//! CACTI-style capacitance model ([`array`]) over each structure's
+//! CACTI-style capacitance model ([`mod@array`]) over each structure's
 //! geometry ([`units`]), and the gating function implements Wattch's
 //! conditional-clocking styles cc0–cc3 ([`model::ClockGating`]). Like the
 //! paper's setup we default to the realistic cc3 style: unused structures

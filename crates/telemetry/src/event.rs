@@ -1,0 +1,417 @@
+//! Typed in-run events and the bounded ring buffer that holds them.
+//!
+//! Events are the signals the paper reads off its own traces: what the
+//! controller computed each sample (error, P/I/D decomposition, pre- and
+//! post-clamp integral, saturation), when the actuator's duty level
+//! actually moved, and when each block crossed the stress or emergency
+//! threshold. The ring is bounded, so a trillion-cycle run with a 64 Ki
+//! ring keeps the most recent window instead of eating the heap; dropped
+//! events are counted, never silently lost.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// One controller invocation's internals, as recorded per block per DTM
+/// sample (mirrors `tdtm_control::pid::PidSample`, plus the block index).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ControllerSample {
+    /// Thermal block this controller instance watches.
+    pub block: usize,
+    /// Input error `setpoint − T_sensed` (K).
+    pub error: f64,
+    /// Proportional term `Kp·e`.
+    pub p_term: f64,
+    /// Integral term `Ki·∫e` (post-clamp).
+    pub i_term: f64,
+    /// Derivative term `Kd·de/dt`.
+    pub d_term: f64,
+    /// Accumulated integral before the anti-windup clamps were applied.
+    pub integral_pre_clamp: f64,
+    /// Accumulated integral after clamping (the retained state).
+    pub integral: f64,
+    /// Clamped controller output (the actuator command).
+    pub output: f64,
+    /// Whether the raw output exceeded the actuator range this sample.
+    pub saturated: bool,
+}
+
+/// Which threshold a [`Event::ThermalEdge`] crossed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ThresholdKind {
+    /// The hard emergency threshold (the paper's 111 °C).
+    Emergency,
+    /// The stress threshold (emergency − 1 K).
+    Stress,
+}
+
+impl ThresholdKind {
+    /// Stable label used in exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ThresholdKind::Emergency => "emergency",
+            ThresholdKind::Stress => "stress",
+        }
+    }
+}
+
+/// A typed in-run event, stamped with the absolute simulation cycle
+/// (warmup cycles included — cycle numbers match the simulator's own).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Event {
+    /// One per-block controller invocation (strided).
+    Controller {
+        /// Simulation cycle of the DTM sample.
+        cycle: u64,
+        /// The controller internals.
+        sample: ControllerSample,
+    },
+    /// The applied fetch-duty level changed.
+    DutyChange {
+        /// Cycle the new command was applied.
+        cycle: u64,
+        /// Previous duty level.
+        from: f64,
+        /// New duty level.
+        to: f64,
+    },
+    /// A block crossed the stress or emergency threshold (either way).
+    ThermalEdge {
+        /// Cycle of the crossing.
+        cycle: u64,
+        /// Block index.
+        block: usize,
+        /// Which threshold.
+        threshold: ThresholdKind,
+        /// `true` on entry (got hotter than the threshold), `false` on exit.
+        entered: bool,
+    },
+    /// One sensor reading fed to the policy (strided).
+    SensorRead {
+        /// Cycle of the DTM sample.
+        cycle: u64,
+        /// Block index.
+        block: usize,
+        /// The (possibly noisy/quantized) sensed temperature (°C).
+        reading: f64,
+    },
+}
+
+impl Event {
+    /// Stable kind tag used in exports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Controller { .. } => "controller",
+            Event::DutyChange { .. } => "duty_change",
+            Event::ThermalEdge { .. } => "thermal_edge",
+            Event::SensorRead { .. } => "sensor_read",
+        }
+    }
+
+    /// The simulation cycle the event is stamped with.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            Event::Controller { cycle, .. }
+            | Event::DutyChange { cycle, .. }
+            | Event::ThermalEdge { cycle, .. }
+            | Event::SensorRead { cycle, .. } => cycle,
+        }
+    }
+
+    /// One JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        let _ = write!(s, "{{\"kind\":\"{}\",\"cycle\":{}", self.kind(), self.cycle());
+        match *self {
+            Event::Controller { sample: c, .. } => {
+                let _ = write!(
+                    s,
+                    ",\"block\":{},\"error\":{},\"p_term\":{},\"i_term\":{},\"d_term\":{},\
+                     \"integral_pre_clamp\":{},\"integral\":{},\"output\":{},\"saturated\":{}",
+                    c.block,
+                    json_f64(c.error),
+                    json_f64(c.p_term),
+                    json_f64(c.i_term),
+                    json_f64(c.d_term),
+                    json_f64(c.integral_pre_clamp),
+                    json_f64(c.integral),
+                    json_f64(c.output),
+                    c.saturated,
+                );
+            }
+            Event::DutyChange { from, to, .. } => {
+                let _ = write!(s, ",\"from\":{},\"to\":{}", json_f64(from), json_f64(to));
+            }
+            Event::ThermalEdge { block, threshold, entered, .. } => {
+                let _ = write!(
+                    s,
+                    ",\"block\":{},\"threshold\":\"{}\",\"entered\":{}",
+                    block,
+                    threshold.label(),
+                    entered
+                );
+            }
+            Event::SensorRead { block, reading, .. } => {
+                let _ = write!(s, ",\"block\":{},\"reading\":{}", block, json_f64(reading));
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// One CSV row matching [`EventTrace::CSV_HEADER`]; absent fields are
+    /// empty cells.
+    pub fn to_csv_row(&self) -> String {
+        // kind,cycle,block,error,p_term,i_term,d_term,integral_pre_clamp,
+        // integral,output,saturated,duty_from,duty_to,threshold,entered,reading
+        let mut cells: [String; 16] = std::array::from_fn(|_| String::new());
+        cells[0] = self.kind().to_string();
+        cells[1] = self.cycle().to_string();
+        match *self {
+            Event::Controller { sample: c, .. } => {
+                cells[2] = c.block.to_string();
+                cells[3] = c.error.to_string();
+                cells[4] = c.p_term.to_string();
+                cells[5] = c.i_term.to_string();
+                cells[6] = c.d_term.to_string();
+                cells[7] = c.integral_pre_clamp.to_string();
+                cells[8] = c.integral.to_string();
+                cells[9] = c.output.to_string();
+                cells[10] = c.saturated.to_string();
+            }
+            Event::DutyChange { from, to, .. } => {
+                cells[11] = from.to_string();
+                cells[12] = to.to_string();
+            }
+            Event::ThermalEdge { block, threshold, entered, .. } => {
+                cells[2] = block.to_string();
+                cells[13] = threshold.label().to_string();
+                cells[14] = entered.to_string();
+            }
+            Event::SensorRead { block, reading, .. } => {
+                cells[2] = block.to_string();
+                cells[15] = reading.to_string();
+            }
+        }
+        cells.join(",")
+    }
+}
+
+/// JSON-safe float formatting (JSON has no NaN/Infinity literals).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A bounded ring buffer of [`Event`]s with a sampling stride for the
+/// dense event kinds.
+///
+/// The ring keeps the most recent `capacity` events; older ones are
+/// dropped (and counted in [`dropped`](EventTrace::dropped)) — the recent
+/// window is what post-mortem controller analysis needs.
+#[derive(Clone, Debug)]
+pub struct EventTrace {
+    capacity: usize,
+    stride: u64,
+    events: VecDeque<Event>,
+    recorded: u64,
+    dropped: u64,
+}
+
+impl EventTrace {
+    /// Header row for [`to_csv`](EventTrace::to_csv).
+    pub const CSV_HEADER: &'static str = "kind,cycle,block,error,p_term,i_term,d_term,\
+         integral_pre_clamp,integral,output,saturated,duty_from,duty_to,threshold,entered,reading";
+
+    /// Creates an empty trace retaining at most `capacity` events and
+    /// sampling dense events every `stride`-th DTM sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `stride` is zero.
+    pub fn new(capacity: usize, stride: u64) -> EventTrace {
+        assert!(capacity > 0, "event ring needs nonzero capacity");
+        assert!(stride > 0, "event stride must be nonzero");
+        EventTrace {
+            capacity,
+            stride,
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            recorded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The configured stride for dense events.
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Whether dense events are due on the `index`-th DTM sample
+    /// (0-based): every `stride`-th sample.
+    pub fn sample_due(&self, index: u64) -> bool {
+        index.is_multiple_of(self.stride)
+    }
+
+    /// Records one event, evicting the oldest if the ring is full.
+    pub fn record(&mut self, event: Event) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+        self.recorded += 1;
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events ever recorded (retained + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained events as JSON Lines (one object per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The retained events as CSV with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(Self::CSV_HEADER);
+        out.push('\n');
+        for e in &self.events {
+            out.push_str(&e.to_csv_row());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller_event(cycle: u64) -> Event {
+        Event::Controller {
+            cycle,
+            sample: ControllerSample {
+                block: 5,
+                error: -0.25,
+                p_term: -1.4,
+                i_term: 0.9,
+                d_term: 0.0,
+                integral_pre_clamp: 0.3,
+                integral: 0.125,
+                output: 0.0,
+                saturated: true,
+            },
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut t = EventTrace::new(3, 1);
+        for c in 0..5 {
+            t.record(Event::DutyChange { cycle: c, from: 1.0, to: 0.5 });
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.recorded(), 5);
+        assert_eq!(t.dropped(), 2);
+        let cycles: Vec<u64> = t.iter().map(Event::cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4], "oldest events evicted first");
+    }
+
+    #[test]
+    fn stride_gates_dense_samples() {
+        let t = EventTrace::new(8, 4);
+        assert!(t.sample_due(0));
+        assert!(!t.sample_due(1));
+        assert!(!t.sample_due(3));
+        assert!(t.sample_due(4));
+        assert!(t.sample_due(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = EventTrace::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_rejected() {
+        let _ = EventTrace::new(8, 0);
+    }
+
+    #[test]
+    fn jsonl_is_one_valid_object_per_line() {
+        let mut t = EventTrace::new(8, 1);
+        t.record(controller_event(1000));
+        t.record(Event::ThermalEdge {
+            cycle: 1200,
+            block: 3,
+            threshold: ThresholdKind::Emergency,
+            entered: true,
+        });
+        t.record(Event::SensorRead { cycle: 2000, block: 0, reading: 108.5 });
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "line: {line}");
+            // Balanced quotes and no raw NaN tokens.
+            assert_eq!(line.matches('"').count() % 2, 0);
+            assert!(!line.contains("NaN"));
+        }
+        assert!(lines[0].contains("\"kind\":\"controller\""));
+        assert!(lines[0].contains("\"saturated\":true"));
+        assert!(lines[1].contains("\"threshold\":\"emergency\""));
+        assert!(lines[2].contains("\"reading\":108.5"));
+    }
+
+    #[test]
+    fn nonfinite_floats_export_as_null() {
+        let e = Event::SensorRead { cycle: 1, block: 0, reading: f64::NEG_INFINITY };
+        assert!(e.to_json().contains("\"reading\":null"));
+    }
+
+    #[test]
+    fn csv_rows_match_header_width() {
+        let mut t = EventTrace::new(8, 1);
+        t.record(controller_event(10));
+        t.record(Event::DutyChange { cycle: 20, from: 1.0, to: 0.875 });
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        let w = header.split(',').count();
+        assert_eq!(w, 16);
+        for row in lines {
+            assert_eq!(row.split(',').count(), w, "row: {row}");
+        }
+        assert!(csv.contains("duty_change,20,,,,,,,,,,1,0.875,,,"));
+    }
+}

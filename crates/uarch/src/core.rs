@@ -192,7 +192,18 @@ pub struct Core {
     activity: Activity,
     stats: CoreStats,
     halted_seen: bool,
+
+    /// When set, each pipeline stage is wrapped in a host timer and the
+    /// accumulated nanoseconds land in `stage_nanos`. Off by default — the
+    /// untimed path has no `Instant` calls at all.
+    stage_profiling: bool,
+    /// Accumulated host nanoseconds per stage, in [`STAGE_NAMES`] order.
+    stage_nanos: [u64; 6],
 }
+
+/// Stage names matching the `stage_nanos` accumulator order.
+pub const STAGE_NAMES: [&str; 6] =
+    ["commit", "writeback", "issue", "dispatch", "decode", "fetch"];
 
 impl std::fmt::Debug for Core {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -244,8 +255,22 @@ impl Core {
             activity: Activity::new(),
             stats: CoreStats::default(),
             halted_seen: false,
+            stage_profiling: false,
+            stage_nanos: [0; 6],
             cfg,
         }
+    }
+
+    /// Enables or disables per-stage host timing (see [`STAGE_NAMES`]).
+    pub fn set_stage_profiling(&mut self, on: bool) {
+        self.stage_profiling = on;
+    }
+
+    /// Accumulated host nanoseconds per stage, in [`STAGE_NAMES`] order.
+    /// All zeros unless [`set_stage_profiling`](Self::set_stage_profiling)
+    /// was turned on.
+    pub fn stage_nanos(&self) -> [u64; 6] {
+        self.stage_nanos
     }
 
     /// Applies DTM actuator settings.
@@ -328,17 +353,51 @@ impl Core {
     /// activity.
     pub fn cycle(&mut self) -> &Activity {
         self.activity.clear();
-        self.commit();
-        self.writeback();
-        self.issue();
-        self.dispatch();
-        self.decode();
-        self.fetch();
+        if self.stage_profiling {
+            self.cycle_stages_timed();
+        } else {
+            self.commit();
+            self.writeback();
+            self.issue();
+            self.dispatch();
+            self.decode();
+            self.fetch();
+        }
         self.stats.ruu_occupancy_sum += self.ruu.len() as u64;
         self.stats.lsq_occupancy_sum += self.lsq.len() as u64;
         self.cycle += 1;
         self.stats.cycles += 1;
         &self.activity
+    }
+
+    /// The stage sequence of [`cycle`](Self::cycle) with each stage under
+    /// a host timer. Kept as a separate body so the untimed path carries
+    /// no `Instant` overhead.
+    fn cycle_stages_timed(&mut self) {
+        use std::time::Instant;
+        let mut mark = Instant::now();
+        self.commit();
+        let mut now = Instant::now();
+        self.stage_nanos[0] += (now - mark).as_nanos() as u64;
+        mark = now;
+        self.writeback();
+        now = Instant::now();
+        self.stage_nanos[1] += (now - mark).as_nanos() as u64;
+        mark = now;
+        self.issue();
+        now = Instant::now();
+        self.stage_nanos[2] += (now - mark).as_nanos() as u64;
+        mark = now;
+        self.dispatch();
+        now = Instant::now();
+        self.stage_nanos[3] += (now - mark).as_nanos() as u64;
+        mark = now;
+        self.decode();
+        now = Instant::now();
+        self.stage_nanos[4] += (now - mark).as_nanos() as u64;
+        mark = now;
+        self.fetch();
+        self.stage_nanos[5] += mark.elapsed().as_nanos() as u64;
     }
 
     // ------------------------------------------------------------------

@@ -14,4 +14,10 @@ cargo test -q --workspace
 echo "== tier 1: clippy (tdtm-core, tdtm-thermal) =="
 cargo clippy -p tdtm-core -p tdtm-thermal --all-targets -- -D warnings
 
+echo "== tier 1: docs =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+echo "== tier 1: trace_run smoke =="
+cargo run -q --release -p tdtm-bench --bin trace_run -- gcc pid --stride 1000 --insts 60000 > /dev/null
+
 echo "tier 1: OK"

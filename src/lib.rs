@@ -19,6 +19,8 @@
 //!   throttling, speculation control, V/f scaling, and the P/PI/PID
 //!   control-theoretic policies);
 //! * [`workloads`] — the 18 synthetic SPEC2000 stand-in programs;
+//! * [`telemetry`] — in-run observability (typed event trace, metrics
+//!   registry, phase timers);
 //! * [`core`] — the simulator loop, metrics, and experiment drivers.
 //!
 //! # Quickstart
@@ -43,6 +45,7 @@ pub use tdtm_dtm as dtm;
 pub use tdtm_frontend as frontend;
 pub use tdtm_isa as isa;
 pub use tdtm_power as power;
+pub use tdtm_telemetry as telemetry;
 pub use tdtm_thermal as thermal;
 pub use tdtm_uarch as uarch;
 pub use tdtm_workloads as workloads;

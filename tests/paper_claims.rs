@@ -117,7 +117,7 @@ fn pid_holds_temperature_at_the_setpoint() {
     let mut sim = Simulator::for_workload(cfg.clone(), &w);
     let r = sim.run();
     assert_eq!(r.emergency_cycles, 0, "never enter thermal emergency");
-    let hottest = r.hottest_block();
+    let hottest = r.hottest_block().expect("seven blocks");
     assert!(
         hottest.max_temp <= cfg.dtm.emergency,
         "{} peaked at {:.2}",
