@@ -26,6 +26,7 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::config::SimConfig;
@@ -121,6 +122,10 @@ pub struct GridCell {
     /// The grid's scale.
     pub scale: ExperimentScale,
     patch: ConfigPatch,
+    /// Power model shared across every cell with the same power/core
+    /// configuration — the tables are immutable, so one model serves all
+    /// (policy × variant) cells of a grid.
+    power: Arc<tdtm_power::PowerModel>,
 }
 
 impl GridCell {
@@ -141,9 +146,10 @@ impl GridCell {
         cfg
     }
 
-    /// A ready-to-run simulator for this cell.
+    /// A ready-to-run simulator for this cell, reusing the grid's shared
+    /// program and power-model artifacts.
     pub fn simulator(&self) -> Simulator {
-        Simulator::for_workload(self.config(), &self.workload)
+        Simulator::for_workload_with_power(self.config(), &self.workload, Arc::clone(&self.power))
     }
 }
 
@@ -345,11 +351,31 @@ impl ExperimentGrid {
 
     /// Enumerates the cells in grid order: workload-major, then policy,
     /// then variant.
+    ///
+    /// Immutable per-cell artifacts are shared, not rebuilt: workloads
+    /// hold their assembled program behind an `Arc` (18 programs for an
+    /// 18 × 5 grid, not 90), and one power model is built per *distinct*
+    /// (power config, core config) pair across the whole grid — for most
+    /// grids that is a single model serving every cell.
     pub fn cells(&self) -> Vec<GridCell> {
+        type PowerKey = (tdtm_power::PowerConfig, tdtm_uarch::CoreConfig);
+        let mut power_cache: Vec<(PowerKey, Arc<tdtm_power::PowerModel>)> = Vec::new();
         let mut cells = Vec::with_capacity(self.len());
         for workload in &self.workloads {
             for &policy in &self.policies {
                 for &(variant, patch) in &self.variants {
+                    let mut cfg = self.scale.config(policy);
+                    patch(&mut cfg);
+                    let key = (cfg.power, cfg.core);
+                    let power = match power_cache.iter().find(|(k, _)| *k == key) {
+                        Some((_, model)) => Arc::clone(model),
+                        None => {
+                            let model =
+                                Arc::new(tdtm_power::PowerModel::new(&cfg.power, &cfg.core));
+                            power_cache.push((key, Arc::clone(&model)));
+                            model
+                        }
+                    };
                     cells.push(GridCell {
                         index: cells.len(),
                         workload: workload.clone(),
@@ -357,6 +383,7 @@ impl ExperimentGrid {
                         variant,
                         scale: self.scale,
                         patch,
+                        power,
                     });
                 }
             }

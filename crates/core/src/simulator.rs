@@ -44,7 +44,7 @@ enum ProxyKind {
 pub struct Simulator {
     cfg: SimConfig,
     core: Core,
-    power: PowerModel,
+    power: std::sync::Arc<PowerModel>,
     thermal: BlockModel,
     policy: Box<dyn DtmPolicy>,
     sensors: SensorModel,
@@ -70,6 +70,10 @@ pub struct Simulator {
     telemetry: Option<Box<TelemetryState>>,
     /// Collected telemetry of the last run.
     collected: Option<Telemetry>,
+    /// Forces the instrumented reference loop even when a run qualifies
+    /// for the specialized fast loop (validation knob; see
+    /// [`set_reference_loop`](Simulator::set_reference_loop)).
+    reference_loop: bool,
 }
 
 /// In-flight telemetry collection: the collectors plus the cheap local
@@ -131,10 +135,12 @@ impl TelemetryState {
     }
 
     /// Per-cycle threshold edge detection and temperature histogram.
-    fn observe_cycle(&mut self, cycle: u64, temps: &[f64], emergency: f64, stress: f64) {
-        let mut hottest = f64::NEG_INFINITY;
+    ///
+    /// `hottest` is the per-cycle maximum temperature, computed once by
+    /// the run loop and passed through (this method used to refold it
+    /// from `temps`, duplicating the loop's scan).
+    fn observe_cycle(&mut self, cycle: u64, temps: &[f64], hottest: f64, emergency: f64, stress: f64) {
         for (block, &t) in temps.iter().enumerate() {
-            hottest = hottest.max(t);
             let e_now = t > emergency;
             if e_now != self.emerg[block] {
                 self.emerg[block] = e_now;
@@ -225,21 +231,178 @@ impl Trace {
     }
 }
 
+/// The once-per-run classification of everything the cycle loop would
+/// otherwise have to test per cycle: which instrumentation is attached,
+/// which optional physics are enabled, and whether DTM commands apply
+/// directly. [`Simulator::run`] resolves a plan once, then dispatches to
+/// a loop specialized for it.
+#[derive(Clone, Copy, Debug)]
+struct RunPlan {
+    /// Telemetry collection is attached (events, metrics, or phases).
+    telemetry: bool,
+    /// Host-time phase profiling is on (times the power / thermal /
+    /// controller sections with `Instant`; implies `telemetry`).
+    phases: bool,
+    /// Temperature proxies are attached (Tables 9/10 bookkeeping).
+    proxies: bool,
+    /// Downsampled trace recording is on.
+    trace: bool,
+    /// Power-trace recording is on.
+    power_trace: bool,
+    /// Temperature-dependent leakage feedback is enabled.
+    leakage: bool,
+    /// The run starts with a warm-start window (first sampling interval).
+    warm_start: bool,
+    /// DTM commands are interrupt-delayed — or a delayed command is still
+    /// queued from a previous run — so the pending queue must be polled.
+    interrupt: bool,
+}
+
+impl RunPlan {
+    fn classify(sim: &Simulator) -> RunPlan {
+        RunPlan {
+            telemetry: sim.telemetry.is_some(),
+            phases: sim.telemetry.as_deref().is_some_and(|ts| ts.phases),
+            proxies: !sim.proxies.is_empty(),
+            trace: sim.trace.is_some(),
+            power_trace: sim.power_trace.is_some(),
+            leakage: sim.cfg.leakage.is_some(),
+            warm_start: sim.cfg.warm_start,
+            interrupt: !matches!(sim.cfg.dtm.mechanism, TriggerMechanism::Direct)
+                || !sim.pending.is_empty(),
+        }
+    }
+
+    /// Whether the specialized uninstrumented loop applies: no observer
+    /// is attached and commands apply directly, so nothing can observe or
+    /// perturb the simulation between consecutive DTM-sample boundaries.
+    fn fast(&self) -> bool {
+        !(self.telemetry || self.proxies || self.trace || self.power_trace || self.interrupt)
+    }
+}
+
+/// Post-warmup accumulators shared by the fast and reference loops. The
+/// report is assembled from this struct alone
+/// ([`Simulator::finalize`]), so both loops finalize through one code
+/// path and a given simulation yields byte-identical reports whichever
+/// loop ran it.
+struct RunAccum {
+    cycle: u64,
+    counted_cycles: u64,
+    committed_at_count_start: u64,
+    wall_time: f64,
+    sum_power: f64,
+    max_power: f64,
+    emergency_cycles: u64,
+    stress_cycles: u64,
+    block_sum_t: [f64; NUM_THERMAL],
+    block_max_t: [f64; NUM_THERMAL],
+    block_emerg: [u64; NUM_THERMAL],
+    block_stress: [u64; NUM_THERMAL],
+    block_sum_p: [f64; NUM_THERMAL],
+    block_max_p: [f64; NUM_THERMAL],
+    samples: u64,
+}
+
+impl RunAccum {
+    fn new() -> RunAccum {
+        RunAccum {
+            cycle: 0,
+            counted_cycles: 0,
+            committed_at_count_start: 0,
+            wall_time: 0.0,
+            sum_power: 0.0,
+            max_power: 0.0,
+            emergency_cycles: 0,
+            stress_cycles: 0,
+            block_sum_t: [0.0; NUM_THERMAL],
+            block_max_t: [f64::NEG_INFINITY; NUM_THERMAL],
+            block_emerg: [0; NUM_THERMAL],
+            block_stress: [0; NUM_THERMAL],
+            block_sum_p: [0.0; NUM_THERMAL],
+            block_max_p: [0.0; NUM_THERMAL],
+            samples: 0,
+        }
+    }
+
+    /// Folds one counted cycle into the accumulators. The arithmetic and
+    /// its order are shared verbatim by both loops — that sharing is what
+    /// makes their reports byte-identical.
+    #[inline(always)]
+    fn record_cycle(
+        &mut self,
+        temps: &[f64; NUM_THERMAL],
+        thermal_powers: &[f64; NUM_THERMAL],
+        total_power: f64,
+        dt_wall: f64,
+        emergency: f64,
+        stress: f64,
+    ) {
+        self.counted_cycles += 1;
+        self.wall_time += dt_wall;
+        self.sum_power += total_power;
+        self.max_power = self.max_power.max(total_power);
+        let mut any_e = false;
+        let mut any_s = false;
+        for i in 0..NUM_THERMAL {
+            let t = temps[i];
+            self.block_sum_t[i] += t;
+            self.block_max_t[i] = self.block_max_t[i].max(t);
+            if t > emergency {
+                self.block_emerg[i] += 1;
+                any_e = true;
+            }
+            if t > stress {
+                self.block_stress[i] += 1;
+                any_s = true;
+            }
+            self.block_sum_p[i] += thermal_powers[i];
+            self.block_max_p[i] = self.block_max_p[i].max(thermal_powers[i]);
+        }
+        if any_e {
+            self.emergency_cycles += 1;
+        }
+        if any_s {
+            self.stress_cycles += 1;
+        }
+    }
+}
+
 impl Simulator {
     /// Builds a simulator over an arbitrary program (no warmup skip).
     pub fn new(cfg: SimConfig, program: Program) -> Simulator {
-        Simulator::build(cfg, &program, &program.name.clone(), 0)
+        let name = program.name.clone();
+        Simulator::build(cfg, std::sync::Arc::new(program), &name, 0, None)
     }
 
     /// Builds a simulator for a suite workload, honoring its functional
     /// warmup skip.
     pub fn for_workload(cfg: SimConfig, workload: &Workload) -> Simulator {
-        Simulator::build(cfg, workload.program(), workload.name, workload.warmup_insts)
+        Simulator::build(cfg, workload.program_shared(), workload.name, workload.warmup_insts, None)
     }
 
-    fn build(cfg: SimConfig, program: &Program, name: &str, skip: u64) -> Simulator {
-        let core = Core::with_skip(cfg.core, program, skip);
-        let power = PowerModel::new(&cfg.power, &cfg.core);
+    /// [`for_workload`](Simulator::for_workload) with a prebuilt, shared
+    /// power model. The caller must have built `power` from this exact
+    /// `cfg.power`/`cfg.core` pair (the experiment engine caches one model
+    /// per distinct pair across grid cells).
+    pub fn for_workload_with_power(
+        cfg: SimConfig,
+        workload: &Workload,
+        power: std::sync::Arc<PowerModel>,
+    ) -> Simulator {
+        Simulator::build(cfg, workload.program_shared(), workload.name, workload.warmup_insts, Some(power))
+    }
+
+    fn build(
+        cfg: SimConfig,
+        program: std::sync::Arc<Program>,
+        name: &str,
+        skip: u64,
+        power: Option<std::sync::Arc<PowerModel>>,
+    ) -> Simulator {
+        let core = Core::with_skip_shared(cfg.core, program, skip);
+        let power =
+            power.unwrap_or_else(|| std::sync::Arc::new(PowerModel::new(&cfg.power, &cfg.core)));
         let thermal = BlockModel::new(cfg.blocks.clone(), cfg.heatsink_temp, cfg.cycle_time());
         let policy = build_policy_at(&cfg.dtm, cfg.core.clock_hz);
         Simulator {
@@ -260,6 +423,7 @@ impl Simulator {
             power_trace: None,
             telemetry: None,
             collected: None,
+            reference_loop: false,
             cfg,
         }
     }
@@ -372,36 +536,27 @@ impl Simulator {
         self.thermal.temperatures()
     }
 
+    /// Forces the fully instrumented reference loop even when a run
+    /// qualifies for the specialized fast loop. This is a validation
+    /// knob: the byte-identity tests run the same simulation through
+    /// both loops and compare the reports.
+    pub fn set_reference_loop(&mut self, on: bool) {
+        self.reference_loop = on;
+    }
+
     /// Runs to the configured instruction budget and returns the report.
-    #[allow(clippy::too_many_lines)]
+    ///
+    /// The loop is specialized once per run (via an internal run plan):
+    /// an uninstrumented run — no telemetry, proxies, or traces, and
+    /// direct DTM triggering — takes a chunked loop that advances
+    /// straight to the next DTM-sample or stop boundary with no
+    /// per-cycle `Option` tests; anything instrumented takes the
+    /// reference loop. Both loops fold into one accumulator and finalize
+    /// through one code path, and their reports are byte-identical
+    /// (pinned by tests).
     pub fn run(&mut self) -> RunReport {
-        let interval = self.cfg.dtm.sample_interval.max(1);
-        let emergency = self.cfg.dtm.emergency;
-        let stress = emergency - 1.0;
-        let nominal_dt = self.cfg.cycle_time();
-
-        // Accumulators (post-warmup only).
-        let mut counted_cycles = 0u64;
-        let mut committed_at_count_start = 0u64;
-        let mut wall_time = 0.0f64;
-        let mut sum_power = 0.0f64;
-        let mut max_power = 0.0f64;
-        let mut emergency_cycles = 0u64;
-        let mut stress_cycles = 0u64;
-        let mut block_sum_t = [0.0f64; NUM_THERMAL];
-        let mut block_max_t = [f64::NEG_INFINITY; NUM_THERMAL];
-        let mut block_emerg = [0u64; NUM_THERMAL];
-        let mut block_stress = [0u64; NUM_THERMAL];
-        let mut block_sum_p = [0.0f64; NUM_THERMAL];
-        let mut block_max_p = [0.0f64; NUM_THERMAL];
-        let mut samples = 0u64;
-        let mut warm_start_power = [0.0f64; NUM_THERMAL];
-
-        let mut cycle = 0u64;
-        let warmup = self.cfg.thermal_warmup_cycles;
-        let idle_sample = self.power.cycle_power(&tdtm_uarch::Activity::new());
-        let mut sensed = [0.0f64; NUM_THERMAL];
-
+        let plan = RunPlan::classify(self);
+        let mut acc = RunAccum::new();
         // Detach the telemetry state from `self` for the duration of the
         // loop so its mutable borrows stay disjoint from the simulator's
         // components; reattached as `collected` at the end.
@@ -409,19 +564,181 @@ impl Simulator {
         let stage_nanos_start = self.core.stage_nanos();
         let core_cycles_start = self.core.stats().cycles;
 
+        if plan.fast() && !self.reference_loop {
+            if plan.leakage {
+                self.run_fast::<true>(&mut acc, plan);
+            } else {
+                self.run_fast::<false>(&mut acc, plan);
+            }
+        } else {
+            self.run_reference(&mut acc, plan, &mut tstate);
+        }
+
+        if let Some(ts) = tstate {
+            self.collected = Some(self.flush_telemetry(
+                *ts,
+                acc.cycle,
+                acc.samples,
+                stage_nanos_start,
+                core_cycles_start,
+            ));
+        }
+        self.finalize(&acc)
+    }
+
+    /// The specialized uninstrumented cycle loop.
+    ///
+    /// Eligibility ([`RunPlan::fast`]) guarantees nothing observes or
+    /// perturbs the simulation between consecutive DTM-sample
+    /// boundaries, so the loop runs in chunks that end exactly on the
+    /// next boundary and samples once per chunk instead of testing
+    /// `(cycle + 1) % interval` every cycle. Leakage is monomorphized
+    /// out via `LEAK`, and the power-scale / leakage-add / exact-decay
+    /// passes are fused into one sweep over the blocks
+    /// ([`BlockModel::step_fused`]) with bit-identical arithmetic.
+    ///
+    /// Boundary math: DTM samples fire on cycles where
+    /// `(cycle + 1) % interval == 0` — the *last* cycle of each
+    /// interval-aligned chunk — so from any `cycle` the boundary is
+    /// `interval - cycle % interval` cycles ahead, inclusive. Stop
+    /// conditions (instruction budget, cycle budget, program halt) can
+    /// fire mid-chunk and are still checked every cycle, in exactly the
+    /// reference loop's order; a mid-chunk stop skips the boundary
+    /// sample just as the reference loop would.
+    fn run_fast<const LEAK: bool>(&mut self, acc: &mut RunAccum, plan: RunPlan) {
+        let interval = self.cfg.dtm.sample_interval.max(1);
+        let emergency = self.cfg.dtm.emergency;
+        let stress = emergency - 1.0;
+        let nominal_dt = self.cfg.cycle_time();
+        let warmup = self.cfg.thermal_warmup_cycles;
+        let idle_sample = self.power.cycle_power(&tdtm_uarch::Activity::new());
+        let mut sensed = [0.0f64; NUM_THERMAL];
+        let mut warm_start_power = [0.0f64; NUM_THERMAL];
+        let warm_window = if plan.warm_start { interval } else { 0 };
+        let leak = self.cfg.leakage;
+        // Peak powers hoisted so the leakage closure does not borrow
+        // `self.power` while `self.thermal` is mutably borrowed.
+        let peaks: [f64; NUM_THERMAL] =
+            std::array::from_fn(|i| self.power.peak(tdtm_uarch::activity::THERMAL_BLOCKS[i]));
+
+        'run: loop {
+            let until_sample = interval - acc.cycle % interval;
+            for _ in 0..until_sample {
+                let counting = acc.cycle >= warmup;
+                if counting && acc.counted_cycles == 0 {
+                    acc.committed_at_count_start = self.core.stats().committed;
+                }
+                // Stop conditions.
+                if self.core.stats().committed.saturating_sub(acc.committed_at_count_start)
+                    >= self.cfg.max_insts
+                    && counting
+                {
+                    break 'run;
+                }
+                if acc.cycle >= self.cfg.max_cycles || self.core.finished() {
+                    break 'run;
+                }
+
+                // One machine cycle (or a resync-stall cycle).
+                let sample = if self.resync_remaining > 0 {
+                    self.resync_remaining -= 1;
+                    idle_sample
+                } else {
+                    self.power.cycle_power(self.core.cycle())
+                };
+                let scale = self.vf_power_scale;
+                let mut thermal_powers = sample.thermal_powers();
+                let mut total_power = sample.total * scale;
+                if LEAK {
+                    let leak = leak.expect("LEAK implies a leakage model");
+                    self.thermal.step_fused(
+                        &mut thermal_powers,
+                        scale,
+                        &mut total_power,
+                        // Leakage scales with V (roughly linearly through
+                        // V·I_leak); reuse the dynamic scale conservatively.
+                        |i, t| leak.leakage_power(peaks[i], t) * scale,
+                    );
+                } else {
+                    self.thermal.step_scaled(&mut thermal_powers, scale);
+                }
+
+                if acc.cycle < warm_window {
+                    for i in 0..NUM_THERMAL {
+                        warm_start_power[i] += thermal_powers[i];
+                    }
+                    if acc.cycle + 1 == interval {
+                        self.apply_warm_start(&mut warm_start_power, interval);
+                    }
+                }
+
+                if counting {
+                    let temps = self.thermal.temperatures_fixed();
+                    acc.record_cycle(
+                        temps,
+                        &thermal_powers,
+                        total_power,
+                        nominal_dt / self.vf_freq_scale,
+                        emergency,
+                        stress,
+                    );
+                }
+                acc.cycle += 1;
+            }
+
+            // DTM sample at the chunk boundary: the cycle just executed
+            // satisfied `(cycle + 1) % interval == 0` before the
+            // increment, and in Direct mode the reference loop applies
+            // the command within that same cycle's body with nothing in
+            // between, so sampling after the chunk is bit-equivalent.
+            let sample_cycle = acc.cycle - 1;
+            let temps = self.thermal.temperatures_fixed::<NUM_THERMAL>();
+            self.sensors.read_all(&temps[..], &mut sensed);
+            let cmd = self.policy.sample(&sensed);
+            acc.samples += 1;
+            self.duty_history.push(cmd.fetch_duty);
+            self.apply(sample_cycle, cmd, &mut None);
+        }
+    }
+
+    /// The fully instrumented reference cycle loop: telemetry, proxies,
+    /// traces, phase timing, and interrupt-delayed DTM all live here.
+    #[allow(clippy::too_many_lines)]
+    fn run_reference(
+        &mut self,
+        acc: &mut RunAccum,
+        plan: RunPlan,
+        tstate: &mut Option<Box<TelemetryState>>,
+    ) {
+        let interval = self.cfg.dtm.sample_interval.max(1);
+        let emergency = self.cfg.dtm.emergency;
+        let stress = emergency - 1.0;
+        let nominal_dt = self.cfg.cycle_time();
+        let warmup = self.cfg.thermal_warmup_cycles;
+        let idle_sample = self.power.cycle_power(&tdtm_uarch::Activity::new());
+        let mut sensed = [0.0f64; NUM_THERMAL];
+        let mut warm_start_power = [0.0f64; NUM_THERMAL];
+        let warm_window = if plan.warm_start { interval } else { 0 };
+        // Per-block thermal resistances and the heatsink temperature are
+        // run constants; hoisted for the proxy bookkeeping (this used to
+        // collect a fresh `Vec<f64>` every cycle).
+        let proxy_rs: [f64; NUM_THERMAL] =
+            std::array::from_fn(|i| self.thermal.params()[i].r);
+        let heatsink = self.thermal.heatsink();
+
         loop {
-            let counting = cycle >= warmup;
-            if counting && counted_cycles == 0 {
-                committed_at_count_start = self.core.stats().committed;
+            let counting = acc.cycle >= warmup;
+            if counting && acc.counted_cycles == 0 {
+                acc.committed_at_count_start = self.core.stats().committed;
             }
             // Stop conditions.
-            if self.core.stats().committed.saturating_sub(committed_at_count_start)
+            if self.core.stats().committed.saturating_sub(acc.committed_at_count_start)
                 >= self.cfg.max_insts
                 && counting
             {
                 break;
             }
-            if cycle >= self.cfg.max_cycles || self.core.finished() {
+            if acc.cycle >= self.cfg.max_cycles || self.core.finished() {
                 break;
             }
 
@@ -431,15 +748,15 @@ impl Simulator {
                 idle_sample
             } else {
                 let activity = self.core.cycle();
-                match tstate.as_deref_mut() {
-                    Some(ts) if ts.phases => {
-                        let start = Instant::now();
-                        let sample = self.power.cycle_power(activity);
-                        ts.power_nanos += start.elapsed().as_nanos() as u64;
-                        ts.power_calls += 1;
-                        sample
-                    }
-                    _ => self.power.cycle_power(activity),
+                if plan.phases {
+                    let start = Instant::now();
+                    let sample = self.power.cycle_power(activity);
+                    let ts = tstate.as_deref_mut().expect("phases implies telemetry");
+                    ts.power_nanos += start.elapsed().as_nanos() as u64;
+                    ts.power_calls += 1;
+                    sample
+                } else {
+                    self.power.cycle_power(activity)
                 }
             };
             let scale = self.vf_power_scale;
@@ -461,91 +778,54 @@ impl Simulator {
                     total_power += lp;
                 }
             }
-            match tstate.as_deref_mut() {
-                Some(ts) => {
-                    if ts.phases {
-                        let start = Instant::now();
-                        self.thermal.step(&thermal_powers);
-                        ts.thermal_nanos += start.elapsed().as_nanos() as u64;
-                        ts.thermal_calls += 1;
-                    } else {
-                        self.thermal.step(&thermal_powers);
-                    }
+            if plan.phases {
+                let start = Instant::now();
+                self.thermal.step(&thermal_powers);
+                let ts = tstate.as_deref_mut().expect("phases implies telemetry");
+                ts.thermal_nanos += start.elapsed().as_nanos() as u64;
+                ts.thermal_calls += 1;
+                ts.thermal_steps += 1;
+            } else {
+                self.thermal.step(&thermal_powers);
+                if let Some(ts) = tstate.as_deref_mut() {
                     ts.thermal_steps += 1;
                 }
-                None => self.thermal.step(&thermal_powers),
             }
 
             // Warm start: after the first sampling interval, jump blocks
             // to the steady state of the observed average power.
-            if self.cfg.warm_start && cycle < interval {
+            if acc.cycle < warm_window {
                 for i in 0..NUM_THERMAL {
                     warm_start_power[i] += thermal_powers[i];
                 }
-                if cycle + 1 == interval {
-                    for p in &mut warm_start_power {
-                        *p /= interval as f64;
-                    }
-                    self.thermal.warm_start(&warm_start_power);
-                    // Under DTM, the machine could never have reached a
-                    // temperature the policy would have prevented; cap the
-                    // jump-started state at the policy's control ceiling
-                    // (the setpoint for CT policies, the trigger for the
-                    // threshold policies).
-                    if self.cfg.dtm.policy != tdtm_dtm::PolicyKind::None {
-                        let ceiling = if self.cfg.dtm.policy.is_control_theoretic() {
-                            self.cfg.dtm.setpoint
-                        } else {
-                            self.cfg.dtm.trigger
-                        };
-                        for i in 0..NUM_THERMAL {
-                            let t = self.thermal.temperatures()[i];
-                            if t > ceiling {
-                                self.thermal.set_temperature(i, ceiling);
-                            }
-                        }
-                    }
+                if acc.cycle + 1 == interval {
+                    self.apply_warm_start(&mut warm_start_power, interval);
                 }
             }
 
             let temps = self.thermal.temperatures();
             if let Some(ts) = tstate.as_deref_mut() {
-                ts.observe_cycle(cycle, temps, emergency, stress);
+                // The per-cycle hottest-block fold is computed once here
+                // and shared with the histogram record inside
+                // `observe_cycle`.
+                let hottest = temps.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                ts.observe_cycle(acc.cycle, temps, hottest, emergency, stress);
             }
             if counting {
-                counted_cycles += 1;
-                wall_time += nominal_dt / self.vf_freq_scale;
-                sum_power += total_power;
-                max_power = max_power.max(total_power);
-                let mut any_e = false;
-                let mut any_s = false;
-                for i in 0..NUM_THERMAL {
-                    let t = temps[i];
-                    block_sum_t[i] += t;
-                    block_max_t[i] = block_max_t[i].max(t);
-                    if t > emergency {
-                        block_emerg[i] += 1;
-                        any_e = true;
-                    }
-                    if t > stress {
-                        block_stress[i] += 1;
-                        any_s = true;
-                    }
-                    block_sum_p[i] += thermal_powers[i];
-                    block_max_p[i] = block_max_p[i].max(thermal_powers[i]);
-                }
-                if any_e {
-                    emergency_cycles += 1;
-                }
-                if any_s {
-                    stress_cycles += 1;
-                }
+                let temps: &[f64; NUM_THERMAL] =
+                    temps.try_into().expect("seven thermal blocks");
+                acc.record_cycle(
+                    temps,
+                    &thermal_powers,
+                    total_power,
+                    nominal_dt / self.vf_freq_scale,
+                    emergency,
+                    stress,
+                );
             }
 
             // Proxy bookkeeping (Tables 9/10).
             if !self.proxies.is_empty() {
-                let heatsink = self.thermal.heatsink();
-                let rs: Vec<f64> = self.thermal.params().iter().map(|p| p.r).collect();
                 for proxy in &mut self.proxies {
                     match &mut proxy.kind {
                         ProxyKind::PerStructure { boxcars } => {
@@ -553,7 +833,7 @@ impl Simulator {
                                 boxcars[i].push(thermal_powers[i]);
                                 if counting {
                                     let proxy_hot = boxcars[i]
-                                        .triggered_thermal(rs[i], heatsink, emergency);
+                                        .triggered_thermal(proxy_rs[i], heatsink, emergency);
                                     proxy.counts[i].record(temps[i] > emergency, proxy_hot);
                                 }
                             }
@@ -585,12 +865,17 @@ impl Simulator {
                 }
             }
 
-            // Trace recording.
+            // Trace recording. Note the stride asymmetry with DTM
+            // sampling below: a trace sample fires at the *start* of each
+            // stride (`cycle % stride == 0`, so the first is cycle 0),
+            // while a DTM sample fires at the *end* of each interval
+            // (`(cycle + 1) % interval == 0`, so the first is cycle
+            // interval − 1). Pinned by tests.
             if let Some(trace) = &mut self.trace {
-                if cycle.is_multiple_of(trace.stride) {
+                if acc.cycle.is_multiple_of(trace.stride) {
                     let mut temps_arr = [0.0; NUM_THERMAL];
                     temps_arr.copy_from_slice(temps);
-                    trace.cycles.push(cycle);
+                    trace.cycles.push(acc.cycle);
                     trace.temperatures.push(temps_arr);
                     trace.power.push(total_power);
                     trace.duty.push(self.core.control().fetch_duty);
@@ -598,11 +883,8 @@ impl Simulator {
             }
 
             // DTM sampling.
-            if (cycle + 1).is_multiple_of(interval) {
-                let dtm_start = match tstate.as_deref() {
-                    Some(ts) if ts.phases => Some(Instant::now()),
-                    _ => None,
-                };
+            if (acc.cycle + 1).is_multiple_of(interval) {
+                let dtm_start = plan.phases.then(Instant::now);
                 self.sensors.read_all(temps, &mut sensed);
                 let cmd = match tstate.as_deref_mut() {
                     Some(ts) => {
@@ -615,16 +897,21 @@ impl Simulator {
                         let due = ts
                             .events
                             .as_ref()
-                            .is_some_and(|trace| trace.sample_due(samples));
+                            .is_some_and(|trace| trace.sample_due(acc.samples));
                         if due {
                             ts.sensor_reads += sensed.len() as u64;
                             for (block, &reading) in sensed.iter().enumerate() {
                                 if let Some(trace) = &mut ts.events {
-                                    trace.record(Event::SensorRead { cycle, block, reading });
+                                    trace.record(Event::SensorRead {
+                                        cycle: acc.cycle,
+                                        block,
+                                        reading,
+                                    });
                                 }
                             }
                         }
                         let events = &mut ts.events;
+                        let cycle = acc.cycle;
                         let cmd = self.policy.sample_observed(&sensed, &mut |block, s| {
                             if due {
                                 if let Some(trace) = events {
@@ -652,12 +939,12 @@ impl Simulator {
                     }
                     None => self.policy.sample(&sensed),
                 };
-                samples += 1;
+                acc.samples += 1;
                 self.duty_history.push(cmd.fetch_duty);
                 match self.cfg.dtm.mechanism {
-                    TriggerMechanism::Direct => self.apply(cycle, cmd, &mut tstate),
+                    TriggerMechanism::Direct => self.apply(acc.cycle, cmd, tstate),
                     TriggerMechanism::Interrupt { latency_cycles } => {
-                        self.pending.push_back((cycle + latency_cycles, cmd));
+                        self.pending.push_back((acc.cycle + latency_cycles, cmd));
                     }
                 }
                 if let Some(start) = dtm_start {
@@ -666,54 +953,75 @@ impl Simulator {
                     ts.controller_calls += 1;
                 }
             }
-            while self.pending.front().is_some_and(|&(at, _)| at <= cycle) {
+            while self.pending.front().is_some_and(|&(at, _)| at <= acc.cycle) {
                 let (_, cmd) = self.pending.pop_front().expect("checked");
-                self.apply(cycle, cmd, &mut tstate);
+                self.apply(acc.cycle, cmd, tstate);
             }
 
-            cycle += 1;
+            acc.cycle += 1;
         }
+    }
 
-        if let Some(ts) = tstate {
-            self.collected = Some(self.flush_telemetry(
-                *ts,
-                cycle,
-                samples,
-                stage_nanos_start,
-                core_cycles_start,
-            ));
+    /// Applies the warm-start jump at the end of the first sampling
+    /// interval: every block jumps to the steady state of its observed
+    /// average power, capped at the policy's control ceiling (under DTM
+    /// the machine could never have reached a temperature the policy
+    /// would have prevented — the setpoint for control-theoretic
+    /// policies, the trigger for the threshold policies). Shared by both
+    /// run loops.
+    fn apply_warm_start(&mut self, warm_start_power: &mut [f64; NUM_THERMAL], interval: u64) {
+        for p in warm_start_power.iter_mut() {
+            *p /= interval as f64;
         }
+        self.thermal.warm_start(&warm_start_power[..]);
+        if self.cfg.dtm.policy != tdtm_dtm::PolicyKind::None {
+            let ceiling = if self.cfg.dtm.policy.is_control_theoretic() {
+                self.cfg.dtm.setpoint
+            } else {
+                self.cfg.dtm.trigger
+            };
+            for i in 0..NUM_THERMAL {
+                let t = self.thermal.temperatures()[i];
+                if t > ceiling {
+                    self.thermal.set_temperature(i, ceiling);
+                }
+            }
+        }
+    }
 
+    /// Assembles the run report from the accumulators — one code path
+    /// shared by both loops.
+    fn finalize(&mut self, acc: &RunAccum) -> RunReport {
         let stats = *self.core.stats();
-        let committed = stats.committed.saturating_sub(committed_at_count_start);
-        let n = counted_cycles.max(1) as f64;
+        let committed = stats.committed.saturating_sub(acc.committed_at_count_start);
+        let n = acc.counted_cycles.max(1) as f64;
         let blocks = (0..NUM_THERMAL)
             .map(|i| BlockMetrics {
                 name: self.thermal.params()[i].name.clone(),
-                avg_temp: block_sum_t[i] / n,
-                max_temp: if block_max_t[i].is_finite() { block_max_t[i] } else { 0.0 },
-                emergency_cycles: block_emerg[i],
-                stress_cycles: block_stress[i],
-                avg_power: block_sum_p[i] / n,
-                max_power: block_max_p[i],
+                avg_temp: acc.block_sum_t[i] / n,
+                max_temp: if acc.block_max_t[i].is_finite() { acc.block_max_t[i] } else { 0.0 },
+                emergency_cycles: acc.block_emerg[i],
+                stress_cycles: acc.block_stress[i],
+                avg_power: acc.block_sum_p[i] / n,
+                max_power: acc.block_max_p[i],
             })
             .collect();
-        let avg_power = sum_power / n;
+        let avg_power = acc.sum_power / n;
         RunReport {
             name: self.name.clone(),
             policy: self.policy.kind().to_string(),
-            cycles: counted_cycles,
-            total_cycles: cycle,
+            cycles: acc.counted_cycles,
+            total_cycles: acc.cycle,
             committed,
-            wall_time,
+            wall_time: acc.wall_time,
             ipc: committed as f64 / n,
             avg_power,
-            max_power,
+            max_power: acc.max_power,
             avg_chip_temp: crate::config::table4_chip_temp(avg_power),
-            emergency_cycles,
-            stress_cycles,
+            emergency_cycles: acc.emergency_cycles,
+            stress_cycles: acc.stress_cycles,
             blocks,
-            samples,
+            samples: acc.samples,
             engaged_samples: self.policy.engaged_samples(),
             recoveries: stats.recoveries,
             bpred_accuracy: self.core.bpred().accuracy(),

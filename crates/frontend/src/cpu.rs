@@ -71,9 +71,14 @@ impl fmt::Display for ExecError {
 impl std::error::Error for ExecError {}
 
 /// The functional TDISA machine: registers, memory, and a PC.
+///
+/// The program text is held behind an [`Arc`](std::sync::Arc): programs
+/// are immutable once assembled, so many machines (grid cells, oracle
+/// streams) can share one copy instead of deep-cloning data segments that
+/// can run to megabytes.
 #[derive(Clone, Debug)]
 pub struct Cpu {
-    program: Program,
+    program: std::sync::Arc<Program>,
     pc: u64,
     xregs: [i64; NUM_IREGS],
     fregs: [f64; NUM_FREGS],
@@ -85,8 +90,16 @@ pub struct Cpu {
 
 impl Cpu {
     /// Creates a CPU with `program` loaded: data segments copied into
-    /// memory, the stack pointer initialized, and the PC at the entry point.
+    /// memory, the stack pointer initialized, and the PC at the entry
+    /// point. Deep-clones the program; prefer
+    /// [`from_shared`](Cpu::from_shared) when an `Arc` is already at hand.
     pub fn new(program: &Program) -> Cpu {
+        Cpu::from_shared(std::sync::Arc::new(program.clone()))
+    }
+
+    /// [`new`](Cpu::new) without the deep program clone: the machine keeps
+    /// a reference to the shared, immutable program.
+    pub fn from_shared(program: std::sync::Arc<Program>) -> Cpu {
         let mut mem = Memory::new();
         for seg in &program.data {
             mem.load_bytes(seg.base, &seg.bytes);
@@ -95,7 +108,7 @@ impl Cpu {
         xregs[Reg::SP.index()] = STACK_BASE as i64;
         Cpu {
             pc: program.entry(),
-            program: program.clone(),
+            program,
             xregs,
             fregs: [0.0; NUM_FREGS],
             mem,

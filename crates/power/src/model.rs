@@ -118,30 +118,39 @@ impl PowerModel {
     }
 
     /// Computes this cycle's power from the activity counts.
+    ///
+    /// The gating style is loop-invariant, so the `match` is hoisted out
+    /// of the per-block loop (this runs once per simulated cycle); each
+    /// arm performs exactly the arithmetic of the reference formulation,
+    /// so the results are bit-identical across gating styles.
     pub fn cycle_power(&self, activity: &Activity) -> PowerSample {
         let mut per_block = [0.0; NUM_BLOCKS];
         let counts = activity.counts();
-        for i in 0..NUM_BLOCKS {
-            let af = (counts[i] as f64 * self.inv_max_access[i]).min(1.0);
-            per_block[i] = self.peak[i]
-                * match self.cfg.gating {
-                    ClockGating::Cc0 => 1.0,
-                    ClockGating::Cc1 => {
-                        if counts[i] > 0 {
-                            1.0
-                        } else {
-                            0.0
-                        }
-                    }
-                    ClockGating::Cc2 => af,
-                    ClockGating::Cc3 => {
-                        if counts[i] > 0 {
-                            self.cfg.idle_fraction + (1.0 - self.cfg.idle_fraction) * af
-                        } else {
-                            self.cfg.idle_fraction
-                        }
-                    }
-                };
+        match self.cfg.gating {
+            ClockGating::Cc0 => {
+                for (i, p) in per_block.iter_mut().enumerate() {
+                    *p = self.peak[i] * 1.0;
+                }
+            }
+            ClockGating::Cc1 => {
+                for (i, p) in per_block.iter_mut().enumerate() {
+                    *p = self.peak[i] * if counts[i] > 0 { 1.0 } else { 0.0 };
+                }
+            }
+            ClockGating::Cc2 => {
+                for (i, p) in per_block.iter_mut().enumerate() {
+                    let af = (counts[i] as f64 * self.inv_max_access[i]).min(1.0);
+                    *p = self.peak[i] * af;
+                }
+            }
+            ClockGating::Cc3 => {
+                let idle = self.cfg.idle_fraction;
+                let active = 1.0 - idle;
+                for (i, p) in per_block.iter_mut().enumerate() {
+                    let af = (counts[i] as f64 * self.inv_max_access[i]).min(1.0);
+                    *p = self.peak[i] * if counts[i] > 0 { idle + active * af } else { idle };
+                }
+            }
         }
         let chip_af = (activity.total() as f64 / self.total_max_access).min(1.0);
         let clock =

@@ -192,6 +192,13 @@ pub struct Core {
     activity: Activity,
     stats: CoreStats,
     halted_seen: bool,
+    /// Writeback's per-cycle completion scratch `(ruu index, seq)`,
+    /// hoisted to a field so the cycle loop never heap-allocates.
+    wb_completed: Vec<(usize, u64)>,
+    /// Issue-select scan hint: every RUU entry with `seq` below this has
+    /// already issued, so the scan may start there instead of at the
+    /// window head. Clamped on recovery (squashed seqs are recycled).
+    issue_first_unissued: u64,
 
     /// When set, each pipeline stage is wrapped in a host timer and the
     /// accumulated nanoseconds land in `stage_nanos`. Off by default — the
@@ -221,7 +228,13 @@ impl Core {
     /// cycle-level simulation there — the analogue of the paper's
     /// skip-then-simulate methodology.
     pub fn with_skip(cfg: CoreConfig, program: &Program, skip: u64) -> Core {
-        let mut core = Core::new(cfg, program);
+        Core::with_skip_shared(cfg, std::sync::Arc::new(program.clone()), skip)
+    }
+
+    /// [`with_skip`](Core::with_skip) over a shared, immutable program —
+    /// no deep clone of the text or data segments.
+    pub fn with_skip_shared(cfg: CoreConfig, program: std::sync::Arc<Program>, skip: u64) -> Core {
+        let mut core = Core::from_shared(cfg, program);
         if skip > 0 {
             let skipped = core.oracle.skip(skip);
             core.fetch_source = FetchSource::OnPath(skipped);
@@ -229,12 +242,19 @@ impl Core {
         core
     }
 
-    /// Creates a core executing `program` from its entry point.
+    /// Creates a core executing `program` from its entry point
+    /// (deep-clones it; prefer [`from_shared`](Core::from_shared) when an
+    /// `Arc` is already at hand).
     pub fn new(cfg: CoreConfig, program: &Program) -> Core {
+        Core::from_shared(cfg, std::sync::Arc::new(program.clone()))
+    }
+
+    /// [`new`](Core::new) over a shared, immutable program.
+    pub fn from_shared(cfg: CoreConfig, program: std::sync::Arc<Program>) -> Core {
         Core {
             control: CoreControl::default(),
             gate: FetchGate::open(),
-            oracle: OracleStream::new(program),
+            oracle: OracleStream::from_shared(program),
             wrong_path: WrongPathGenerator::new(0x7D7D_0001),
             fetch_source: FetchSource::OnPath(0),
             fetch_stall_until: 0,
@@ -255,6 +275,8 @@ impl Core {
             activity: Activity::new(),
             stats: CoreStats::default(),
             halted_seen: false,
+            wb_completed: Vec::new(),
+            issue_first_unissued: 0,
             stage_profiling: false,
             stage_nanos: [0; 6],
             cfg,
@@ -478,13 +500,15 @@ impl Core {
     // ------------------------------------------------------------------
 
     fn writeback(&mut self) {
-        // Collect completions for this cycle.
-        let mut completed_seqs: Vec<u64> = Vec::new();
+        // Collect completions for this cycle into a persistent buffer
+        // (reused across cycles — the cycle loop never heap-allocates).
+        let mut completed = std::mem::take(&mut self.wb_completed);
+        completed.clear();
         let mut recovery: Option<usize> = None;
         for (i, e) in self.ruu.iter_mut().enumerate() {
             if e.issued && !e.completed && e.complete_cycle <= self.cycle {
                 e.completed = true;
-                completed_seqs.push(e.seq);
+                completed.push((i, e.seq));
                 if e.is_control() {
                     self.unresolved_branches = self.unresolved_branches.saturating_sub(1);
                     if e.uop.will_mispredict && recovery.is_none() {
@@ -494,18 +518,33 @@ impl Core {
             }
         }
 
-        // Broadcast results: wake dependents.
-        for &seq in &completed_seqs {
+        // Broadcast results: wake dependents. Dependences always point at
+        // older (smaller-seq) producers, so only entries *behind* the
+        // earliest completing one can be waiting on any of this cycle's
+        // results. One pass over that suffix matches each sleeping dep
+        // against the completion set (seqs ascending — collected in RUU
+        // order), instead of rescanning the window per completing uop.
+        for _ in &completed {
             self.activity.bump(Block::ResultBus);
             self.activity.bump(Block::Window);
-            for e in self.ruu.iter_mut() {
+        }
+        if let (Some(&(first_idx, first_seq)), Some(&(_, last_seq))) =
+            (completed.first(), completed.last())
+        {
+            for e in self.ruu.range_mut(first_idx + 1..) {
                 for d in e.deps.iter_mut() {
-                    if *d == Some(seq) {
-                        *d = None;
+                    if let Some(v) = *d {
+                        if v >= first_seq
+                            && v <= last_seq
+                            && completed.iter().any(|&(_, s)| s == v)
+                        {
+                            *d = None;
+                        }
                     }
                 }
             }
         }
+        self.wb_completed = completed;
 
         if let Some(idx) = recovery {
             self.recover(idx);
@@ -551,6 +590,9 @@ impl Core {
         // RUU sequence numbers must stay contiguous (dependence lookups
         // index by `seq - front.seq`): recycle the squashed numbers.
         self.next_seq = branch_seq + 1;
+        // The recycled numbers will name fresh, un-issued entries; the
+        // issue hint must not claim they have issued.
+        self.issue_first_unissued = self.issue_first_unissued.min(self.next_seq);
     }
 
     // ------------------------------------------------------------------
@@ -570,88 +612,111 @@ impl Core {
             None => return,
         };
 
-        for i in 0..self.ruu.len() {
+        // Everything older than the hint has issued already; the select
+        // scan starts there instead of at the window head. Any entry left
+        // un-issued this cycle (not ready, no free unit, or past the issue
+        // width) lowers the hint back to itself.
+        let start = (self.issue_first_unissued.saturating_sub(front_seq)) as usize;
+        let mut first_unissued = u64::MAX;
+        for i in start..self.ruu.len() {
             if issued >= self.cfg.issue_width {
+                first_unissued = first_unissued.min(self.ruu[i].seq);
                 break;
             }
             let (seq, class, ready, already) = {
                 let e = &self.ruu[i];
                 (e.seq, e.class, e.ready(), e.issued)
             };
-            if already || !ready {
+            if already {
+                continue;
+            }
+            if !ready {
+                first_unissued = first_unissued.min(seq);
                 continue;
             }
             let latency = match class {
                 OpClass::IntAlu | OpClass::Branch | OpClass::Jump | OpClass::System => {
                     if int_alu == 0 {
-                        continue;
+                        None
+                    } else {
+                        int_alu -= 1;
+                        self.activity.bump(Block::IntExec);
+                        Some(1)
                     }
-                    int_alu -= 1;
-                    self.activity.bump(Block::IntExec);
-                    1
                 }
                 OpClass::IntMul => {
                     if int_mult == 0 {
-                        continue;
+                        None
+                    } else {
+                        int_mult -= 1;
+                        self.activity.bump(Block::IntExec);
+                        Some(self.cfg.lat_int_mul)
                     }
-                    int_mult -= 1;
-                    self.activity.bump(Block::IntExec);
-                    self.cfg.lat_int_mul
                 }
                 OpClass::IntDiv => {
                     if int_mult == 0 {
-                        continue;
+                        None
+                    } else {
+                        int_mult -= 1;
+                        self.activity.bump(Block::IntExec);
+                        Some(self.cfg.lat_int_div)
                     }
-                    int_mult -= 1;
-                    self.activity.bump(Block::IntExec);
-                    self.cfg.lat_int_div
                 }
                 OpClass::FpAdd => {
                     if fp_alu == 0 {
-                        continue;
+                        None
+                    } else {
+                        fp_alu -= 1;
+                        self.activity.bump(Block::FpExec);
+                        Some(self.cfg.lat_fp_add)
                     }
-                    fp_alu -= 1;
-                    self.activity.bump(Block::FpExec);
-                    self.cfg.lat_fp_add
                 }
                 OpClass::FpMul => {
                     if fp_mult == 0 {
-                        continue;
+                        None
+                    } else {
+                        fp_mult -= 1;
+                        self.activity.bump(Block::FpExec);
+                        Some(self.cfg.lat_fp_mul)
                     }
-                    fp_mult -= 1;
-                    self.activity.bump(Block::FpExec);
-                    self.cfg.lat_fp_mul
                 }
                 OpClass::FpDiv => {
                     if fp_mult == 0 {
-                        continue;
+                        None
+                    } else {
+                        fp_mult -= 1;
+                        self.activity.bump(Block::FpExec);
+                        Some(self.cfg.lat_fp_div)
                     }
-                    fp_mult -= 1;
-                    self.activity.bump(Block::FpExec);
-                    self.cfg.lat_fp_div
                 }
                 OpClass::Store => {
                     if mem_ports == 0 {
-                        continue;
+                        None
+                    } else {
+                        mem_ports -= 1;
+                        // Address generation; the cache write happens at commit.
+                        self.activity.bump(Block::IntExec);
+                        self.lsq_mark_addr_known(seq);
+                        Some(1)
                     }
-                    mem_ports -= 1;
-                    // Address generation; the cache write happens at commit.
-                    self.activity.bump(Block::IntExec);
-                    self.lsq_mark_addr_known(seq);
-                    1
                 }
                 OpClass::Load => {
                     if mem_ports == 0 {
-                        continue;
-                    }
-                    match self.try_issue_load(i, front_seq) {
-                        Some(lat) => {
-                            mem_ports -= 1;
-                            lat
+                        None
+                    } else {
+                        match self.try_issue_load(i, front_seq) {
+                            Some(lat) => {
+                                mem_ports -= 1;
+                                Some(lat)
+                            }
+                            None => None,
                         }
-                        None => continue,
                     }
                 }
+            };
+            let Some(latency) = latency else {
+                first_unissued = first_unissued.min(seq);
+                continue;
             };
 
             let e = &mut self.ruu[i];
@@ -661,6 +726,11 @@ impl Core {
             issued += 1;
             self.stats.issued += 1;
         }
+        self.issue_first_unissued = if first_unissued == u64::MAX {
+            front_seq + self.ruu.len() as u64
+        } else {
+            first_unissued
+        };
     }
 
     /// Checks LSQ ordering constraints for the load at RUU index `i` and
@@ -768,10 +838,10 @@ impl Core {
         let mut deps: [Option<u64>; 2] = [None, None];
         let mut di = 0;
         let mut regfile_reads = 0u32;
+        let front = self.ruu.front().map(|e| e.seq).unwrap_or(seq);
         let mut add_src = |arch: usize, this: &mut Core| {
             match this.rename_map[arch] {
                 Some(producer) => {
-                    let front = this.ruu.front().map(|e| e.seq).unwrap_or(seq);
                     let idx = (producer - front) as usize;
                     if this.ruu.get(idx).map(|e| !e.completed).unwrap_or(false) {
                         if di < 2 {

@@ -22,10 +22,18 @@ pub struct OracleStream {
 }
 
 impl OracleStream {
-    /// Creates a stream over a freshly loaded program.
+    /// Creates a stream over a freshly loaded program (deep-clones it;
+    /// prefer [`from_shared`](OracleStream::from_shared) when an `Arc` is
+    /// already at hand).
     pub fn new(program: &Program) -> OracleStream {
+        OracleStream::from_shared(std::sync::Arc::new(program.clone()))
+    }
+
+    /// Creates a stream over a shared, immutable program without cloning
+    /// its text or data segments.
+    pub fn from_shared(program: std::sync::Arc<Program>) -> OracleStream {
         OracleStream {
-            cpu: Cpu::new(program),
+            cpu: Cpu::from_shared(program),
             buf: std::collections::VecDeque::new(),
             base: 0,
             done: false,

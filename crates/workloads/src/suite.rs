@@ -46,7 +46,10 @@ pub struct Workload {
     /// Instructions to fast-forward functionally before timing (the
     /// analogue of the paper's 2-billion-instruction skip).
     pub warmup_insts: u64,
-    program: Program,
+    /// The assembled program, shared: cloning a `Workload` (one clone per
+    /// grid cell) bumps a reference count instead of deep-copying data
+    /// segments that can run to megabytes.
+    program: std::sync::Arc<Program>,
 }
 
 impl Workload {
@@ -58,12 +61,17 @@ impl Workload {
     ) -> Workload {
         let program = assemble_named(&source, name)
             .unwrap_or_else(|e| panic!("workload `{name}` failed to assemble: {e}"));
-        Workload { name, category, warmup_insts, program }
+        Workload { name, category, warmup_insts, program: std::sync::Arc::new(program) }
     }
 
     /// The assembled program.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// The assembled program as a shared handle (no deep clone).
+    pub fn program_shared(&self) -> std::sync::Arc<Program> {
+        std::sync::Arc::clone(&self.program)
     }
 }
 

@@ -20,4 +20,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 echo "== tier 1: trace_run smoke =="
 cargo run -q --release -p tdtm-bench --bin trace_run -- gcc pid --stride 1000 --insts 60000 > /dev/null
 
+echo "== tier 1: bench regression smoke (simulator_throughput vs BENCH_simloop.json) =="
+# Reduced batch count (--quick: one rep per row, no calibrated micro rows);
+# fails if any shared row regresses >3x against the committed baseline.
+# Absolute path: cargo runs bench binaries with CWD = the package dir.
+cargo bench -p tdtm-bench --bench simulator_throughput -- --quick --check "$PWD/BENCH_simloop.json"
+
 echo "tier 1: OK"

@@ -1,0 +1,138 @@
+//! The run-loop specialization contract.
+//!
+//! `Simulator::run` dispatches between a specialized uninstrumented
+//! chunked loop and the fully instrumented reference loop (see the "hot
+//! path" section of DESIGN.md). These tests pin the contract that the
+//! dispatch is invisible: the two loops produce byte-identical reports,
+//! attaching any instrumentation never perturbs the simulation, and the
+//! trace/DTM stride conventions hold.
+
+use tdtm::core::{SimConfig, Simulator};
+use tdtm::dtm::PolicyKind;
+use tdtm::power::LeakageModel;
+use tdtm::telemetry::TelemetryConfig;
+use tdtm::workloads::by_name;
+
+/// A config hot enough that DTM policies actually engage inside the
+/// window, so the identity checks cover the actuated paths too.
+fn hot_cfg(policy: PolicyKind) -> SimConfig {
+    let mut cfg = SimConfig::quick_test();
+    cfg.max_insts = 120_000;
+    cfg.heatsink_temp = 107.0;
+    cfg.dtm.policy = policy;
+    cfg
+}
+
+fn run_with(cfg: SimConfig, bench: &str, reference: bool) -> (tdtm::core::RunReport, Vec<f64>) {
+    let w = by_name(bench).expect("suite workload");
+    let mut sim = Simulator::for_workload(cfg, &w);
+    sim.set_reference_loop(reference);
+    let report = sim.run();
+    (report, sim.duty_history().to_vec())
+}
+
+/// Byte-level equality: `RunReport`'s `PartialEq` compares `f64`s by
+/// value (which conflates `-0.0` and `0.0`), so also compare the full
+/// shortest-roundtrip debug rendering, which distinguishes every bit
+/// pattern short of NaN.
+fn assert_byte_identical(a: &tdtm::core::RunReport, b: &tdtm::core::RunReport, what: &str) {
+    assert_eq!(a, b, "{what}: reports differ");
+    assert_eq!(format!("{a:?}"), format!("{b:?}"), "{what}: bit patterns differ");
+}
+
+#[test]
+fn fast_loop_matches_reference_loop_across_policies() {
+    for policy in [PolicyKind::None, PolicyKind::Pid, PolicyKind::Toggle1, PolicyKind::VfScale] {
+        let (fast, fast_duty) = run_with(hot_cfg(policy), "gcc", false);
+        let (reference, ref_duty) = run_with(hot_cfg(policy), "gcc", true);
+        assert_byte_identical(&fast, &reference, &format!("policy {policy:?}"));
+        assert_eq!(fast_duty, ref_duty, "policy {policy:?}: duty histories differ");
+    }
+}
+
+#[test]
+fn fast_loop_matches_reference_loop_with_leakage() {
+    let mut cfg = hot_cfg(PolicyKind::Pid);
+    cfg.leakage = Some(LeakageModel::node_180nm());
+    let (fast, _) = run_with(cfg.clone(), "gcc", false);
+    let (reference, _) = run_with(cfg, "gcc", true);
+    assert_byte_identical(&fast, &reference, "leakage");
+}
+
+#[test]
+fn fast_loop_matches_reference_loop_without_warm_start() {
+    let mut cfg = hot_cfg(PolicyKind::Pid);
+    cfg.warm_start = false;
+    let (fast, _) = run_with(cfg.clone(), "art", false);
+    let (reference, _) = run_with(cfg, "art", true);
+    assert_byte_identical(&fast, &reference, "no warm start");
+}
+
+#[test]
+fn telemetry_never_perturbs_the_simulation() {
+    // Telemetry collection routes through the reference loop; a plain run
+    // takes the fast loop. The report must not notice.
+    let (plain, plain_duty) = run_with(hot_cfg(PolicyKind::Pid), "gcc", false);
+    let w = by_name("gcc").expect("suite workload");
+    let mut sim = Simulator::for_workload(hot_cfg(PolicyKind::Pid), &w);
+    sim.enable_telemetry(&TelemetryConfig::full(4096, 4));
+    let observed = sim.run();
+    assert_byte_identical(&plain, &observed, "telemetry on vs off");
+    assert_eq!(plain_duty, sim.duty_history(), "telemetry on vs off duty");
+    assert!(sim.telemetry().is_some(), "telemetry was collected");
+}
+
+#[test]
+fn proxies_never_perturb_the_simulation_and_count_deterministically() {
+    let run_proxied = || {
+        let w = by_name("gcc").expect("suite workload");
+        let mut sim = Simulator::for_workload(hot_cfg(PolicyKind::None), &w);
+        sim.add_structure_proxy(10_000);
+        sim.add_chipwide_proxy(10_000, 47.0);
+        let report = sim.run();
+        let counts: Vec<_> = sim.proxies().iter().map(|p| p.counts.clone()).collect();
+        (report, counts)
+    };
+    let (r1, c1) = run_proxied();
+    let (r2, c2) = run_proxied();
+    assert_eq!(c1, c2, "agreement counts must be deterministic");
+    assert_byte_identical(&r1, &r2, "proxied runs");
+
+    // Attaching proxies forces the reference loop; the report must still
+    // be byte-identical to the fast uninstrumented run.
+    let (plain, _) = run_with(hot_cfg(PolicyKind::None), "gcc", false);
+    assert_byte_identical(&plain, &r1, "proxies on vs off");
+}
+
+#[test]
+fn trace_and_dtm_sampling_strides_are_asymmetric() {
+    // Convention, pinned: a trace sample fires at the *start* of each
+    // stride — on cycles where `cycle % stride == 0`, so the first is
+    // cycle 0 — while a DTM sample fires at the *end* of each interval —
+    // on cycles where `(cycle + 1) % interval == 0`, so the first is
+    // cycle `interval - 1` and a trailing partial interval never samples.
+    let cfg = hot_cfg(PolicyKind::Pid);
+    let interval = cfg.dtm.sample_interval;
+    let stride = 1_000u64;
+    let w = by_name("gcc").expect("suite workload");
+    let mut sim = Simulator::for_workload(cfg, &w);
+    sim.record_trace(stride);
+    let report = sim.run();
+    let trace = sim.trace().expect("trace was recorded");
+
+    let total = report.total_cycles;
+    assert!(
+        !total.is_multiple_of(interval),
+        "need a partial trailing interval to discriminate the conventions (total {total})"
+    );
+    // Start-of-stride convention: samples at 0, stride, 2·stride, ...
+    let expected: Vec<u64> = (0..total.div_ceil(stride)).map(|k| k * stride).collect();
+    assert_eq!(trace.cycles, expected, "trace fires on cycle % stride == 0");
+    // End-of-interval convention: one sample per *complete* interval.
+    assert_eq!(
+        report.samples,
+        total / interval,
+        "DTM fires on (cycle + 1) % interval == 0"
+    );
+    assert_eq!(report.samples, sim.duty_history().len() as u64);
+}
