@@ -13,6 +13,9 @@
 //!   resync windows of constant idle power.
 //! - `sim_run_gcc_leak`: the temperature-dependent leakage feedback path.
 //! - `sim_run_crafty_none`: branchy low-IPC code (recovery-heavy).
+//! - `sim_run_mc2_pid` / `sim_run_mc4_super`: whole chip runs through
+//!   the coupled multicore kernel (normalized per chip cycle × cores),
+//!   the latter with hot unthrottled neighbors under the supervisor.
 //!
 //! Flags (after `--`):
 //!
@@ -25,8 +28,8 @@
 //!   calibrated micro rows (the tier-1 smoke).
 
 use tdtm_bench::microbench::{black_box, Harness};
-use tdtm_core::{SimConfig, Simulator};
-use tdtm_dtm::PolicyKind;
+use tdtm_core::{MulticoreSim, SimConfig, Simulator};
+use tdtm_dtm::{PolicyKind, SupervisorConfig};
 use tdtm_power::{PowerConfig, PowerModel};
 use tdtm_thermal::block_model::{table3_blocks, BlockModel};
 use tdtm_uarch::{Core, CoreConfig};
@@ -64,6 +67,32 @@ fn bench_run(h: &mut Harness, name: &str, bench: &str, cfg: &SimConfig, reps: u3
         "{name:<44} {ns:>12.2} ns/op {:>16.0} ops/s  ({cycles} cycles, {} engaged)",
         1e9 / ns,
         report.engaged_samples,
+    );
+    h.push_row(name, ns);
+}
+
+/// Times whole multicore chip runs, normalized per chip cycle × cores
+/// (ns per core-cycle, comparable to the single-core rows: the coupled
+/// kernel should cost roughly one `sim_run` per core plus the flow
+/// phase).
+fn bench_chip_run(h: &mut Harness, name: &str, bench: &str, cfg: &SimConfig, reps: u32) {
+    let w = by_name(bench).expect("suite workload");
+    let mut probe = MulticoreSim::for_workload(cfg.clone(), &w);
+    let report = probe.run();
+    let core_cycles = report.chip_cycles * cfg.chip.cores as u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut sim = MulticoreSim::for_workload(cfg.clone(), &w);
+        let start = std::time::Instant::now();
+        black_box(sim.run());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    let ns = best * 1e9 / core_cycles as f64;
+    println!(
+        "{name:<44} {ns:>12.2} ns/op {:>16.0} ops/s  ({} chip cycles x {} cores)",
+        1e9 / ns,
+        report.chip_cycles,
+        cfg.chip.cores,
     );
     h.push_row(name, ns);
 }
@@ -151,6 +180,18 @@ fn main() {
         &cell_config(PolicyKind::None, 103.0),
         reps,
     );
+
+    // Multicore chip runs through the coupled thermal kernel: the 2-core
+    // PID row measures the lockstep loop plus the flow phase; the 4-core
+    // row adds hot unthrottled neighbors and the chip-level supervisor.
+    let mut mc2 = cell_config(PolicyKind::Pid, 107.0);
+    mc2.chip.cores = 2;
+    bench_chip_run(&mut h, "sim_run_mc2_pid", "gcc", &mc2, reps);
+    let mut mc4 = cell_config(PolicyKind::Pid, 107.0);
+    mc4.chip.cores = 4;
+    mc4.chip.neighbor_policy = Some(PolicyKind::None);
+    mc4.chip.supervisor = Some(SupervisorConfig::default());
+    bench_chip_run(&mut h, "sim_run_mc4_super", "gcc", &mc4, reps);
 
     if let Some(i) = args.iter().position(|a| a == "--json") {
         let path = args.get(i + 1).expect("--json needs a path");

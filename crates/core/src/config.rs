@@ -1,6 +1,6 @@
 //! Top-level simulation configuration.
 
-use tdtm_dtm::DtmConfig;
+use tdtm_dtm::{DtmConfig, PolicyKind, SupervisorConfig};
 use tdtm_power::PowerConfig;
 use tdtm_thermal::block_model::{table3_blocks, BlockParams};
 use tdtm_uarch::CoreConfig;
@@ -17,6 +17,41 @@ pub const TABLE4_CHIP_R_K_PER_W: f64 = 0.34;
 /// chip-wide R times average power.
 pub fn table4_chip_temp(avg_power_w: f64) -> f64 {
     TABLE4_AMBIENT_C + TABLE4_CHIP_R_K_PER_W * avg_power_w
+}
+
+/// Multicore chip topology and hierarchical-DTM settings. The default is
+/// a single core with no supervisor, under which the multicore simulator
+/// reproduces the single-core path byte-identically.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ChipConfig {
+    /// Number of replicated cores on the chip.
+    pub cores: usize,
+    /// Lateral coupling strength: multiplier on the tangential conductance
+    /// joining corresponding blocks of adjacent cores (0.0 disconnects the
+    /// cores thermally).
+    pub coupling: f64,
+    /// Heterogeneity factor `h`: core `k` of `N` gets its thermal
+    /// resistances scaled by `1 + h·k/(N-1)` (core 0 always nominal).
+    pub heterogeneity: f64,
+    /// Chip-level supervisor redistributing the thermal budget across
+    /// cores (`None` leaves the per-core policies fully autonomous).
+    pub supervisor: Option<SupervisorConfig>,
+    /// Policy run on cores 1..N when set (core 0 always runs the main
+    /// `dtm.policy`); used by the interference experiments to pit a
+    /// throttled core against unthrottled hot neighbors.
+    pub neighbor_policy: Option<PolicyKind>,
+}
+
+impl Default for ChipConfig {
+    fn default() -> ChipConfig {
+        ChipConfig {
+            cores: 1,
+            coupling: 1.0,
+            heterogeneity: 0.0,
+            supervisor: None,
+            neighbor_policy: None,
+        }
+    }
 }
 
 /// Everything one simulation run needs.
@@ -50,6 +85,12 @@ pub struct SimConfig {
     /// Optional temperature-dependent leakage (an extension — the paper's
     /// 0.18 µm model is dynamic-power only; `None` reproduces it).
     pub leakage: Option<tdtm_power::LeakageModel>,
+    /// Chip topology: core count, thermal coupling, and the hierarchical
+    /// DTM supervisor. Ignored by the single-core [`Simulator`]; the
+    /// multicore simulator reads it.
+    ///
+    /// [`Simulator`]: crate::simulator::Simulator
+    pub chip: ChipConfig,
 }
 
 impl Default for SimConfig {
@@ -65,6 +106,7 @@ impl Default for SimConfig {
             thermal_warmup_cycles: 100_000,
             warm_start: true,
             leakage: None,
+            chip: ChipConfig::default(),
         }
     }
 }
@@ -116,6 +158,16 @@ mod tests {
         let cfg = SimConfig::default();
         assert!(cfg.heatsink_temp < cfg.dtm.emergency);
         assert!(cfg.max_cycles > cfg.max_insts);
+    }
+
+    #[test]
+    fn default_chip_is_a_lone_core() {
+        let chip = ChipConfig::default();
+        assert_eq!(chip.cores, 1);
+        assert_eq!(chip.heterogeneity, 0.0);
+        assert!(chip.supervisor.is_none());
+        assert!(chip.neighbor_policy.is_none());
+        assert_eq!(SimConfig::default().chip, chip);
     }
 
     #[test]

@@ -151,6 +151,21 @@ impl GridCell {
     pub fn simulator(&self) -> Simulator {
         Simulator::for_workload_with_power(self.config(), &self.workload, Arc::clone(&self.power))
     }
+
+    /// The grid's shared power model for this cell (custom drivers that
+    /// build a [`crate::multicore::MulticoreSim`] themselves reuse it).
+    pub fn power_model(&self) -> Arc<tdtm_power::PowerModel> {
+        Arc::clone(&self.power)
+    }
+
+    /// Runs this cell, dispatching on its chip configuration: a plain
+    /// single-core cell takes [`GridCell::simulator`], while a cell whose
+    /// variant configures multiple cores or a supervisor runs on the
+    /// multicore chip simulator (returning core 0's report plus the full
+    /// [`ChipReport`](crate::multicore::ChipReport)).
+    pub fn run_chip(&self) -> (RunReport, Option<crate::multicore::ChipReport>) {
+        crate::multicore::run_chip_cell(self.config(), &self.workload, self.power_model())
+    }
 }
 
 /// Host-side observability for one cell run: wall-clock cost, simulated
@@ -397,9 +412,14 @@ impl ExperimentGrid {
     }
 
     /// Runs every cell on exactly `threads` workers. The reports are
-    /// identical for any `threads` value.
+    /// identical for any `threads` value. Cells whose variant configures
+    /// a multicore chip run on the chip simulator (reporting core 0);
+    /// everything else takes the single-core path.
     pub fn run_threads(&self, threads: usize) -> GridResults {
-        self.run_with_threads(threads, |cell| (cell.simulator().run(), ()))
+        self.run_with_threads(threads, |cell| {
+            let (report, _chip) = cell.run_chip();
+            (report, ())
+        })
     }
 
     /// Runs every cell through a custom driver on [`thread_count`]

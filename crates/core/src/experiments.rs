@@ -4,10 +4,11 @@
 //! print tables; keeping the logic here makes it testable.
 
 use crate::config::SimConfig;
-use crate::engine::{ExperimentGrid, GridResults};
+use crate::engine::{ConfigPatch, ExperimentGrid, GridResults};
 use crate::metrics::RunReport;
+use crate::multicore::ChipReport;
 use crate::simulator::Simulator;
-use tdtm_dtm::PolicyKind;
+use tdtm_dtm::{PolicyKind, SupervisorConfig};
 use tdtm_thermal::comparison::AgreementCounts;
 use tdtm_workloads::{ThermalCategory, Workload};
 
@@ -275,6 +276,69 @@ pub fn compare_policies_suite(
     group_policy_comparisons(&compare_policies_grid(scale, policies).run())
 }
 
+/// Shared setup of every cross-core-interference variant: the chip is
+/// pinned hot (107 C heatsink, the configuration the single-core DTM
+/// tests use to force engagement) and cores 1..N run *unthrottled* — the
+/// DTM-controlled core 0 has to cope with whatever its neighbors conduct
+/// into it.
+fn hot_neighbors(cfg: &mut SimConfig, cores: usize) {
+    cfg.heatsink_temp = 107.0;
+    cfg.chip.cores = cores;
+    cfg.chip.neighbor_policy = Some(PolicyKind::None);
+}
+
+/// The chip variants of the cross-core-interference study: core count ×
+/// coupling strength × heterogeneity × supervisor, against a single-core
+/// control at the same heatsink temperature.
+pub fn interference_variants() -> Vec<(&'static str, ConfigPatch)> {
+    vec![
+        ("solo", |cfg| hot_neighbors(cfg, 1)),
+        ("2core", |cfg| hot_neighbors(cfg, 2)),
+        ("2core-uncoupled", |cfg| {
+            hot_neighbors(cfg, 2);
+            cfg.chip.coupling = 0.0;
+        }),
+        ("2core-strong", |cfg| {
+            hot_neighbors(cfg, 2);
+            cfg.chip.coupling = 4.0;
+        }),
+        ("4core", |cfg| hot_neighbors(cfg, 4)),
+        ("4core-hetero", |cfg| {
+            hot_neighbors(cfg, 4);
+            cfg.chip.heterogeneity = 0.3;
+        }),
+        ("4core-super", |cfg| {
+            hot_neighbors(cfg, 4);
+            cfg.chip.supervisor = Some(SupervisorConfig::default());
+        }),
+    ]
+}
+
+/// Builds the cross-core-interference grid for one workload: the non-DTM
+/// baseline plus each requested policy, crossed with
+/// [`interference_variants`].
+pub fn interference_grid(
+    workload: &Workload,
+    scale: ExperimentScale,
+    policies: &[PolicyKind],
+) -> ExperimentGrid {
+    ExperimentGrid::new(scale)
+        .workload(workload.clone())
+        .policies(&baseline_first(policies))
+        .variants(&interference_variants())
+}
+
+/// Runs the cross-core-interference study. Each cell's report is core 0's
+/// (the DTM-controlled core); the extra payload is the full [`ChipReport`]
+/// for multicore variants and `None` for the single-core control.
+pub fn interference_study(
+    workload: &Workload,
+    scale: ExperimentScale,
+    policies: &[PolicyKind],
+) -> GridResults<Option<ChipReport>> {
+    interference_grid(workload, scale, policies).run_with(|cell| cell.run_chip())
+}
+
 /// Mean performance loss (100 − %-of-baseline) across comparisons for one
 /// policy, counting only benchmarks where the policy ever engaged (the
 /// paper reports losses over the thermally active programs).
@@ -375,6 +439,40 @@ mod tests {
         let serial = compare_policies(&gcc, ExperimentScale::quick(), &[PolicyKind::Toggle1]);
         assert_eq!(serial.baseline, grouped[0].baseline);
         assert_eq!(serial.runs, grouped[0].runs);
+    }
+
+    #[test]
+    fn interference_grid_covers_the_scenario_family() {
+        let w = by_name("gcc").unwrap();
+        let grid = interference_grid(&w, ExperimentScale::quick(), &[PolicyKind::Pid]);
+        // {baseline, PID} × 7 chip variants.
+        assert_eq!(grid.len(), 2 * interference_variants().len());
+        let cells = grid.cells();
+        assert_eq!(cells[0].config().chip.cores, 1, "solo control comes first");
+        let multicore = cells.iter().filter(|c| c.config().chip.cores > 1).count();
+        assert_eq!(multicore, 2 * 6, "every non-solo variant is a real chip");
+        let supered = cells.iter().filter(|c| c.config().chip.supervisor.is_some()).count();
+        assert_eq!(supered, 2, "one supervised variant per policy");
+    }
+
+    #[test]
+    fn interference_study_returns_chip_reports_for_chip_cells() {
+        let w = by_name("gcc").unwrap();
+        let mut scale = ExperimentScale::quick();
+        scale.insts = 10_000;
+        scale.warmup_cycles = 500;
+        let results = interference_study(&w, scale, &[PolicyKind::Pid]);
+        for run in &results.runs {
+            let cores = if run.variant == "solo" { 1 } else { usize::from(run.extra.is_some()) };
+            match (&run.extra, run.variant) {
+                (None, "solo") => {}
+                (Some(chip), v) => {
+                    assert!(chip.cores.len() > 1, "{v}: chip report expected, cores={cores}");
+                    assert_eq!(chip.cores[0], run.report, "{v}: report must be core 0's");
+                }
+                (None, v) => panic!("{v}: multicore variant missing its chip report"),
+            }
+        }
     }
 
     #[test]

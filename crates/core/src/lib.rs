@@ -9,6 +9,9 @@
 //! and driving the fetch-toggling actuator.
 //!
 //! * [`SimConfig`] / [`Simulator`] — one benchmark run;
+//! * [`multicore`] — the N-core chip: [`MulticoreSim`] runs replicated
+//!   cores in lockstep over the coupled thermal kernel, with per-core DTM
+//!   under an optional chip-level supervisor;
 //! * [`metrics`] — the paper's success metrics (% cycles in thermal
 //!   emergency, % of non-DTM IPC, per-structure temperatures);
 //! * [`experiments`] — drivers that regenerate each of the paper's tables
@@ -39,12 +42,14 @@ pub mod config;
 pub mod engine;
 pub mod experiments;
 pub mod metrics;
+pub mod multicore;
 pub mod replay;
 pub mod report;
 pub mod simulator;
 pub mod telemetry;
 
-pub use config::SimConfig;
+pub use config::{ChipConfig, SimConfig};
 pub use engine::{ExperimentGrid, GridResults, RunResult};
 pub use metrics::{BlockMetrics, RunReport};
+pub use multicore::{ChipReport, MulticoreSim};
 pub use simulator::Simulator;

@@ -18,7 +18,7 @@ use tdtm_workloads::Workload;
 use std::collections::VecDeque;
 use std::time::Instant;
 
-const NUM_THERMAL: usize = 7;
+pub(crate) const NUM_THERMAL: usize = 7;
 
 /// A temperature-proxy attachment for the Tables 9/10 comparison.
 #[derive(Clone, Debug)]
@@ -281,31 +281,31 @@ impl RunPlan {
     }
 }
 
-/// Post-warmup accumulators shared by the fast and reference loops. The
-/// report is assembled from this struct alone
-/// ([`Simulator::finalize`]), so both loops finalize through one code
-/// path and a given simulation yields byte-identical reports whichever
-/// loop ran it.
-struct RunAccum {
-    cycle: u64,
-    counted_cycles: u64,
-    committed_at_count_start: u64,
-    wall_time: f64,
-    sum_power: f64,
-    max_power: f64,
-    emergency_cycles: u64,
-    stress_cycles: u64,
-    block_sum_t: [f64; NUM_THERMAL],
-    block_max_t: [f64; NUM_THERMAL],
-    block_emerg: [u64; NUM_THERMAL],
-    block_stress: [u64; NUM_THERMAL],
-    block_sum_p: [f64; NUM_THERMAL],
-    block_max_p: [f64; NUM_THERMAL],
-    samples: u64,
+/// Post-warmup accumulators shared by the fast and reference loops — and
+/// by the multicore simulator, which keeps one per core. The report is
+/// assembled from this struct alone ([`finalize_report`]), so every loop
+/// finalizes through one code path and a given simulation yields
+/// byte-identical reports whichever loop ran it.
+pub(crate) struct RunAccum {
+    pub(crate) cycle: u64,
+    pub(crate) counted_cycles: u64,
+    pub(crate) committed_at_count_start: u64,
+    pub(crate) wall_time: f64,
+    pub(crate) sum_power: f64,
+    pub(crate) max_power: f64,
+    pub(crate) emergency_cycles: u64,
+    pub(crate) stress_cycles: u64,
+    pub(crate) block_sum_t: [f64; NUM_THERMAL],
+    pub(crate) block_max_t: [f64; NUM_THERMAL],
+    pub(crate) block_emerg: [u64; NUM_THERMAL],
+    pub(crate) block_stress: [u64; NUM_THERMAL],
+    pub(crate) block_sum_p: [f64; NUM_THERMAL],
+    pub(crate) block_max_p: [f64; NUM_THERMAL],
+    pub(crate) samples: u64,
 }
 
 impl RunAccum {
-    fn new() -> RunAccum {
+    pub(crate) fn new() -> RunAccum {
         RunAccum {
             cycle: 0,
             counted_cycles: 0,
@@ -329,7 +329,7 @@ impl RunAccum {
     /// its order are shared verbatim by both loops — that sharing is what
     /// makes their reports byte-identical.
     #[inline(always)]
-    fn record_cycle(
+    pub(crate) fn record_cycle(
         &mut self,
         temps: &[f64; NUM_THERMAL],
         thermal_powers: &[f64; NUM_THERMAL],
@@ -365,6 +365,81 @@ impl RunAccum {
         if any_s {
             self.stress_cycles += 1;
         }
+    }
+}
+
+/// The warm-start jump applied at the end of the first sampling interval:
+/// every block jumps to the steady state of its observed average power,
+/// capped at the policy's control ceiling (under DTM the machine could
+/// never have reached a temperature the policy would have prevented — the
+/// setpoint for control-theoretic policies, the trigger for the threshold
+/// policies). Shared by both single-core run loops and, per core, by the
+/// multicore simulator.
+pub(crate) fn warm_start_jump(
+    thermal: &mut BlockModel,
+    dtm: &tdtm_dtm::DtmConfig,
+    warm_start_power: &mut [f64; NUM_THERMAL],
+    interval: u64,
+) {
+    for p in warm_start_power.iter_mut() {
+        *p /= interval as f64;
+    }
+    thermal.warm_start(&warm_start_power[..]);
+    if dtm.policy != tdtm_dtm::PolicyKind::None {
+        let ceiling = if dtm.policy.is_control_theoretic() { dtm.setpoint } else { dtm.trigger };
+        for i in 0..NUM_THERMAL {
+            let t = thermal.temperatures()[i];
+            if t > ceiling {
+                thermal.set_temperature(i, ceiling);
+            }
+        }
+    }
+}
+
+/// Assembles a [`RunReport`] from one core's accumulators — the single
+/// code path every run loop (fast, reference, and per-core multicore)
+/// finalizes through, which is what makes their reports byte-identical.
+pub(crate) fn finalize_report(
+    name: &str,
+    policy: &dyn DtmPolicy,
+    params: &[tdtm_thermal::BlockParams],
+    stats: &tdtm_uarch::CoreStats,
+    bpred_accuracy: f64,
+    acc: &RunAccum,
+) -> RunReport {
+    let committed = stats.committed.saturating_sub(acc.committed_at_count_start);
+    let n = acc.counted_cycles.max(1) as f64;
+    let blocks = (0..NUM_THERMAL)
+        .map(|i| BlockMetrics {
+            name: params[i].name.clone(),
+            avg_temp: acc.block_sum_t[i] / n,
+            max_temp: if acc.block_max_t[i].is_finite() { acc.block_max_t[i] } else { 0.0 },
+            emergency_cycles: acc.block_emerg[i],
+            stress_cycles: acc.block_stress[i],
+            avg_power: acc.block_sum_p[i] / n,
+            max_power: acc.block_max_p[i],
+        })
+        .collect();
+    let avg_power = acc.sum_power / n;
+    RunReport {
+        name: name.to_string(),
+        policy: policy.kind().to_string(),
+        cycles: acc.counted_cycles,
+        total_cycles: acc.cycle,
+        committed,
+        wall_time: acc.wall_time,
+        ipc: committed as f64 / n,
+        avg_power,
+        max_power: acc.max_power,
+        avg_chip_temp: crate::config::table4_chip_temp(avg_power),
+        emergency_cycles: acc.emergency_cycles,
+        stress_cycles: acc.stress_cycles,
+        blocks,
+        samples: acc.samples,
+        engaged_samples: policy.engaged_samples(),
+        recoveries: stats.recoveries,
+        bpred_accuracy,
+        gated_cycles: stats.gated_cycles,
     }
 }
 
@@ -963,70 +1038,22 @@ impl Simulator {
     }
 
     /// Applies the warm-start jump at the end of the first sampling
-    /// interval: every block jumps to the steady state of its observed
-    /// average power, capped at the policy's control ceiling (under DTM
-    /// the machine could never have reached a temperature the policy
-    /// would have prevented — the setpoint for control-theoretic
-    /// policies, the trigger for the threshold policies). Shared by both
-    /// run loops.
+    /// interval. Shared by both run loops.
     fn apply_warm_start(&mut self, warm_start_power: &mut [f64; NUM_THERMAL], interval: u64) {
-        for p in warm_start_power.iter_mut() {
-            *p /= interval as f64;
-        }
-        self.thermal.warm_start(&warm_start_power[..]);
-        if self.cfg.dtm.policy != tdtm_dtm::PolicyKind::None {
-            let ceiling = if self.cfg.dtm.policy.is_control_theoretic() {
-                self.cfg.dtm.setpoint
-            } else {
-                self.cfg.dtm.trigger
-            };
-            for i in 0..NUM_THERMAL {
-                let t = self.thermal.temperatures()[i];
-                if t > ceiling {
-                    self.thermal.set_temperature(i, ceiling);
-                }
-            }
-        }
+        warm_start_jump(&mut self.thermal, &self.cfg.dtm, warm_start_power, interval);
     }
 
     /// Assembles the run report from the accumulators — one code path
     /// shared by both loops.
     fn finalize(&mut self, acc: &RunAccum) -> RunReport {
-        let stats = *self.core.stats();
-        let committed = stats.committed.saturating_sub(acc.committed_at_count_start);
-        let n = acc.counted_cycles.max(1) as f64;
-        let blocks = (0..NUM_THERMAL)
-            .map(|i| BlockMetrics {
-                name: self.thermal.params()[i].name.clone(),
-                avg_temp: acc.block_sum_t[i] / n,
-                max_temp: if acc.block_max_t[i].is_finite() { acc.block_max_t[i] } else { 0.0 },
-                emergency_cycles: acc.block_emerg[i],
-                stress_cycles: acc.block_stress[i],
-                avg_power: acc.block_sum_p[i] / n,
-                max_power: acc.block_max_p[i],
-            })
-            .collect();
-        let avg_power = acc.sum_power / n;
-        RunReport {
-            name: self.name.clone(),
-            policy: self.policy.kind().to_string(),
-            cycles: acc.counted_cycles,
-            total_cycles: acc.cycle,
-            committed,
-            wall_time: acc.wall_time,
-            ipc: committed as f64 / n,
-            avg_power,
-            max_power: acc.max_power,
-            avg_chip_temp: crate::config::table4_chip_temp(avg_power),
-            emergency_cycles: acc.emergency_cycles,
-            stress_cycles: acc.stress_cycles,
-            blocks,
-            samples: acc.samples,
-            engaged_samples: self.policy.engaged_samples(),
-            recoveries: stats.recoveries,
-            bpred_accuracy: self.core.bpred().accuracy(),
-            gated_cycles: stats.gated_cycles,
-        }
+        finalize_report(
+            &self.name,
+            self.policy.as_ref(),
+            self.thermal.params(),
+            self.core.stats(),
+            self.core.bpred().accuracy(),
+            acc,
+        )
     }
 
     /// Converts the in-flight [`TelemetryState`] into the final

@@ -38,18 +38,40 @@ pub enum PolicyKind {
     /// scaling as the backup engaged only when temperature gets "truly
     /// close to emergency".
     Hierarchical,
+    /// Adjustable-gain integral controller after Rao et al.
+    /// (arXiv:1507.06357): a pure integral law whose gain adapts online —
+    /// shrinking when the error changes sign (oscillation), growing under
+    /// persistent large error (sluggishness).
+    AdaptiveI,
+    /// Stability-aware gain schedule after Bhat et al. (arXiv:2003.11081):
+    /// a PI law whose gains are scaled down by the margin to thermal
+    /// runaway, with a hard duty clamp close to the emergency threshold.
+    StabilityAware,
 }
 
 impl PolicyKind {
     /// All policies, in reporting order.
-    pub fn all() -> [PolicyKind; 12] {
+    pub fn all() -> [PolicyKind; 14] {
         use PolicyKind::*;
-        [None, Toggle1, Toggle2, Throttle, SpecControl, VfScale, Manual, P, Pd, Pi, Pid, Hierarchical]
+        [
+            None, Toggle1, Toggle2, Throttle, SpecControl, VfScale, Manual, P, Pd, Pi, Pid,
+            Hierarchical, AdaptiveI, StabilityAware,
+        ]
     }
 
-    /// Whether this is one of the control-theoretic (CT-DTM) policies.
+    /// Whether this is one of the control-theoretic (CT-DTM) policies
+    /// (feedback controllers regulating to the setpoint — the paper's
+    /// P/PD/PI/PID family plus the retrieved-literature controllers).
     pub fn is_control_theoretic(self) -> bool {
-        matches!(self, PolicyKind::P | PolicyKind::Pd | PolicyKind::Pi | PolicyKind::Pid)
+        matches!(
+            self,
+            PolicyKind::P
+                | PolicyKind::Pd
+                | PolicyKind::Pi
+                | PolicyKind::Pid
+                | PolicyKind::AdaptiveI
+                | PolicyKind::StabilityAware
+        )
     }
 
     /// Parses a policy from its [`name`](Self::name) or its variant
@@ -78,6 +100,8 @@ impl PolicyKind {
             Pi => "PI",
             Pid => "PID",
             Hierarchical => "PID+vf",
+            AdaptiveI => "adaptive-I",
+            StabilityAware => "stability",
         }
     }
 }
@@ -253,6 +277,8 @@ mod tests {
         assert!(!PolicyKind::Toggle1.is_control_theoretic());
         assert!(!PolicyKind::Manual.is_control_theoretic(), "M is hand-built, not CT");
         assert!(!PolicyKind::Hierarchical.is_control_theoretic(), "hybrid, reported separately");
-        assert_eq!(PolicyKind::all().len(), 12);
+        assert!(PolicyKind::AdaptiveI.is_control_theoretic(), "Rao et al. integral law");
+        assert!(PolicyKind::StabilityAware.is_control_theoretic(), "Bhat et al. gain schedule");
+        assert_eq!(PolicyKind::all().len(), 14);
     }
 }

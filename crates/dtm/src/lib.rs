@@ -19,7 +19,15 @@
 //!   anti-windup per the paper;
 //! * [`PolicyKind::Throttle`], [`PolicyKind::SpecControl`],
 //!   [`PolicyKind::VfScale`] — the auxiliary mechanisms;
+//! * [`PolicyKind::AdaptiveI`] / [`PolicyKind::StabilityAware`] — the
+//!   retrieved-literature multicore controllers (Rao et al.'s
+//!   adjustable-gain integral law; Bhat et al.'s stability-aware gain
+//!   schedule);
 //! * [`PolicyKind::None`] — no DTM (the baseline for "% of non-DTM IPC").
+//!
+//! For multicore chips, [`supervisor::ChipSupervisor`] sits above the
+//! per-core policies and redistributes the shared thermal budget by
+//! capping hot cores' duty ceilings.
 //!
 //! # Examples
 //!
@@ -41,8 +49,10 @@ pub mod command;
 pub mod config;
 pub mod policy;
 pub mod sensor;
+pub mod supervisor;
 
 pub use command::DtmCommand;
 pub use config::{DtmConfig, PolicyKind, TriggerMechanism, VfSetting};
 pub use policy::{build_policy, build_policy_at, DtmPolicy};
 pub use sensor::SensorModel;
+pub use supervisor::{ChipSupervisor, SupervisorConfig};

@@ -64,6 +64,8 @@ pub fn build_policy_at(config: &DtmConfig, clock_hz: f64) -> Box<dyn DtmPolicy> 
             Box::new(CtPolicy::new(*config, clock_hz))
         }
         PolicyKind::Hierarchical => Box::new(Hierarchical::new(*config, clock_hz)),
+        PolicyKind::AdaptiveI => Box::new(AdaptiveIntegral::new(*config)),
+        PolicyKind::StabilityAware => Box::new(StabilityAwarePi::new(*config, clock_hz)),
     }
 }
 
@@ -373,6 +375,206 @@ impl DtmPolicy for Hierarchical {
     }
 }
 
+// ----------------------------------------------------------------------
+// Adjustable-gain integral controller (Rao et al., arXiv:1507.06357)
+// ----------------------------------------------------------------------
+
+/// Initial integral gain, duty per kelvin of error per sample.
+const ADAPTIVE_G0: f64 = 0.05;
+/// Gain adaptation bounds.
+const ADAPTIVE_G_MIN: f64 = 0.005;
+const ADAPTIVE_G_MAX: f64 = 0.5;
+/// Multiplicative shrink applied when the error changes sign (the loop is
+/// oscillating: back off).
+const ADAPTIVE_SHRINK: f64 = 0.5;
+/// Multiplicative growth applied under persistent unsaturated error (the
+/// loop is sluggish: speed up).
+const ADAPTIVE_GROW: f64 = 1.05;
+/// Error magnitude (K) below which the gain is left alone.
+const ADAPTIVE_DEADBAND: f64 = 0.1;
+
+/// Per-block state of the adjustable-gain integral law.
+#[derive(Clone, Copy)]
+struct AdaptiveBlock {
+    /// Integral accumulator — directly the block's duty vote in [0, 1].
+    u: f64,
+    /// Current integral gain.
+    g: f64,
+    /// Previous error, for oscillation detection (0 = no history).
+    prev_e: f64,
+}
+
+/// Rao et al.'s adjustable-gain integral controller: a pure integral law
+/// `u += g·e` per block, with the gain adapted online — halved when the
+/// error changes sign (oscillation), grown geometrically while a large
+/// error persists without saturating the accumulator (sluggishness). The
+/// integral accumulator doubles as the duty vote, clamped to [0, 1]
+/// (which is also the anti-windup), and the hottest block's vote governs
+/// through the usual minimum.
+struct AdaptiveIntegral {
+    cfg: DtmConfig,
+    blocks: Vec<AdaptiveBlock>,
+    engaged: u64,
+    initialized: bool,
+}
+
+impl AdaptiveIntegral {
+    fn new(cfg: DtmConfig) -> AdaptiveIntegral {
+        let proto = AdaptiveBlock { u: 1.0, g: ADAPTIVE_G0, prev_e: 0.0 };
+        AdaptiveIntegral { cfg, blocks: vec![proto; 7], engaged: 0, initialized: false }
+    }
+
+    fn ensure_size(&mut self, n: usize) {
+        if self.blocks.len() != n {
+            self.blocks = vec![AdaptiveBlock { u: 1.0, g: ADAPTIVE_G0, prev_e: 0.0 }; n];
+        }
+        self.initialized = true;
+    }
+}
+
+impl DtmPolicy for AdaptiveIntegral {
+    fn sample(&mut self, temps: &[f64]) -> DtmCommand {
+        if !self.initialized {
+            self.ensure_size(temps.len());
+        }
+        assert_eq!(temps.len(), self.blocks.len(), "one accumulator per sensed block");
+        let mut duty: f64 = 1.0;
+        for (b, &t) in self.blocks.iter_mut().zip(temps) {
+            let e = self.cfg.setpoint - t;
+            if e * b.prev_e < 0.0 {
+                b.g = (b.g * ADAPTIVE_SHRINK).max(ADAPTIVE_G_MIN);
+            } else if e.abs() > ADAPTIVE_DEADBAND && b.u > 0.0 && b.u < 1.0 {
+                // Persistent error while the actuator still has headroom:
+                // grow the gain (growing against a saturated accumulator
+                // would only wind the gain up).
+                b.g = (b.g * ADAPTIVE_GROW).min(ADAPTIVE_G_MAX);
+            }
+            b.u = (b.u + b.g * e).clamp(0.0, 1.0);
+            b.prev_e = e;
+            duty = duty.min(b.u);
+        }
+        let duty = quantize(duty, self.cfg.quantize_levels);
+        if duty < 1.0 {
+            self.engaged += 1;
+        }
+        DtmCommand::toggle(duty)
+    }
+
+    fn engaged_samples(&self) -> u64 {
+        self.engaged
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::AdaptiveI
+    }
+}
+
+// ----------------------------------------------------------------------
+// Stability-aware gain schedule (Bhat et al., arXiv:2003.11081)
+// ----------------------------------------------------------------------
+
+/// Kelvin above the emergency threshold at which the power-temperature
+/// loop is taken to run away (leakage feedback divergence).
+const RUNAWAY_MARGIN: f64 = 2.0;
+/// Floor on the stability-margin gain scale.
+const MIN_MARGIN_SCALE: f64 = 0.2;
+/// Band (K) below emergency inside which the hard duty clamp engages.
+const HARD_CLAMP_BAND: f64 = 0.05;
+
+/// Per-block PI state for the stability-aware schedule.
+#[derive(Clone, Copy)]
+struct ScheduledBlock {
+    /// Integral state — the operating-point duty, in [0, 1].
+    i: f64,
+}
+
+/// Bhat et al.'s stability-aware schedule: a PI law whose designed gains
+/// are scaled by the margin to thermal runaway — full gains when safely
+/// at the setpoint, backed off toward [`MIN_MARGIN_SCALE`] as the hottest
+/// block approaches the runaway temperature (high loop gain near the
+/// stability boundary is what drives power-temperature oscillation), plus
+/// a hard zero-duty clamp within [`HARD_CLAMP_BAND`] of emergency.
+struct StabilityAwarePi {
+    cfg: DtmConfig,
+    kp: f64,
+    ki: f64,
+    period: f64,
+    blocks: Vec<ScheduledBlock>,
+    engaged: u64,
+    initialized: bool,
+}
+
+impl StabilityAwarePi {
+    fn new(cfg: DtmConfig, clock_hz: f64) -> StabilityAwarePi {
+        let plant = FopdtPlant {
+            gain: cfg.plant_gain,
+            time_constant: cfg.plant_tau,
+            delay: cfg.loop_delay(clock_hz),
+        };
+        let gains = design_controller(&plant, ControllerKind::Pi);
+        StabilityAwarePi {
+            cfg,
+            kp: gains.kp,
+            ki: gains.ki,
+            period: cfg.sample_period(clock_hz),
+            blocks: vec![ScheduledBlock { i: 1.0 }; 7],
+            engaged: 0,
+            initialized: false,
+        }
+    }
+
+    fn ensure_size(&mut self, n: usize) {
+        if self.blocks.len() != n {
+            self.blocks = vec![ScheduledBlock { i: 1.0 }; n];
+        }
+        self.initialized = true;
+    }
+
+    /// The gain scale for the current hottest temperature: 1 at (or
+    /// below) the setpoint, falling linearly to [`MIN_MARGIN_SCALE`] at
+    /// the runaway temperature.
+    fn margin_scale(&self, hottest: f64) -> f64 {
+        let runaway = self.cfg.emergency + RUNAWAY_MARGIN;
+        ((runaway - hottest) / (runaway - self.cfg.setpoint)).clamp(MIN_MARGIN_SCALE, 1.0)
+    }
+}
+
+impl DtmPolicy for StabilityAwarePi {
+    fn sample(&mut self, temps: &[f64]) -> DtmCommand {
+        if !self.initialized {
+            self.ensure_size(temps.len());
+        }
+        assert_eq!(temps.len(), self.blocks.len(), "one controller per sensed block");
+        let hottest = temps.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let m = self.margin_scale(hottest);
+        let mut duty: f64 = 1.0;
+        for (b, &t) in self.blocks.iter_mut().zip(temps) {
+            let e = self.cfg.setpoint - t;
+            let u = (b.i + m * self.kp * e).clamp(0.0, 1.0);
+            // Conditional integration (anti-windup): the integral state is
+            // itself clamped to the actuator range.
+            b.i = (b.i + m * self.ki * self.period * e).clamp(0.0, 1.0);
+            duty = duty.min(u);
+        }
+        let mut duty = quantize(duty, self.cfg.quantize_levels);
+        if hottest >= self.cfg.emergency - HARD_CLAMP_BAND {
+            duty = 0.0;
+        }
+        if duty < 1.0 {
+            self.engaged += 1;
+        }
+        DtmCommand::toggle(duty)
+    }
+
+    fn engaged_samples(&self) -> u64 {
+        self.engaged
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::StabilityAware
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -584,6 +786,112 @@ mod tests {
         for t in [110.9, 111.2, 111.8, 112.4] {
             let duty = p.sample(&hot_block(t)).fetch_duty;
             assert!((duty * 8.0 - (duty * 8.0).round()).abs() < 1e-9, "duty {duty}");
+        }
+    }
+
+    #[test]
+    fn adaptive_integral_throttles_when_hot_and_recovers_when_cool() {
+        let mut p = build_policy(&config(PolicyKind::AdaptiveI));
+        assert_eq!(p.kind(), PolicyKind::AdaptiveI);
+        for _ in 0..5 {
+            assert_eq!(p.sample(&cool()).fetch_duty, 1.0, "cool chip runs at full speed");
+        }
+        assert_eq!(p.engaged_samples(), 0);
+        let mut last = 1.0;
+        for _ in 0..40 {
+            last = p.sample(&hot_block(112.5)).fetch_duty;
+        }
+        assert!(last < 0.8, "sustained overshoot integrates into throttling, duty {last}");
+        assert!(p.engaged_samples() > 0);
+        for _ in 0..400 {
+            last = p.sample(&cool()).fetch_duty;
+        }
+        assert_eq!(last, 1.0, "sustained slack releases the throttle");
+    }
+
+    #[test]
+    fn adaptive_gain_shrinks_on_oscillation() {
+        // Alternate the error sign every sample: the gain must halve its
+        // way down, so late oscillations move the duty *less* than early
+        // ones instead of slamming rail to rail.
+        let mut p = build_policy(&config(PolicyKind::AdaptiveI));
+        let swing = |p: &mut Box<dyn DtmPolicy>| -> f64 {
+            let a = p.sample(&hot_block(112.0)).fetch_duty;
+            let b = p.sample(&hot_block(109.0)).fetch_duty;
+            (a - b).abs()
+        };
+        // Let the loop settle into the oscillating regime first.
+        let early = swing(&mut p).max(swing(&mut p));
+        let mut late = 0.0;
+        for _ in 0..20 {
+            late = swing(&mut p);
+        }
+        assert!(
+            late <= early,
+            "adapted gain must not amplify oscillation: early {early} vs late {late}"
+        );
+    }
+
+    #[test]
+    fn adaptive_integral_duty_is_quantized() {
+        let mut p = build_policy(&config(PolicyKind::AdaptiveI));
+        for t in [111.0, 111.6, 112.2, 110.2] {
+            let duty = p.sample(&hot_block(t)).fetch_duty;
+            assert!((duty * 8.0 - (duty * 8.0).round()).abs() < 1e-9, "duty {duty}");
+        }
+    }
+
+    #[test]
+    fn stability_aware_regulates_and_hard_clamps_near_emergency() {
+        let mut p = build_policy(&config(PolicyKind::StabilityAware));
+        assert_eq!(p.kind(), PolicyKind::StabilityAware);
+        for _ in 0..5 {
+            assert_eq!(p.sample(&cool()).fetch_duty, 1.0, "cool chip runs at full speed");
+        }
+        let mut last = 1.0;
+        for _ in 0..30 {
+            last = p.sample(&hot_block(112.0)).fetch_duty;
+        }
+        assert!(last < 0.8, "sustained overshoot throttles, duty {last}");
+        // Within the hard-clamp band of emergency: fetch stops outright,
+        // whatever the PI state says.
+        assert_eq!(p.sample(&hot_block(110.97)).fetch_duty, 0.0, "hard clamp");
+        assert_eq!(p.sample(&hot_block(113.0)).fetch_duty, 0.0);
+    }
+
+    #[test]
+    fn stability_margin_schedule_backs_gains_off_near_runaway() {
+        // Two fresh controllers, one mildly and one severely hot: the
+        // severe one sees a *smaller* gain scale (that is the schedule),
+        // observable through the first-sample integral movement.
+        let cfg = config(PolicyKind::StabilityAware);
+        let mild_t = 111.2; // above setpoint, below the clamp band? no — above emergency
+        let mut mild = StabilityAwarePi::new(cfg, 1.5e9);
+        let mut severe = StabilityAwarePi::new(cfg, 1.5e9);
+        assert!(severe.margin_scale(112.8) < mild.margin_scale(mild_t));
+        assert_eq!(mild.margin_scale(110.0), 1.0, "at/below setpoint: full designed gains");
+        assert_eq!(severe.margin_scale(120.0), MIN_MARGIN_SCALE, "floor past runaway");
+        // And the scheduled integral actually moves more slowly when the
+        // margin is thin: compare integral states after one equal-error
+        // sample at different margins (error fixed by feeding one block).
+        mild.sample(&hot_block(mild_t));
+        severe.sample(&hot_block(112.8));
+        let mild_i = mild.blocks[3].i;
+        let severe_i = severe.blocks[3].i;
+        // Same sign of motion (down), but the severe case moved by a
+        // *smaller* multiple of its (larger) error.
+        let mild_step = (1.0 - mild_i) / (mild_t - cfg.setpoint);
+        let severe_step = (1.0 - severe_i) / (112.8 - cfg.setpoint);
+        assert!(mild_step > 0.0 && severe_step > 0.0);
+        assert!(severe_step < mild_step, "thin margin integrates more gently per kelvin");
+    }
+
+    #[test]
+    fn new_policies_build_through_the_factory() {
+        for kind in [PolicyKind::AdaptiveI, PolicyKind::StabilityAware] {
+            let mut p = build_policy(&config(kind));
+            assert_eq!(p.kind(), kind);
+            assert_eq!(p.sample(&cool()), DtmCommand::toggle(1.0));
         }
     }
 }

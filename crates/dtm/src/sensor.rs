@@ -5,6 +5,23 @@
 //! [`SensorModel`] implements the ideal sensor plus optional Gaussian
 //! noise and quantization, used by the sensor-fidelity ablation.
 
+/// Diffuses a user seed into a well-mixed, guaranteed-nonzero xorshift
+/// state (splitmix64 finalizer). The previous `seed | 1` mapping gave
+/// seeds `2k` and `2k+1` byte-identical noise streams, which silently
+/// collapsed sensor-fidelity sweeps that vary the seed by one.
+fn scramble_seed(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    if z == 0 {
+        // xorshift state must be nonzero; any fixed constant works.
+        0x9E37_79B9_7F4A_7C15
+    } else {
+        z
+    }
+}
+
 /// A per-block temperature sensor bank.
 #[derive(Clone, Debug)]
 pub struct SensorModel {
@@ -43,7 +60,7 @@ impl SensorModel {
         SensorModel {
             noise_sigma: sigma,
             quantization_step: step,
-            state: seed | 1,
+            state: scramble_seed(seed),
             placement: None,
             fallback: f64::NEG_INFINITY,
         }
@@ -152,6 +169,19 @@ mod tests {
         let mut b = SensorModel::with_noise(1.0, 0.0, 7);
         for _ in 0..100 {
             assert_eq!(a.read(105.0), b.read(105.0));
+        }
+    }
+
+    /// Regression: `state: seed | 1` made seeds `2k` and `2k+1` aliases.
+    /// Nearby seeds must yield distinct noise streams.
+    #[test]
+    fn nearby_seeds_produce_distinct_streams() {
+        for base in [0u64, 2, 40, 1000, u64::MAX - 1] {
+            let mut a = SensorModel::with_noise(1.0, 0.0, base);
+            let mut b = SensorModel::with_noise(1.0, 0.0, base + 1);
+            let ra: Vec<f64> = (0..16).map(|_| a.read(100.0)).collect();
+            let rb: Vec<f64> = (0..16).map(|_| b.read(100.0)).collect();
+            assert_ne!(ra, rb, "seeds {base} and {} alias", base + 1);
         }
     }
 

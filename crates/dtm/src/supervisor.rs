@@ -1,0 +1,151 @@
+//! The chip-level DTM supervisor.
+//!
+//! The multicore hierarchy is two-level: each core runs its own per-block
+//! policy (PID, adjustable-gain integral, ...) exactly as in the
+//! single-core simulator, and a chip-level supervisor above them
+//! redistributes the shared thermal budget once per sampling interval. A
+//! core whose hottest block sits above the chip setpoint is consuming
+//! more than its share of the heatsink, so the supervisor lowers that
+//! core's *duty ceiling* — the per-core controller's command is then
+//! clamped to `min(duty, cap)`. Cores with thermal margin keep the full
+//! ceiling of 1.0, so with every core cool the supervisor is exactly the
+//! identity and the N=1 chip behaves byte-identically to the single-core
+//! path.
+//!
+//! The ceiling falls linearly with the overshoot — `cap = 1 - a·(T_hot -
+//! setpoint)` for authority `a` — and is floored at one actuator
+//! quantization level so a capped core keeps making (slow) forward
+//! progress rather than livelocking at zero fetch.
+
+/// Configuration of the chip-level supervisor.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SupervisorConfig {
+    /// Chip-level setpoint (C): cores whose hottest block exceeds this
+    /// get their duty ceiling reduced.
+    pub chip_setpoint: f64,
+    /// Ceiling reduction per kelvin of overshoot (duty/K).
+    pub authority: f64,
+    /// Floor on the duty ceiling (one 8-level quantization step by
+    /// default, so capped cores still fetch occasionally).
+    pub min_cap: f64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig { chip_setpoint: 110.8, authority: 0.5, min_cap: 0.125 }
+    }
+}
+
+/// The chip-level budget allocator.
+#[derive(Clone, Debug)]
+pub struct ChipSupervisor {
+    cfg: SupervisorConfig,
+    caps: Vec<f64>,
+    interventions: u64,
+}
+
+impl ChipSupervisor {
+    /// A supervisor over `cores` cores, all ceilings initially 1.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or the configuration is out of range
+    /// (negative authority, or `min_cap` outside `[0, 1]`).
+    pub fn new(cfg: SupervisorConfig, cores: usize) -> ChipSupervisor {
+        assert!(cores > 0, "need at least one core");
+        assert!(cfg.authority >= 0.0, "authority must be nonnegative");
+        assert!((0.0..=1.0).contains(&cfg.min_cap), "min_cap must be a duty");
+        ChipSupervisor { cfg, caps: vec![1.0; cores], interventions: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.cfg
+    }
+
+    /// Recomputes the per-core duty ceilings from each core's hottest
+    /// sensed block temperature (`f64::NEG_INFINITY` for a core that is
+    /// parked/finished: it holds the full ceiling and never triggers an
+    /// intervention). Returns the ceilings, one per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hottest_per_core` does not hold one entry per core.
+    pub fn allocate(&mut self, hottest_per_core: &[f64]) -> &[f64] {
+        assert_eq!(hottest_per_core.len(), self.caps.len(), "one temperature per core");
+        let mut intervened = false;
+        for (cap, &hot) in self.caps.iter_mut().zip(hottest_per_core) {
+            let over = hot - self.cfg.chip_setpoint;
+            *cap = if over > 0.0 {
+                intervened = true;
+                (1.0 - self.cfg.authority * over).clamp(self.cfg.min_cap, 1.0)
+            } else {
+                1.0
+            };
+        }
+        if intervened {
+            self.interventions += 1;
+        }
+        &self.caps
+    }
+
+    /// The ceilings from the last [`allocate`](ChipSupervisor::allocate)
+    /// call (all 1.0 before the first).
+    pub fn caps(&self) -> &[f64] {
+        &self.caps
+    }
+
+    /// Number of sampling intervals on which at least one core's ceiling
+    /// was below 1.0.
+    pub fn interventions(&self) -> u64 {
+        self.interventions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cool_chip_is_the_identity() {
+        let mut s = ChipSupervisor::new(SupervisorConfig::default(), 4);
+        let caps = s.allocate(&[103.0, 108.0, 110.8, f64::NEG_INFINITY]).to_vec();
+        assert_eq!(caps, vec![1.0; 4], "at/below setpoint: full ceilings");
+        assert_eq!(s.interventions(), 0);
+    }
+
+    #[test]
+    fn hot_cores_get_capped_monotonically() {
+        let mut s = ChipSupervisor::new(SupervisorConfig::default(), 3);
+        let caps = s.allocate(&[110.0, 111.3, 112.0]).to_vec();
+        assert_eq!(caps[0], 1.0, "cool core untouched");
+        assert!(caps[1] < 1.0, "hot core capped");
+        assert!(caps[2] < caps[1], "hotter core capped harder");
+        assert_eq!(s.interventions(), 1, "one intervention per interval, not per core");
+    }
+
+    #[test]
+    fn cap_floors_at_min_cap() {
+        let cfg = SupervisorConfig::default();
+        let mut s = ChipSupervisor::new(cfg, 1);
+        let caps = s.allocate(&[150.0]).to_vec();
+        assert_eq!(caps[0], cfg.min_cap, "runaway core still gets the floor");
+    }
+
+    #[test]
+    fn interventions_count_intervals() {
+        let mut s = ChipSupervisor::new(SupervisorConfig::default(), 2);
+        s.allocate(&[111.5, 111.5]);
+        s.allocate(&[100.0, 100.0]);
+        s.allocate(&[100.0, 111.2]);
+        assert_eq!(s.interventions(), 2);
+        assert_eq!(s.caps()[1], 1.0 - 0.5 * (111.2 - 110.8));
+    }
+
+    #[test]
+    #[should_panic(expected = "one temperature per core")]
+    fn allocation_arity_checked() {
+        let mut s = ChipSupervisor::new(SupervisorConfig::default(), 2);
+        s.allocate(&[100.0]);
+    }
+}

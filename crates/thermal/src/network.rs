@@ -167,12 +167,31 @@ impl RcNetwork {
 
     /// Runs for `duration` seconds using steps of at most `dt`
     /// (clamped to the stability bound).
+    ///
+    /// The horizon is honored exactly: when `duration` is not an integer
+    /// multiple of the (clamped) step, the last step is shortened so that
+    /// [`RcNetwork::time`] advances by exactly `duration` rather than
+    /// overshooting to the next step boundary.
     pub fn run(&mut self, duration: f64, dt: f64) {
+        if duration <= 0.0 {
+            return;
+        }
         let dt = dt.min(self.max_stable_dt());
-        let steps = (duration / dt).ceil() as u64;
-        for _ in 0..steps {
+        let start = self.time;
+        let steps = (duration / dt).ceil().max(1.0) as u64;
+        for _ in 0..steps.saturating_sub(1) {
             self.step(dt);
         }
+        // Final (possibly partial) step: exactly the remaining interval,
+        // guarding against a zero/negative remainder from accumulated
+        // floating-point drift.
+        let remaining = start + duration - self.time;
+        if remaining > 0.0 {
+            self.step(remaining);
+        }
+        // Pin the clock to the requested horizon so repeated `run` calls
+        // cannot accumulate rounding drift.
+        self.time = start + duration;
     }
 
     /// Solves directly for the steady-state temperatures (Gauss-Seidel on
@@ -378,6 +397,46 @@ mod tests {
         let mut net = RcNetwork::new(27.0);
         let _lonely = net.add_node(1.0, 50.0);
         assert!(net.steady_state().is_none());
+    }
+
+    /// Regression: `run(1.0, 0.3)` used to take `ceil(1.0/0.3) = 4` full
+    /// 0.3 s steps and leave `time()` at 1.2 s. The horizon must be exact.
+    #[test]
+    fn run_lands_exactly_on_the_requested_horizon() {
+        let mut net = RcNetwork::new(27.0);
+        let n = net.add_node(10.0, 27.0);
+        net.connect_to_ambient(n, 1.0);
+        net.set_power(n, 5.0);
+        net.run(1.0, 0.3);
+        assert_eq!(net.time(), 1.0, "partial final step honors the horizon");
+
+        // Repeated uneven runs must not accumulate *step* drift: the clock
+        // is the exact sum of the requested durations (0.1 has no exact
+        // binary representation, hence the epsilon on the literal).
+        for _ in 0..7 {
+            net.run(0.1, 0.03);
+        }
+        assert!((net.time() - 1.7).abs() < 1e-12, "time = {}", net.time());
+
+        // And the trajectory still matches the analytic response at the
+        // (now exact) horizon: tau = 10 s, so T = 27 + 5·(1 - e^{-1.7/10}).
+        let expect = 27.0 + 5.0 * (1.0 - (-1.7f64 / 10.0).exp());
+        assert!((net.temperature(n) - expect).abs() < 0.01, "T = {}", net.temperature(n));
+    }
+
+    /// An evenly-dividing duration takes only full steps (the pre-fix
+    /// behavior), and a non-positive duration is a no-op.
+    #[test]
+    fn run_edge_cases() {
+        let mut net = RcNetwork::new(27.0);
+        let n = net.add_node(1.0, 40.0);
+        net.connect_to_ambient(n, 2.0);
+        net.run(1.0, 0.25);
+        assert_eq!(net.time(), 1.0);
+        let t_before = net.temperature(n);
+        net.run(0.0, 0.25);
+        assert_eq!(net.time(), 1.0, "zero duration is a no-op");
+        assert_eq!(net.temperature(n), t_before);
     }
 
     #[test]

@@ -20,6 +20,11 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 echo "== tier 1: trace_run smoke =="
 cargo run -q --release -p tdtm-bench --bin trace_run -- gcc pid --stride 1000 --insts 60000 > /dev/null
 
+echo "== tier 1: multicore interference smoke =="
+# The cross-core figure end-to-end at a tiny budget: coupled chips, the
+# supervisor, and both retrieved-literature policies through the engine.
+TDTM_INSTS=8000 cargo run -q --release -p tdtm-bench --bin fig_multicore_interference > /dev/null
+
 echo "== tier 1: bench regression smoke (simulator_throughput vs BENCH_simloop.json) =="
 # Reduced batch count (--quick: one rep per row, no calibrated micro rows);
 # fails if any shared row regresses >3x against the committed baseline.

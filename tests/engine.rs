@@ -6,15 +6,23 @@
 use tdtm::core::engine::{shard_map, ExperimentGrid};
 use tdtm::core::experiments::ExperimentScale;
 use tdtm::core::report::reports_to_csv;
-use tdtm::dtm::PolicyKind;
+use tdtm::core::SimConfig;
+use tdtm::dtm::{PolicyKind, SupervisorConfig};
 use tdtm::workloads::by_name;
 
+/// One single-core cell family plus a supervised two-core chip variant,
+/// so the determinism contract covers the multicore dispatch path too.
 fn small_grid() -> ExperimentGrid {
+    fn chip2(cfg: &mut SimConfig) {
+        cfg.chip.cores = 2;
+        cfg.chip.supervisor = Some(SupervisorConfig::default());
+    }
     ExperimentGrid::new(ExperimentScale::quick())
         .workload(by_name("gcc").expect("suite workload"))
         .workload(by_name("art").expect("suite workload"))
         .workload(by_name("crafty").expect("suite workload"))
         .policies(&[PolicyKind::None, PolicyKind::Pid])
+        .variants(&[("base", |_| {}), ("chip2", chip2)])
 }
 
 #[test]
