@@ -13,8 +13,8 @@
 //! ```
 
 use tdtm_bench::microbench::{black_box, Harness};
-use tdtm_core::{SimConfig, Simulator};
-use tdtm_dtm::PolicyKind;
+use tdtm_core::{MulticoreSim, SimConfig, Simulator};
+use tdtm_dtm::{PolicyKind, SupervisorConfig};
 use tdtm_telemetry::{Counter, Event, EventTrace, Histogram, Phase, PhaseProfile, TelemetryConfig};
 use tdtm_thermal::block_model::{table3_blocks, BlockModel};
 use tdtm_workloads::by_name;
@@ -24,6 +24,36 @@ fn sim_config() -> SimConfig {
     cfg.dtm.policy = PolicyKind::Pid;
     cfg.max_insts = 60_000;
     cfg
+}
+
+fn chip_config() -> SimConfig {
+    let mut cfg = sim_config();
+    cfg.max_insts = 20_000;
+    cfg.chip.cores = 2;
+    cfg.chip.supervisor = Some(SupervisorConfig::default());
+    cfg
+}
+
+/// ns per core-cycle of a 2-core supervised chip run, telemetry
+/// configured by `cfg` — the multicore analogue of the rows above (the
+/// chip loop threads per-core collectors plus a chip-level event ring).
+fn chip_ns_per_cycle(h: &mut Harness, name: &str, cfg: Option<&TelemetryConfig>) {
+    let w = by_name("gcc").expect("suite workload");
+    let mut probe = MulticoreSim::for_workload(chip_config(), &w);
+    let report = probe.run();
+    let core_cycles = (report.cores.len() as u64 * report.chip_cycles) as f64;
+    let start = std::time::Instant::now();
+    let reps = 5u32;
+    for _ in 0..reps {
+        let mut sim = MulticoreSim::for_workload(chip_config(), &w);
+        if let Some(cfg) = cfg {
+            sim.enable_telemetry(cfg);
+        }
+        black_box(sim.run());
+    }
+    let ns = start.elapsed().as_secs_f64() * 1e9 / (reps as f64 * core_cycles);
+    println!("{name:<44} {ns:>12.2} ns/cycle");
+    h.push_row(name, ns);
 }
 
 /// ns per simulated cycle of a full run, telemetry configured by `cfg`.
@@ -68,7 +98,7 @@ fn main() {
     h.bench("histogram_record", || hist.record(black_box(110.8)));
     let mut ring = EventTrace::new(4096, 1);
     h.bench("event_ring_record", || {
-        ring.record(Event::DutyChange { cycle: 1_000, from: 1.0, to: 0.5 })
+        ring.record(Event::DutyChange { cycle: 1_000, core: 0, from: 1.0, to: 0.5 })
     });
 
     // End to end: the <2%-when-disabled acceptance bound compares the
@@ -81,6 +111,11 @@ fn main() {
         Some(&TelemetryConfig::metrics_and_phases()),
     );
     run_ns_per_cycle(&mut h, "sim_run_full_stride1", Some(&TelemetryConfig::full(65_536, 1)));
+
+    // Same bound on the lockstep chip: telemetry off vs. fully on for a
+    // 2-core supervised run.
+    chip_ns_per_cycle(&mut h, "mc2_run_telemetry_off", None);
+    chip_ns_per_cycle(&mut h, "mc2_run_full_stride1", Some(&TelemetryConfig::full(65_536, 1)));
 
     let args: Vec<String> = std::env::args().collect();
     if let Some(i) = args.iter().position(|a| a == "--json") {

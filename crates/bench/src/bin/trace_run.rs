@@ -8,15 +8,22 @@
 //! figure binaries: where they aggregate, this answers "what did the
 //! controller do at cycle 41 000?".
 //!
+//! With `--cores N` (and optionally `--supervisor`) the same trace runs
+//! on the lockstep multicore chip: every event carries its core id, the
+//! chip-level supervisor-cap and park decisions land in a separate chip
+//! ring, and the dump interleaves chip events ahead of the per-core
+//! rings.
+//!
 //! ```text
 //! cargo run -p tdtm-bench --release --bin trace_run -- gcc pid
 //! cargo run -p tdtm-bench --release --bin trace_run -- art hierarchical --stride 100 --csv
+//! cargo run -p tdtm-bench --release --bin trace_run -- gcc pid --cores 4 --supervisor
 //! ```
 
 use tdtm_core::experiments::ExperimentScale;
-use tdtm_core::Simulator;
-use tdtm_dtm::PolicyKind;
-use tdtm_telemetry::TelemetryConfig;
+use tdtm_core::{MulticoreSim, Simulator};
+use tdtm_dtm::{PolicyKind, SupervisorConfig};
+use tdtm_telemetry::{EventTrace, RegistrySnapshot, TelemetryConfig};
 use tdtm_workloads::{by_name, suite};
 
 struct Args {
@@ -26,9 +33,12 @@ struct Args {
     capacity: usize,
     csv: bool,
     insts: Option<u64>,
+    cores: usize,
+    supervisor: bool,
 }
 
 const USAGE: &str = "usage: trace_run <workload> <policy> [--stride N] [--capacity N] [--csv] [--insts N]
+                 [--cores N] [--supervisor]
 
   <workload>   a suite benchmark name (see below)
   <policy>     a DTM policy name (see below)
@@ -36,7 +46,11 @@ const USAGE: &str = "usage: trace_run <workload> <policy> [--stride N] [--capaci
                every N-th DTM sample only (default 1: every sample)
   --capacity N event ring capacity; oldest events drop past it (default 65536)
   --csv        dump events as CSV instead of JSONL
-  --insts N    committed-instruction budget (default: TDTM_INSTS or 1000000)";
+  --insts N    committed-instruction budget (default: TDTM_INSTS or 1000000)
+  --cores N    run on the N-core lockstep chip instead of the single-core
+               simulator (default 1: single-core path)
+  --supervisor attach the default chip-level supervisor (implies the chip
+               path even at --cores 1)";
 
 fn parse_args() -> Result<Args, String> {
     let mut positional = Vec::new();
@@ -44,6 +58,8 @@ fn parse_args() -> Result<Args, String> {
     let mut capacity = 65_536usize;
     let mut csv = false;
     let mut insts = None;
+    let mut cores = 1usize;
+    let mut supervisor = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         let mut value = |flag: &str| -> Result<String, String> {
@@ -66,6 +82,13 @@ fn parse_args() -> Result<Args, String> {
             "--insts" => {
                 insts = Some(value("--insts")?.parse().map_err(|e| format!("--insts: {e}"))?);
             }
+            "--cores" => {
+                cores = value("--cores")?.parse().map_err(|e| format!("--cores: {e}"))?;
+                if cores == 0 {
+                    return Err("--cores must be nonzero".into());
+                }
+            }
+            "--supervisor" => supervisor = true,
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => positional.push(other.to_string()),
@@ -76,7 +99,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let policy = PolicyKind::parse(policy_name)
         .ok_or_else(|| format!("unknown policy `{policy_name}`"))?;
-    Ok(Args { workload: workload.clone(), policy, stride, capacity, csv, insts })
+    Ok(Args { workload: workload.clone(), policy, stride, capacity, csv, insts, cores, supervisor })
 }
 
 fn main() {
@@ -111,72 +134,150 @@ fn main() {
     if let Some(n) = args.insts {
         scale.insts = n;
     }
-    let cfg = scale.config(args.policy);
+    let mut cfg = scale.config(args.policy);
+    cfg.chip.cores = args.cores;
+    if args.supervisor {
+        cfg.chip.supervisor = Some(SupervisorConfig::default());
+    }
+    let chip_path = cfg.chip.cores > 1 || cfg.chip.supervisor.is_some();
     eprintln!(
-        "== trace_run: {} / {} ({} insts, event ring {} deep, stride {}) ==",
+        "== trace_run: {} / {} ({} insts, event ring {} deep, stride {}{}) ==",
         workload.name,
         args.policy.name(),
         scale.insts,
         args.capacity,
-        args.stride
-    );
-
-    let mut sim = Simulator::for_workload(cfg, &workload);
-    sim.enable_telemetry(&TelemetryConfig::full(args.capacity, args.stride));
-    let report = sim.run();
-    let telemetry = sim.take_telemetry().expect("telemetry was enabled");
-
-    eprintln!(
-        "run: {} cycles, {} committed (IPC {:.3}), avg power {:.1} W, avg chip temp {:.1} C",
-        report.total_cycles, report.committed, report.ipc, report.avg_power, report.avg_chip_temp
-    );
-    eprintln!(
-        "     emergency {:.2}%, stress {:.2}%, {} DTM samples, {} engaged",
-        100.0 * report.emergency_fraction(),
-        100.0 * report.stress_fraction(),
-        report.samples,
-        report.engaged_samples
-    );
-    if let Some(hot) = report.hottest_block() {
-        eprintln!("     hottest block: {} (max {:.2} C, avg {:.2} C)", hot.name, hot.max_temp, hot.avg_temp);
-    }
-
-    if let Some(phases) = &telemetry.phases {
-        eprintln!("\nhost-time phase profile (not deterministic):");
-        eprint!("{}", phases.render_table());
-    }
-    if let Some(metrics) = &telemetry.metrics {
-        let snap = metrics.snapshot();
-        eprintln!("\nmetrics:");
-        for &(name, value) in &snap.counters {
-            eprintln!("  {name:<18} {value}");
+        args.stride,
+        if chip_path {
+            format!(
+                ", {} core(s){}",
+                args.cores,
+                if args.supervisor { " + supervisor" } else { "" }
+            )
+        } else {
+            String::new()
         }
-        for (name, hist) in &snap.histograms {
-            let q = |p: f64| {
-                hist.quantile(p).map_or_else(|| "-".into(), |v| format!("{v:.2}"))
-            };
+    );
+    let tcfg = TelemetryConfig::full(args.capacity, args.stride);
+
+    if chip_path {
+        let mut sim = MulticoreSim::for_workload(cfg, &workload);
+        sim.enable_telemetry(&tcfg);
+        let report = sim.run();
+        let telemetry = sim.take_telemetry().expect("telemetry was enabled");
+
+        for (k, core) in report.cores.iter().enumerate() {
             eprintln!(
-                "  {name:<18} n={} p50={} p99={} under={} over={}",
-                hist.count(),
-                q(0.5),
-                q(0.99),
-                hist.underflow,
-                hist.overflow
+                "core {k}: {} cycles, {} committed (IPC {:.3}), emergency {:.2}%, stress {:.2}%",
+                core.total_cycles,
+                core.committed,
+                core.ipc,
+                100.0 * core.emergency_fraction(),
+                100.0 * core.stress_fraction()
             );
+            if let Some(hot) = core.hottest_block() {
+                eprintln!("        hottest block: {} (max {:.2} C)", hot.name, hot.max_temp);
+            }
+        }
+        let (hot_core, hot_block, hot_temp) = report.hottest();
+        eprintln!(
+            "chip: {} lockstep cycles, peak {:.2} C ({} on core {hot_core}), {} supervisor interventions",
+            report.chip_cycles,
+            hot_temp,
+            report.cores[hot_core].blocks[hot_block].name,
+            report.supervisor_interventions
+        );
+
+        for (k, core) in telemetry.cores.iter().enumerate() {
+            if let Some(phases) = &core.phases {
+                eprintln!("\ncore {k} host-time phase profile (not deterministic):");
+                eprint!("{}", phases.render_table());
+            }
+        }
+        if let Some(snap) = telemetry.merged_metrics() {
+            print_metrics(&snap);
+        }
+
+        let mut traces: Vec<(String, &EventTrace)> = Vec::new();
+        if let Some(chip_events) = &telemetry.chip_events {
+            traces.push(("chip".into(), chip_events));
+        }
+        for (k, core) in telemetry.cores.iter().enumerate() {
+            if let Some(events) = &core.events {
+                traces.push((format!("core {k}"), events));
+            }
+        }
+        dump_events(&traces, args.csv, args.capacity);
+    } else {
+        let mut sim = Simulator::for_workload(cfg, &workload);
+        sim.enable_telemetry(&tcfg);
+        let report = sim.run();
+        let telemetry = sim.take_telemetry().expect("telemetry was enabled");
+
+        eprintln!(
+            "run: {} cycles, {} committed (IPC {:.3}), avg power {:.1} W, avg chip temp {:.1} C",
+            report.total_cycles, report.committed, report.ipc, report.avg_power, report.avg_chip_temp
+        );
+        eprintln!(
+            "     emergency {:.2}%, stress {:.2}%, {} DTM samples, {} engaged",
+            100.0 * report.emergency_fraction(),
+            100.0 * report.stress_fraction(),
+            report.samples,
+            report.engaged_samples
+        );
+        if let Some(hot) = report.hottest_block() {
+            eprintln!("     hottest block: {} (max {:.2} C, avg {:.2} C)", hot.name, hot.max_temp, hot.avg_temp);
+        }
+
+        if let Some(phases) = &telemetry.phases {
+            eprintln!("\nhost-time phase profile (not deterministic):");
+            eprint!("{}", phases.render_table());
+        }
+        if let Some(metrics) = &telemetry.metrics {
+            print_metrics(&metrics.snapshot());
+        }
+        if let Some(events) = &telemetry.events {
+            dump_events(&[("events".into(), events)], args.csv, args.capacity);
         }
     }
+}
 
-    if let Some(events) = &telemetry.events {
+fn print_metrics(snap: &RegistrySnapshot) {
+    eprintln!("\nmetrics:");
+    for &(name, value) in &snap.counters {
+        eprintln!("  {name:<18} {value}");
+    }
+    for (name, hist) in &snap.histograms {
+        let q = |p: f64| hist.quantile(p).map_or_else(|| "-".into(), |v| format!("{v:.2}"));
         eprintln!(
-            "\nevents: {} retained, {} dropped (oldest-first; ring capacity {})",
-            events.recorded().min(args.capacity as u64),
-            events.dropped(),
-            args.capacity
+            "  {name:<18} n={} p50={} p99={} under={} over={}",
+            hist.count(),
+            q(0.5),
+            q(0.99),
+            hist.underflow,
+            hist.overflow
         );
-        // The event dump goes to stdout so it can be redirected to a file
-        // while the annotations above stay on the terminal.
-        if args.csv {
-            print!("{}", events.to_csv());
+    }
+}
+
+/// Dumps one or more event rings to stdout (annotations per ring stay on
+/// stderr so the dump can be redirected to a file). CSV gets a single
+/// header row even across several rings — every event row carries its
+/// core id, so concatenation loses nothing.
+fn dump_events(traces: &[(String, &EventTrace)], csv: bool, capacity: usize) {
+    if csv && !traces.is_empty() {
+        println!("{}", EventTrace::CSV_HEADER);
+    }
+    for (label, events) in traces {
+        eprintln!(
+            "\n{label}: {} events retained, {} dropped (oldest-first; ring capacity {})",
+            events.recorded().min(capacity as u64),
+            events.dropped(),
+            capacity
+        );
+        if csv {
+            for e in events.iter() {
+                println!("{}", e.to_csv_row());
+            }
         } else {
             print!("{}", events.to_jsonl());
         }

@@ -35,8 +35,8 @@ use crate::metrics::RunReport;
 use crate::simulator::Simulator;
 use tdtm_dtm::PolicyKind;
 use tdtm_telemetry::{
-    Histogram, HistogramSnapshot, Phase, PhaseProfile, RegistrySnapshot, Telemetry,
-    TelemetryConfig,
+    CellRecord, Histogram, HistogramSnapshot, Phase, PhaseProfile, RegistrySnapshot, StampedSink,
+    StreamSink, Telemetry, TelemetryConfig,
 };
 use tdtm_workloads::{suite, Workload};
 
@@ -169,12 +169,19 @@ impl GridCell {
 }
 
 /// Host-side observability for one cell run: wall-clock cost, simulated
-/// throughput, and work counters. Unlike the [`RunReport`], these vary
-/// run to run and between thread counts — they are diagnostics, not
-/// results.
+/// throughput, and work counters.
+///
+/// The work counters (`thermal_steps`, `committed`, `dtm_samples`) are
+/// deterministic functions of the cell's configuration. `wall_seconds` is
+/// host wall-clock time and is **nondeterministic** — it varies run to
+/// run, machine to machine, and with the worker-thread count — so it is
+/// explicitly excluded from byte-identity pins; tests compare
+/// observations with [`deterministic_eq`](RunObservation::deterministic_eq)
+/// rather than `==`.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct RunObservation {
-    /// Host wall-clock seconds spent on the cell.
+    /// Host wall-clock seconds spent on the cell (nondeterministic; never
+    /// part of byte-identity pins).
     pub wall_seconds: f64,
     /// Thermal-model steps taken (= total simulated cycles, including
     /// warmup).
@@ -193,6 +200,15 @@ impl RunObservation {
             committed: report.committed,
             dtm_samples: report.samples,
         }
+    }
+
+    /// Compares the deterministic fields only — everything except
+    /// `wall_seconds`. This is what determinism tests should use instead
+    /// of hand-rolling per-field comparisons.
+    pub fn deterministic_eq(&self, other: &RunObservation) -> bool {
+        self.thermal_steps == other.thermal_steps
+            && self.committed == other.committed
+            && self.dtm_samples == other.dtm_samples
     }
 
     /// Simulated cycles per host second (the simulator's throughput on
@@ -502,6 +518,115 @@ impl ExperimentGrid {
             cell_wall_ms: wall_hist.snapshot(),
         });
         results
+    }
+
+    /// Runs every cell with the given telemetry enabled, streaming one
+    /// [`CellRecord`] to `sink` *as each cell completes* — a live progress
+    /// feed for long grids, instead of silence until the whole grid
+    /// returns. Cells are chip-aware (multicore variants run on
+    /// [`MulticoreSim`](crate::multicore::MulticoreSim) with chip
+    /// telemetry, merging the per-core metric snapshots).
+    ///
+    /// Records are emitted in completion order with a monotone `seq`
+    /// stamp assigned under the sink's lock, so the stream's physical
+    /// order always matches `seq`. Determinism contract (pinned by
+    /// `tests/observability.rs`): sort any N-thread stream by cell
+    /// `index` and its deterministic fields equal a 1-thread run's stream
+    /// ([`CellRecord::deterministic_eq`]); reports stay byte-identical to
+    /// a plain [`run`](ExperimentGrid::run).
+    ///
+    /// Returns the usual cell-ordered results with each cell's emitted
+    /// record (including its stamp) as the extra payload.
+    pub fn run_streaming(
+        &self,
+        threads: usize,
+        cfg: &TelemetryConfig,
+        sink: &mut dyn StreamSink,
+    ) -> GridResults<CellRecord> {
+        let cells = self.cells();
+        let grid_start = Instant::now();
+        let stamped = StampedSink::new(sink);
+        let runs = shard_map(&cells, threads, |_, cell| {
+            let start = Instant::now();
+            let cell_cfg = cell.config();
+            let single = cell_cfg.chip.cores == 1 && cell_cfg.chip.supervisor.is_none();
+            let (report, chip, snapshot) = if single {
+                let mut sim = cell.simulator();
+                sim.enable_telemetry(cfg);
+                let report = sim.run();
+                let telemetry = sim.take_telemetry().expect("telemetry was enabled");
+                let snapshot = telemetry.metrics.as_ref().map(|m| m.snapshot());
+                (report, None, snapshot)
+            } else {
+                let mut sim = crate::multicore::MulticoreSim::for_workload_with_power(
+                    cell_cfg,
+                    &cell.workload,
+                    cell.power_model(),
+                );
+                sim.enable_telemetry(cfg);
+                let chip = sim.run();
+                let telemetry = sim.take_telemetry().expect("telemetry was enabled");
+                let snapshot = telemetry.merged_metrics();
+                (chip.cores[0].clone(), Some(chip), snapshot)
+            };
+            let wall = start.elapsed().as_secs_f64();
+
+            // Emergency/stress and the hottest block are chip-wide when a
+            // chip ran; core 0's report supplies the throughput numbers.
+            let (emergency_cycles, stress_cycles, hottest_block, hottest_temp_c) = match &chip {
+                Some(chip) => {
+                    let (core, block, temp) = chip.hottest();
+                    (
+                        chip.emergency_cycles(),
+                        chip.cores.iter().map(|r| r.stress_cycles).sum(),
+                        chip.cores[core].blocks[block].name.clone(),
+                        temp,
+                    )
+                }
+                None => match report.hottest_block() {
+                    Some(b) => {
+                        (report.emergency_cycles, report.stress_cycles, b.name.clone(), b.max_temp)
+                    }
+                    None => (report.emergency_cycles, report.stress_cycles, String::new(), f64::NAN),
+                },
+            };
+            let mut record = CellRecord {
+                seq: 0, // stamped at emit
+                index: cell.index,
+                label: cell.label(),
+                bench: cell.workload.name.to_string(),
+                policy: cell.policy.to_string(),
+                variant: cell.variant.to_string(),
+                wall_seconds: wall,
+                thermal_steps: report.total_cycles,
+                committed: report.committed,
+                dtm_samples: report.samples,
+                ipc: report.ipc,
+                emergency_cycles,
+                stress_cycles,
+                hottest_block,
+                hottest_temp_c,
+                metrics: snapshot
+                    .map(|s| s.counters.iter().map(|&(n, v)| (n.to_string(), v)).collect())
+                    .unwrap_or_default(),
+            };
+            stamped.emit(&mut record);
+            RunResult {
+                index: cell.index,
+                bench: cell.workload.name.to_string(),
+                policy: cell.policy,
+                variant: cell.variant,
+                obs: RunObservation::from_report(&report, wall),
+                report,
+                extra: record,
+            }
+        });
+        GridResults {
+            runs,
+            threads,
+            wall_seconds: grid_start.elapsed().as_secs_f64(),
+            telemetry: None,
+        }
     }
 }
 

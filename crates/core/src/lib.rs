@@ -51,5 +51,5 @@ pub mod telemetry;
 pub use config::{ChipConfig, SimConfig};
 pub use engine::{ExperimentGrid, GridResults, RunResult};
 pub use metrics::{BlockMetrics, RunReport};
-pub use multicore::{ChipReport, MulticoreSim};
+pub use multicore::{ChipReport, ChipTelemetry, MulticoreSim};
 pub use simulator::Simulator;

@@ -34,13 +34,16 @@
 
 use crate::config::SimConfig;
 use crate::metrics::RunReport;
-use crate::simulator::{finalize_report, warm_start_jump, RunAccum, Simulator, NUM_THERMAL};
+use crate::simulator::{
+    finalize_report, warm_start_jump, RunAccum, Simulator, TelemetryState, NUM_THERMAL,
+};
 use tdtm_dtm::{
     build_policy_at, ChipSupervisor, DtmCommand, DtmConfig, DtmPolicy, SensorModel,
     TriggerMechanism,
 };
 use tdtm_isa::Program;
 use tdtm_power::PowerModel;
+use tdtm_telemetry::{Event, EventTrace, RegistrySnapshot, Telemetry, TelemetryConfig};
 use tdtm_thermal::{CoupledChip, MulticoreFloorplan};
 use tdtm_uarch::{Core, CoreControl};
 use tdtm_workloads::Workload;
@@ -95,6 +98,49 @@ impl CoreSlot {
     }
 }
 
+/// The collected telemetry of one chip run: one per-core [`Telemetry`]
+/// (events tagged with the core id, one metrics registry per core, stage
+/// phase timers) plus a chip-level event ring for the hierarchy's own
+/// decisions ([`Event::SupervisorCap`], [`Event::Park`]).
+///
+/// [`Event::SupervisorCap`]: tdtm_telemetry::Event::SupervisorCap
+/// [`Event::Park`]: tdtm_telemetry::Event::Park
+#[derive(Debug, Default)]
+pub struct ChipTelemetry {
+    /// Per-core collections, in core order.
+    pub cores: Vec<Telemetry>,
+    /// Supervisor cap decisions and park transitions, chip-wide, if the
+    /// event trace was enabled.
+    pub chip_events: Option<EventTrace>,
+}
+
+impl ChipTelemetry {
+    /// Merges the per-core metric snapshots in core order (all cores
+    /// share the simulator schema, so the merge is well-defined). `None`
+    /// when metrics collection was off.
+    pub fn merged_metrics(&self) -> Option<RegistrySnapshot> {
+        let mut merged: Option<RegistrySnapshot> = None;
+        for t in &self.cores {
+            let snap = t.metrics.as_ref()?.snapshot();
+            match &mut merged {
+                None => merged = Some(snap),
+                Some(m) => m.merge_from(&snap),
+            }
+        }
+        merged
+    }
+}
+
+/// In-flight chip telemetry: one per-core collector plus the chip-level
+/// event ring. Purely observational — the run loop only touches it behind
+/// `Option` tests, so a telemetry-off run executes identical simulation
+/// code (ChipReports byte-identical on vs off, pinned by
+/// `tests/observability.rs`).
+struct ChipTelemetryState {
+    cores: Vec<TelemetryState>,
+    chip_events: Option<EventTrace>,
+}
+
 /// Results of one chip run: per-core reports plus chip-level counters.
 #[derive(Clone, PartialEq, Debug)]
 pub struct ChipReport {
@@ -143,6 +189,10 @@ pub struct MulticoreSim {
     supervisor: Option<ChipSupervisor>,
     power: Arc<PowerModel>,
     chip_cycles: u64,
+    /// Telemetry to collect on the next [`run`](MulticoreSim::run).
+    telemetry: Option<ChipTelemetryState>,
+    /// Collected telemetry of the last run.
+    collected: Option<ChipTelemetry>,
 }
 
 impl MulticoreSim {
@@ -220,7 +270,49 @@ impl MulticoreSim {
             })
             .collect();
         let supervisor = cfg.chip.supervisor.map(|sc| ChipSupervisor::new(sc, n));
-        MulticoreSim { cfg, chip, slots, supervisor, power, chip_cycles: 0 }
+        MulticoreSim {
+            cfg,
+            chip,
+            slots,
+            supervisor,
+            power,
+            chip_cycles: 0,
+            telemetry: None,
+            collected: None,
+        }
+    }
+
+    /// Enables telemetry collection for the next [`run`](MulticoreSim::run):
+    /// one collector per core (every event tagged with its core id) plus a
+    /// chip-level event ring for supervisor caps and park transitions.
+    /// The collected [`ChipTelemetry`] is available from
+    /// [`take_telemetry`](MulticoreSim::take_telemetry) afterwards.
+    /// Collection never changes the simulation: the [`ChipReport`] is
+    /// byte-identical with telemetry on or off (pinned by test).
+    ///
+    /// Phase timing on the chip covers the pipeline stage timers only;
+    /// the lockstep loop does not wrap the shared thermal step or the
+    /// controllers in per-call timers.
+    pub fn enable_telemetry(&mut self, cfg: &TelemetryConfig) {
+        if cfg.phases {
+            for slot in &mut self.slots {
+                slot.core.set_stage_profiling(true);
+            }
+        }
+        self.telemetry = Some(ChipTelemetryState {
+            cores: (0..self.slots.len()).map(|k| TelemetryState::with_core(cfg, k)).collect(),
+            chip_events: cfg.events.map(|e| EventTrace::new(e.capacity, e.stride)),
+        });
+    }
+
+    /// The telemetry collected by the last run, if enabled.
+    pub fn telemetry(&self) -> Option<&ChipTelemetry> {
+        self.collected.as_ref()
+    }
+
+    /// Takes ownership of the collected telemetry.
+    pub fn take_telemetry(&mut self) -> Option<ChipTelemetry> {
+        self.collected.take()
     }
 
     /// Number of cores.
@@ -260,7 +352,13 @@ impl MulticoreSim {
     /// Conducted heat is a flow, not dissipation: reported per-block and
     /// chip powers exclude the coupling flows.
     pub fn run(&mut self) -> ChipReport {
-        let MulticoreSim { cfg, chip, slots, supervisor, power, chip_cycles } = self;
+        let MulticoreSim { cfg, chip, slots, supervisor, power, chip_cycles, telemetry, collected } =
+            self;
+        // Detached for the loop (same discipline as the single-core
+        // path); flushed into `collected` at the end.
+        let mut tstate = telemetry.take();
+        let stage_start: Vec<[u64; 6]> = slots.iter().map(|s| s.core.stage_nanos()).collect();
+        let cycles_start: Vec<u64> = slots.iter().map(|s| s.core.stats().cycles).collect();
         let interval = cfg.dtm.sample_interval.max(1);
         let emergency = cfg.dtm.emergency;
         let stress = emergency - 1.0;
@@ -294,17 +392,26 @@ impl MulticoreSim {
                     if counting && slot.acc.counted_cycles == 0 {
                         slot.acc.committed_at_count_start = slot.core.stats().committed;
                     }
-                    if slot.core.stats().committed.saturating_sub(slot.acc.committed_at_count_start)
+                    let budget_hit = slot
+                        .core
+                        .stats()
+                        .committed
+                        .saturating_sub(slot.acc.committed_at_count_start)
                         >= cfg.max_insts
-                        && counting
-                    {
+                        && counting;
+                    if budget_hit || slot.acc.cycle >= cfg.max_cycles || slot.core.finished() {
                         slot.parked = true;
                         active[k] = false;
-                        continue;
-                    }
-                    if slot.acc.cycle >= cfg.max_cycles || slot.core.finished() {
-                        slot.parked = true;
-                        active[k] = false;
+                        if let Some(ts) = tstate.as_mut() {
+                            ts.cores[k].bump_park();
+                            if let Some(ring) = &mut ts.chip_events {
+                                ring.record(Event::Park {
+                                    cycle: *chip_cycles,
+                                    core: k,
+                                    parked: true,
+                                });
+                            }
+                        }
                         continue;
                     }
                     let sample = if slot.resync_remaining > 0 {
@@ -345,6 +452,13 @@ impl MulticoreSim {
                     if slot.parked {
                         continue;
                     }
+                    if let Some(ts) = tstate.as_mut() {
+                        let cts = &mut ts.cores[k];
+                        cts.thermal_steps += 1;
+                        let temps = chip.core_models()[k].temperatures_fixed::<NUM_THERMAL>();
+                        let hottest = temps.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                        cts.observe_cycle(slot.acc.cycle, &temps[..], hottest, emergency, stress);
+                    }
                     if slot.acc.cycle < warm_window {
                         for (acc_p, p) in slot.warm_start_power.iter_mut().zip(&powers[k]) {
                             *acc_p += p;
@@ -378,6 +492,8 @@ impl MulticoreSim {
 
             // DTM boundary: every active core senses and samples its own
             // policy; the supervisor then caps the commands chip-wide.
+            // Events here stamp the chunk's last executed cycle (the loop
+            // has already advanced past it — the fast-loop convention).
             for (k, slot) in slots.iter_mut().enumerate() {
                 cmds[k] = None;
                 hottest[k] = f64::NEG_INFINITY;
@@ -387,12 +503,49 @@ impl MulticoreSim {
                 let temps = chip.core_models()[k].temperatures_fixed::<NUM_THERMAL>();
                 slot.sensors.read_all(&temps[..], &mut sensed);
                 hottest[k] = sensed.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                let cmd = slot.policy.sample(&sensed);
+                let cmd = match tstate.as_mut() {
+                    Some(ts) => {
+                        // Observed and unobserved policy paths produce
+                        // bit-equal commands (`sample` delegates to
+                        // `sample_observed`); dense per-sample events
+                        // honor the trace stride.
+                        let cts = &mut ts.cores[k];
+                        let due = cts.sample_due(slot.acc.samples);
+                        let cycle = slot.acc.cycle - 1;
+                        if due {
+                            cts.record_sensor_reads(cycle, &sensed);
+                        }
+                        slot.policy.sample_observed(&sensed, &mut |block, s| {
+                            if due {
+                                cts.record_controller(cycle, block, &s);
+                            }
+                        })
+                    }
+                    None => slot.policy.sample(&sensed),
+                };
                 slot.acc.samples += 1;
                 cmds[k] = Some(cmd);
             }
             if let Some(sup) = supervisor {
-                let caps = sup.allocate(&hottest);
+                let caps = match tstate.as_mut() {
+                    Some(ts) => {
+                        let cycle = *chip_cycles - 1;
+                        let cores = &mut ts.cores;
+                        let ring = &mut ts.chip_events;
+                        sup.allocate_observed(&hottest, &mut |core, hot, cap| {
+                            cores[core].bump_supervisor_cap();
+                            if let Some(ring) = ring {
+                                ring.record(Event::SupervisorCap {
+                                    cycle,
+                                    core,
+                                    hottest: hot,
+                                    cap,
+                                });
+                            }
+                        })
+                    }
+                    None => sup.allocate(&hottest),
+                };
                 for (cmd, &cap) in cmds.iter_mut().zip(caps) {
                     if let Some(c) = cmd {
                         c.fetch_duty = c.fetch_duty.min(cap);
@@ -401,9 +554,37 @@ impl MulticoreSim {
             }
             for (k, slot) in slots.iter_mut().enumerate() {
                 let Some(cmd) = cmds[k].take() else { continue };
+                if let Some(ts) = tstate.as_mut() {
+                    // The histogram and change events see the *applied*
+                    // (post-supervisor-cap) duty, matching duty_history.
+                    let cts = &mut ts.cores[k];
+                    cts.record_duty_hist(cmd.fetch_duty);
+                    let from = slot.core.control().fetch_duty;
+                    if cmd.fetch_duty != from {
+                        cts.record_duty_change(slot.acc.cycle - 1, from, cmd.fetch_duty);
+                    }
+                }
                 slot.duty_history.push(cmd.fetch_duty);
                 slot.apply(chip.core_mut(k), cmd, nominal_dt);
             }
+        }
+
+        if let Some(ts) = tstate {
+            let cores = ts
+                .cores
+                .into_iter()
+                .enumerate()
+                .map(|(k, cts)| {
+                    cts.flush(
+                        &slots[k].core,
+                        slots[k].acc.cycle,
+                        slots[k].acc.samples,
+                        stage_start[k],
+                        cycles_start[k],
+                    )
+                })
+                .collect();
+            *collected = Some(ChipTelemetry { cores, chip_events: ts.chip_events });
         }
 
         ChipReport {

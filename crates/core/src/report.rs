@@ -187,6 +187,165 @@ pub fn grid_telemetry_summary(telemetry: &crate::engine::GridTelemetry) -> Strin
     out
 }
 
+/// Renders a markdown dashboard over one or two completed-cell streams
+/// (the `obs_report` bin's output). With one stream: per-cell wall time,
+/// throughput, emergency/stress counts, and the hottest-block
+/// distribution. With a baseline stream: an A-vs-B section with per-cell
+/// wall-time speedups and emergency/peak-temperature deltas, matched by
+/// cell label.
+///
+/// Records are presented in cell-index order regardless of the stream's
+/// completion order, so a dashboard over an N-thread stream reads the
+/// same as over a 1-thread stream (wall columns aside).
+pub fn obs_dashboard(a: &[tdtm_telemetry::CellRecord], b: Option<&[tdtm_telemetry::CellRecord]>) -> String {
+    let mut out = String::from("# Grid observability dashboard\n");
+    out.push_str(&obs_run_section(if b.is_some() { "Run A" } else { "Run" }, a));
+    if let Some(b) = b {
+        out.push_str(&obs_run_section("Run B (baseline)", b));
+        out.push_str(&obs_delta_section(a, b));
+    }
+    out
+}
+
+fn obs_sorted(records: &[tdtm_telemetry::CellRecord]) -> Vec<&tdtm_telemetry::CellRecord> {
+    let mut sorted: Vec<_> = records.iter().collect();
+    sorted.sort_by_key(|r| r.index);
+    sorted
+}
+
+fn obs_run_section(title: &str, records: &[tdtm_telemetry::CellRecord]) -> String {
+    let sorted = obs_sorted(records);
+    let cell_seconds: f64 = sorted.iter().map(|r| r.wall_seconds).sum();
+    let cells_per_sec =
+        if cell_seconds > 0.0 { sorted.len() as f64 / cell_seconds } else { 0.0 };
+    let emergency: u64 = sorted.iter().map(|r| r.emergency_cycles).sum();
+    let stress: u64 = sorted.iter().map(|r| r.stress_cycles).sum();
+
+    let mut out = format!("\n## {title} — {} cells\n\n", sorted.len());
+    out.push_str(&format!(
+        "- {cell_seconds:.3} cell-seconds total ({cells_per_sec:.2} cells/s per worker)\n"
+    ));
+    out.push_str(&format!("- emergency cycles: {emergency}, stress cycles: {stress}\n"));
+
+    // Hottest-block distribution: count of cells peaking in each block,
+    // most frequent first (name breaks ties, for determinism).
+    let mut dist: Vec<(&str, usize)> = Vec::new();
+    for r in &sorted {
+        if r.hottest_block.is_empty() {
+            continue;
+        }
+        match dist.iter_mut().find(|(name, _)| *name == r.hottest_block) {
+            Some((_, n)) => *n += 1,
+            None => dist.push((&r.hottest_block, 1)),
+        }
+    }
+    dist.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    if !dist.is_empty() {
+        let list: Vec<String> = dist.iter().map(|(name, n)| format!("{name} ×{n}")).collect();
+        out.push_str(&format!("- hottest blocks: {}\n", list.join(", ")));
+    }
+
+    out.push_str("\n| cell | wall (s) | Mcyc/s | IPC | emerg | stress | hottest | peak °C |\n");
+    out.push_str("|---|---:|---:|---:|---:|---:|---|---:|\n");
+    for r in &sorted {
+        let mcps = if r.wall_seconds > 0.0 {
+            r.thermal_steps as f64 / r.wall_seconds / 1e6
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "| {} | {:.3} | {:.2} | {:.3} | {} | {} | {} | {:.2} |\n",
+            r.label,
+            r.wall_seconds,
+            mcps,
+            r.ipc,
+            r.emergency_cycles,
+            r.stress_cycles,
+            r.hottest_block,
+            r.hottest_temp_c,
+        ));
+    }
+    out
+}
+
+fn obs_delta_section(
+    a: &[tdtm_telemetry::CellRecord],
+    b: &[tdtm_telemetry::CellRecord],
+) -> String {
+    let mut out = String::from(
+        "\n## A vs B (matched by cell label)\n\n\
+         | cell | wall A (s) | wall B (s) | speedup | emerg A | emerg B | Δemerg | Δpeak °C |\n\
+         |---|---:|---:|---:|---:|---:|---:|---:|\n",
+    );
+    let mut unmatched = Vec::new();
+    for ra in obs_sorted(a) {
+        let Some(rb) = b.iter().find(|r| r.label == ra.label) else {
+            unmatched.push(ra.label.clone());
+            continue;
+        };
+        let speedup = if ra.wall_seconds > 0.0 { rb.wall_seconds / ra.wall_seconds } else { 0.0 };
+        out.push_str(&format!(
+            "| {} | {:.3} | {:.3} | {:.2}x | {} | {} | {:+} | {:+.2} |\n",
+            ra.label,
+            ra.wall_seconds,
+            rb.wall_seconds,
+            speedup,
+            ra.emergency_cycles,
+            rb.emergency_cycles,
+            ra.emergency_cycles as i64 - rb.emergency_cycles as i64,
+            ra.hottest_temp_c - rb.hottest_temp_c,
+        ));
+    }
+    if !unmatched.is_empty() {
+        out.push_str(&format!("\nNot in B: {}\n", unmatched.join(", ")));
+    }
+    out
+}
+
+/// CSV form of [`obs_dashboard`]: one row per cell in A (paired with its
+/// B match when a baseline is given; B-only columns stay empty for
+/// unmatched cells).
+pub fn obs_dashboard_csv(
+    a: &[tdtm_telemetry::CellRecord],
+    b: Option<&[tdtm_telemetry::CellRecord]>,
+) -> String {
+    let mut out = String::from(
+        "cell,bench,policy,variant,wall_seconds,thermal_steps,ipc,emergency_cycles,\
+         stress_cycles,hottest_block,hottest_temp_c",
+    );
+    if b.is_some() {
+        out.push_str(",wall_seconds_b,emergency_cycles_b,hottest_temp_c_b");
+    }
+    out.push('\n');
+    for r in obs_sorted(a) {
+        out.push_str(&format!(
+            "{},{},{},{},{:.6},{},{:.4},{},{},{},{:.3}",
+            r.label,
+            r.bench,
+            r.policy,
+            r.variant,
+            r.wall_seconds,
+            r.thermal_steps,
+            r.ipc,
+            r.emergency_cycles,
+            r.stress_cycles,
+            r.hottest_block,
+            r.hottest_temp_c,
+        ));
+        if let Some(b) = b {
+            match b.iter().find(|rb| rb.label == r.label) {
+                Some(rb) => out.push_str(&format!(
+                    ",{:.6},{},{:.3}",
+                    rb.wall_seconds, rb.emergency_cycles, rb.hottest_temp_c
+                )),
+                None => out.push_str(",,,"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +417,70 @@ mod tests {
         assert_eq!(header.split(',').count(), row.split(',').count());
         assert!(row.starts_with("gcc,PID,100,300,3.0000,"));
         assert!(lines.next().is_none());
+    }
+
+    fn obs_record(index: usize, label: &str, emerg: u64) -> tdtm_telemetry::CellRecord {
+        tdtm_telemetry::CellRecord {
+            seq: index as u64,
+            index,
+            label: label.to_string(),
+            bench: label.split('/').next().unwrap_or("").to_string(),
+            policy: "PID".to_string(),
+            variant: "base".to_string(),
+            wall_seconds: 0.5,
+            thermal_steps: 1_000_000,
+            committed: 120_000,
+            dtm_samples: 1_000,
+            ipc: 0.9,
+            emergency_cycles: emerg,
+            stress_cycles: emerg * 10,
+            hottest_block: "int reg. file".to_string(),
+            hottest_temp_c: 111.5,
+            metrics: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn obs_dashboard_single_run_lists_cells_and_distribution() {
+        // Records arrive in completion order; the dashboard re-sorts.
+        let records = vec![obs_record(1, "art/PID", 7), obs_record(0, "gcc/PID", 40)];
+        let s = obs_dashboard(&records, None);
+        assert!(s.contains("# Grid observability dashboard"));
+        assert!(s.contains("2 cells"), "dashboard:\n{s}");
+        assert!(s.contains("emergency cycles: 47"));
+        assert!(s.contains("hottest blocks: int reg. file ×2"));
+        let gcc = s.find("| gcc/PID |").expect("gcc row");
+        let art = s.find("| art/PID |").expect("art row");
+        assert!(gcc < art, "rows are in cell-index order, not completion order");
+        assert!(!s.contains("Run B"), "no baseline section without a baseline");
+    }
+
+    #[test]
+    fn obs_dashboard_pairs_runs_by_label() {
+        let a = vec![obs_record(0, "gcc/PID", 40), obs_record(1, "art/PID", 7)];
+        let mut b = vec![obs_record(0, "gcc/PID", 55)];
+        b[0].wall_seconds = 1.0;
+        let s = obs_dashboard(&a, Some(&b));
+        assert!(s.contains("Run B (baseline)"));
+        assert!(s.contains("A vs B"));
+        // 1.0s baseline over 0.5s current = 2.00x speedup; 40 - 55 = -15.
+        assert!(s.contains("| gcc/PID | 0.500 | 1.000 | 2.00x | 40 | 55 | -15 |"), "got:\n{s}");
+        assert!(s.contains("Not in B: art/PID"));
+    }
+
+    #[test]
+    fn obs_dashboard_csv_widths_match() {
+        let a = vec![obs_record(0, "gcc/PID", 40), obs_record(1, "art/PID", 7)];
+        let b = vec![obs_record(0, "gcc/PID", 55)];
+        let csv = obs_dashboard_csv(&a, Some(&b));
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        let w = header.split(',').count();
+        for row in lines {
+            assert_eq!(row.split(',').count(), w, "row: {row}");
+        }
+        let csv_single = obs_dashboard_csv(&a, None);
+        assert!(!csv_single.contains("wall_seconds_b"));
     }
 
     #[test]

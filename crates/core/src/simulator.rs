@@ -3,6 +3,7 @@
 use crate::config::SimConfig;
 use crate::metrics::{BlockMetrics, RunReport};
 use crate::telemetry::{sim_metrics_registry, HIST_FETCH_DUTY, HIST_HOTTEST_TEMP};
+use tdtm_control::pid::PidSample;
 use tdtm_dtm::{build_policy_at, DtmCommand, DtmPolicy, SensorModel, TriggerMechanism};
 use tdtm_isa::Program;
 use tdtm_power::PowerModel;
@@ -79,13 +80,19 @@ pub struct Simulator {
 /// In-flight telemetry collection: the collectors plus the cheap local
 /// accumulators and edge-detection state the run loop updates, flushed
 /// into the registry when the run ends.
-struct TelemetryState {
+///
+/// Crate-visible so [`MulticoreSim`](crate::multicore::MulticoreSim) can
+/// keep one per core — every event it records is tagged with `core_id`
+/// (0 on the single-core path).
+pub(crate) struct TelemetryState {
     events: Option<EventTrace>,
     registry: Option<tdtm_telemetry::MetricsRegistry>,
     /// Cached histogram indices for the hot per-cycle/per-sample records.
     temp_idx: usize,
     duty_idx: usize,
     phases: bool,
+    /// The core every event is tagged with.
+    core_id: usize,
     /// Per-block "currently above emergency" for entry/exit edges.
     emerg: [bool; NUM_THERMAL],
     /// Per-block "currently above stress".
@@ -96,7 +103,9 @@ struct TelemetryState {
     emergency_entries: u64,
     stress_entries: u64,
     sensor_reads: u64,
-    thermal_steps: u64,
+    pub(crate) thermal_steps: u64,
+    supervisor_caps: u64,
+    park_transitions: u64,
     /// Host-time accumulators for the non-pipeline phases.
     power_nanos: u64,
     power_calls: u64,
@@ -108,6 +117,11 @@ struct TelemetryState {
 
 impl TelemetryState {
     fn new(cfg: &TelemetryConfig) -> TelemetryState {
+        TelemetryState::with_core(cfg, 0)
+    }
+
+    /// A collector whose events are tagged with `core_id`.
+    pub(crate) fn with_core(cfg: &TelemetryConfig, core_id: usize) -> TelemetryState {
         let registry = cfg.metrics.then(sim_metrics_registry);
         let (temp_idx, duty_idx) = registry.as_ref().map_or((0, 0), |reg| {
             (reg.histogram_index(HIST_HOTTEST_TEMP), reg.histogram_index(HIST_FETCH_DUTY))
@@ -118,6 +132,7 @@ impl TelemetryState {
             temp_idx,
             duty_idx,
             phases: cfg.phases,
+            core_id,
             emerg: [false; NUM_THERMAL],
             stress: [false; NUM_THERMAL],
             duty_changes: 0,
@@ -125,6 +140,8 @@ impl TelemetryState {
             stress_entries: 0,
             sensor_reads: 0,
             thermal_steps: 0,
+            supervisor_caps: 0,
+            park_transitions: 0,
             power_nanos: 0,
             power_calls: 0,
             thermal_nanos: 0,
@@ -139,7 +156,14 @@ impl TelemetryState {
     /// `hottest` is the per-cycle maximum temperature, computed once by
     /// the run loop and passed through (this method used to refold it
     /// from `temps`, duplicating the loop's scan).
-    fn observe_cycle(&mut self, cycle: u64, temps: &[f64], hottest: f64, emergency: f64, stress: f64) {
+    pub(crate) fn observe_cycle(
+        &mut self,
+        cycle: u64,
+        temps: &[f64],
+        hottest: f64,
+        emergency: f64,
+        stress: f64,
+    ) {
         for (block, &t) in temps.iter().enumerate() {
             let e_now = t > emergency;
             if e_now != self.emerg[block] {
@@ -150,6 +174,7 @@ impl TelemetryState {
                 if let Some(trace) = &mut self.events {
                     trace.record(Event::ThermalEdge {
                         cycle,
+                        core: self.core_id,
                         block,
                         threshold: ThresholdKind::Emergency,
                         entered: e_now,
@@ -165,6 +190,7 @@ impl TelemetryState {
                 if let Some(trace) = &mut self.events {
                     trace.record(Event::ThermalEdge {
                         cycle,
+                        core: self.core_id,
                         block,
                         threshold: ThresholdKind::Stress,
                         entered: s_now,
@@ -175,6 +201,123 @@ impl TelemetryState {
         if let Some(reg) = &self.registry {
             reg.histogram_at(self.temp_idx).record(hottest);
         }
+    }
+
+    /// Whether dense per-sample events (sensor reads, controller samples)
+    /// are due on the `index`-th DTM sample. `false` when the event ring
+    /// is disabled.
+    pub(crate) fn sample_due(&self, index: u64) -> bool {
+        self.events.as_ref().is_some_and(|trace| trace.sample_due(index))
+    }
+
+    /// Records one [`Event::SensorRead`] per block (call only when
+    /// [`sample_due`](TelemetryState::sample_due)).
+    pub(crate) fn record_sensor_reads(&mut self, cycle: u64, sensed: &[f64]) {
+        self.sensor_reads += sensed.len() as u64;
+        if let Some(trace) = &mut self.events {
+            for (block, &reading) in sensed.iter().enumerate() {
+                trace.record(Event::SensorRead { cycle, core: self.core_id, block, reading });
+            }
+        }
+    }
+
+    /// Records one controller-internals event (call only when
+    /// [`sample_due`](TelemetryState::sample_due)).
+    pub(crate) fn record_controller(&mut self, cycle: u64, block: usize, s: &PidSample) {
+        if let Some(trace) = &mut self.events {
+            trace.record(Event::Controller {
+                cycle,
+                core: self.core_id,
+                sample: ControllerSample {
+                    block,
+                    error: s.error,
+                    p_term: s.p_term,
+                    i_term: s.i_term,
+                    d_term: s.d_term,
+                    integral_pre_clamp: s.integral_pre_clamp,
+                    integral: s.integral,
+                    output: s.output,
+                    saturated: s.saturated,
+                },
+            });
+        }
+    }
+
+    /// Records the commanded fetch duty into its histogram (every DTM
+    /// sample, not strided).
+    pub(crate) fn record_duty_hist(&mut self, duty: f64) {
+        if let Some(reg) = &self.registry {
+            reg.histogram_at(self.duty_idx).record(duty);
+        }
+    }
+
+    /// Records an applied duty-level change.
+    pub(crate) fn record_duty_change(&mut self, cycle: u64, from: f64, to: f64) {
+        self.duty_changes += 1;
+        if let Some(trace) = &mut self.events {
+            trace.record(Event::DutyChange { cycle, core: self.core_id, from, to });
+        }
+    }
+
+    /// Counts a supervisor duty cap imposed on this core (the event
+    /// itself goes to the chip-level ring, owned by `MulticoreSim`).
+    pub(crate) fn bump_supervisor_cap(&mut self) {
+        self.supervisor_caps += 1;
+    }
+
+    /// Counts a park/unpark transition of this core (the event itself
+    /// goes to the chip-level ring).
+    pub(crate) fn bump_park(&mut self) {
+        self.park_transitions += 1;
+    }
+
+    /// Converts the in-flight state into the final [`Telemetry`]: flushes
+    /// the local counters into the registry and assembles the phase
+    /// profile from the core's stage timers and the loop's accumulators.
+    pub(crate) fn flush(
+        self,
+        core: &Core,
+        cycles: u64,
+        samples: u64,
+        stage_nanos_start: [u64; 6],
+        core_cycles_start: u64,
+    ) -> Telemetry {
+        if let Some(reg) = &self.registry {
+            reg.counter("cycles").add(cycles);
+            reg.counter("thermal_steps").add(self.thermal_steps);
+            reg.counter("dtm_samples").add(samples);
+            reg.counter("duty_changes").add(self.duty_changes);
+            reg.counter("emergency_entries").add(self.emergency_entries);
+            reg.counter("stress_entries").add(self.stress_entries);
+            reg.counter("sensor_reads").add(self.sensor_reads);
+            reg.counter("supervisor_caps").add(self.supervisor_caps);
+            reg.counter("core_parks").add(self.park_transitions);
+            if let Some(trace) = &self.events {
+                reg.counter("events_recorded").add(trace.recorded());
+                reg.counter("events_dropped").add(trace.dropped());
+            }
+        }
+        let phases = self.phases.then(|| {
+            let mut profile = PhaseProfile::new();
+            let stage = core.stage_nanos();
+            let core_cycles = core.stats().cycles - core_cycles_start;
+            const STAGES: [Phase; 6] = [
+                Phase::Commit,
+                Phase::Writeback,
+                Phase::Issue,
+                Phase::Dispatch,
+                Phase::Decode,
+                Phase::Fetch,
+            ];
+            for (i, phase) in STAGES.into_iter().enumerate() {
+                profile.add(phase, stage[i] - stage_nanos_start[i], core_cycles);
+            }
+            profile.add(Phase::Power, self.power_nanos, self.power_calls);
+            profile.add(Phase::ThermalStep, self.thermal_nanos, self.thermal_calls);
+            profile.add(Phase::Controller, self.controller_nanos, self.controller_calls);
+            profile
+        });
+        Telemetry { events: self.events, metrics: self.registry, phases }
     }
 }
 
@@ -650,8 +793,8 @@ impl Simulator {
         }
 
         if let Some(ts) = tstate {
-            self.collected = Some(self.flush_telemetry(
-                *ts,
+            self.collected = Some(ts.flush(
+                &self.core,
                 acc.cycle,
                 acc.samples,
                 stage_nanos_start,
@@ -969,47 +1112,17 @@ impl Simulator {
                         // either way; only the observer's bookkeeping
                         // differs. Dense per-sample events honor the
                         // trace stride; edge events never go through here.
-                        let due = ts
-                            .events
-                            .as_ref()
-                            .is_some_and(|trace| trace.sample_due(acc.samples));
+                        let due = ts.sample_due(acc.samples);
                         if due {
-                            ts.sensor_reads += sensed.len() as u64;
-                            for (block, &reading) in sensed.iter().enumerate() {
-                                if let Some(trace) = &mut ts.events {
-                                    trace.record(Event::SensorRead {
-                                        cycle: acc.cycle,
-                                        block,
-                                        reading,
-                                    });
-                                }
-                            }
+                            ts.record_sensor_reads(acc.cycle, &sensed);
                         }
-                        let events = &mut ts.events;
                         let cycle = acc.cycle;
                         let cmd = self.policy.sample_observed(&sensed, &mut |block, s| {
                             if due {
-                                if let Some(trace) = events {
-                                    trace.record(Event::Controller {
-                                        cycle,
-                                        sample: ControllerSample {
-                                            block,
-                                            error: s.error,
-                                            p_term: s.p_term,
-                                            i_term: s.i_term,
-                                            d_term: s.d_term,
-                                            integral_pre_clamp: s.integral_pre_clamp,
-                                            integral: s.integral,
-                                            output: s.output,
-                                            saturated: s.saturated,
-                                        },
-                                    });
-                                }
+                                ts.record_controller(cycle, block, &s);
                             }
                         });
-                        if let Some(reg) = &ts.registry {
-                            reg.histogram_at(ts.duty_idx).record(cmd.fetch_duty);
-                        }
+                        ts.record_duty_hist(cmd.fetch_duty);
                         cmd
                     }
                     None => self.policy.sample(&sensed),
@@ -1056,62 +1169,11 @@ impl Simulator {
         )
     }
 
-    /// Converts the in-flight [`TelemetryState`] into the final
-    /// [`Telemetry`]: flushes the local counters into the registry and
-    /// assembles the phase profile from the core's stage timers and the
-    /// loop's accumulators.
-    fn flush_telemetry(
-        &mut self,
-        ts: TelemetryState,
-        cycles: u64,
-        samples: u64,
-        stage_nanos_start: [u64; 6],
-        core_cycles_start: u64,
-    ) -> Telemetry {
-        if let Some(reg) = &ts.registry {
-            reg.counter("cycles").add(cycles);
-            reg.counter("thermal_steps").add(ts.thermal_steps);
-            reg.counter("dtm_samples").add(samples);
-            reg.counter("duty_changes").add(ts.duty_changes);
-            reg.counter("emergency_entries").add(ts.emergency_entries);
-            reg.counter("stress_entries").add(ts.stress_entries);
-            reg.counter("sensor_reads").add(ts.sensor_reads);
-            if let Some(trace) = &ts.events {
-                reg.counter("events_recorded").add(trace.recorded());
-                reg.counter("events_dropped").add(trace.dropped());
-            }
-        }
-        let phases = ts.phases.then(|| {
-            let mut profile = PhaseProfile::new();
-            let stage = self.core.stage_nanos();
-            let core_cycles = self.core.stats().cycles - core_cycles_start;
-            const STAGES: [Phase; 6] = [
-                Phase::Commit,
-                Phase::Writeback,
-                Phase::Issue,
-                Phase::Dispatch,
-                Phase::Decode,
-                Phase::Fetch,
-            ];
-            for (i, phase) in STAGES.into_iter().enumerate() {
-                profile.add(phase, stage[i] - stage_nanos_start[i], core_cycles);
-            }
-            profile.add(Phase::Power, ts.power_nanos, ts.power_calls);
-            profile.add(Phase::ThermalStep, ts.thermal_nanos, ts.thermal_calls);
-            profile.add(Phase::Controller, ts.controller_nanos, ts.controller_calls);
-            profile
-        });
-        Telemetry { events: ts.events, metrics: ts.registry, phases }
-    }
-
     fn apply(&mut self, cycle: u64, cmd: DtmCommand, tstate: &mut Option<Box<TelemetryState>>) {
         if let Some(ts) = tstate.as_deref_mut() {
             let from = self.core.control().fetch_duty;
             if cmd.fetch_duty != from {
-                ts.duty_changes += 1;
-                if let Some(trace) = &mut ts.events {
-                    trace.record(Event::DutyChange { cycle, from, to: cmd.fetch_duty });
-                }
+                ts.record_duty_change(cycle, from, cmd.fetch_duty);
             }
         }
         self.core.set_control(CoreControl {

@@ -7,8 +7,11 @@
 
 use tdtm_telemetry::MetricsRegistry;
 
-/// Counter names the simulator populates, in registration order.
-pub const SIM_COUNTERS: [&str; 9] = [
+/// Counter names the simulator populates, in registration order. The
+/// chip-level counters (`supervisor_caps`, `core_parks`) stay zero on the
+/// single-core path — registering them everywhere keeps every run on one
+/// schema, so single-core and multicore snapshots merge.
+pub const SIM_COUNTERS: [&str; 11] = [
     "cycles",
     "thermal_steps",
     "dtm_samples",
@@ -18,6 +21,8 @@ pub const SIM_COUNTERS: [&str; 9] = [
     "sensor_reads",
     "events_recorded",
     "events_dropped",
+    "supervisor_caps",
+    "core_parks",
 ];
 
 /// Histogram of the per-cycle hottest block temperature (°C).

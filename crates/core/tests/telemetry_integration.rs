@@ -90,6 +90,12 @@ fn grid_telemetry_merges_identically_for_1_and_4_threads() {
     let one = grid.run_telemetry(1, &cfg);
     let four = grid.run_telemetry(4, &cfg);
     assert_eq!(one.reports(), four.reports(), "reports shard-independent");
+    for (a, b) in one.runs.iter().zip(&four.runs) {
+        assert!(
+            a.obs.deterministic_eq(&b.obs),
+            "deterministic observation fields must not depend on worker count"
+        );
+    }
     let sim_one = &one.telemetry.as_ref().expect("merged").sim;
     let sim_four = &four.telemetry.as_ref().expect("merged").sim;
     assert_eq!(

@@ -72,13 +72,33 @@ impl ChipSupervisor {
     ///
     /// Panics if `hottest_per_core` does not hold one entry per core.
     pub fn allocate(&mut self, hottest_per_core: &[f64]) -> &[f64] {
+        self.allocate_observed(hottest_per_core, &mut |_, _, _| {})
+    }
+
+    /// Like [`allocate`](ChipSupervisor::allocate), but reports each cap
+    /// *decision* (a ceiling set below 1.0) as
+    /// `(core, hottest_sensed, cap)` through `observe`. Cores left at the
+    /// full ceiling are not reported. The observed and unobserved paths
+    /// compute identical ceilings — the observer only watches (mirroring
+    /// `DtmPolicy::sample_observed`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hottest_per_core` does not hold one entry per core.
+    pub fn allocate_observed(
+        &mut self,
+        hottest_per_core: &[f64],
+        observe: &mut dyn FnMut(usize, f64, f64),
+    ) -> &[f64] {
         assert_eq!(hottest_per_core.len(), self.caps.len(), "one temperature per core");
         let mut intervened = false;
-        for (cap, &hot) in self.caps.iter_mut().zip(hottest_per_core) {
+        for (core, (cap, &hot)) in self.caps.iter_mut().zip(hottest_per_core).enumerate() {
             let over = hot - self.cfg.chip_setpoint;
             *cap = if over > 0.0 {
                 intervened = true;
-                (1.0 - self.cfg.authority * over).clamp(self.cfg.min_cap, 1.0)
+                let cap = (1.0 - self.cfg.authority * over).clamp(self.cfg.min_cap, 1.0);
+                observe(core, hot, cap);
+                cap
             } else {
                 1.0
             };
@@ -147,5 +167,23 @@ mod tests {
     fn allocation_arity_checked() {
         let mut s = ChipSupervisor::new(SupervisorConfig::default(), 2);
         s.allocate(&[100.0]);
+    }
+
+    #[test]
+    fn observed_path_matches_and_reports_capped_cores_only() {
+        let temps = [110.0, 111.3, 112.0, f64::NEG_INFINITY];
+        let mut plain = ChipSupervisor::new(SupervisorConfig::default(), 4);
+        let expected = plain.allocate(&temps).to_vec();
+
+        let mut observed = ChipSupervisor::new(SupervisorConfig::default(), 4);
+        let mut seen = Vec::new();
+        let caps = observed
+            .allocate_observed(&temps, &mut |core, hot, cap| seen.push((core, hot, cap)))
+            .to_vec();
+        assert_eq!(caps, expected, "observer must not change the allocation");
+        assert_eq!(observed.interventions(), plain.interventions());
+        assert_eq!(seen.len(), 2, "only the two capped cores are reported");
+        assert_eq!(seen[0].0, 1);
+        assert_eq!(seen[1], (2, 112.0, caps[2]));
     }
 }

@@ -4,9 +4,13 @@
 //! controller computed each sample (error, P/I/D decomposition, pre- and
 //! post-clamp integral, saturation), when the actuator's duty level
 //! actually moved, and when each block crossed the stress or emergency
-//! threshold. The ring is bounded, so a trillion-cycle run with a 64 Ki
-//! ring keeps the most recent window instead of eating the heap; dropped
-//! events are counted, never silently lost.
+//! threshold. Every event is tagged with the core it happened on (core 0
+//! on the single-core path), and two chip-level kinds cover hierarchical
+//! DTM: [`Event::SupervisorCap`] records a supervisor duty-ceiling
+//! decision and [`Event::Park`] a core's park/unpark transition. The ring
+//! is bounded, so a trillion-cycle run with a 64 Ki ring keeps the most
+//! recent window instead of eating the heap; dropped events are counted,
+//! never silently lost.
 
 use std::collections::VecDeque;
 use std::fmt::Write as _;
@@ -55,13 +59,16 @@ impl ThresholdKind {
 }
 
 /// A typed in-run event, stamped with the absolute simulation cycle
-/// (warmup cycles included — cycle numbers match the simulator's own).
+/// (warmup cycles included — cycle numbers match the simulator's own)
+/// and the core it happened on (0 on the single-core path).
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub enum Event {
     /// One per-block controller invocation (strided).
     Controller {
         /// Simulation cycle of the DTM sample.
         cycle: u64,
+        /// Core whose policy sampled.
+        core: usize,
         /// The controller internals.
         sample: ControllerSample,
     },
@@ -69,6 +76,8 @@ pub enum Event {
     DutyChange {
         /// Cycle the new command was applied.
         cycle: u64,
+        /// Core whose actuator moved.
+        core: usize,
         /// Previous duty level.
         from: f64,
         /// New duty level.
@@ -78,6 +87,8 @@ pub enum Event {
     ThermalEdge {
         /// Cycle of the crossing.
         cycle: u64,
+        /// Core the block belongs to.
+        core: usize,
         /// Block index.
         block: usize,
         /// Which threshold.
@@ -89,10 +100,34 @@ pub enum Event {
     SensorRead {
         /// Cycle of the DTM sample.
         cycle: u64,
+        /// Core whose sensor was read.
+        core: usize,
         /// Block index.
         block: usize,
         /// The (possibly noisy/quantized) sensed temperature (°C).
         reading: f64,
+    },
+    /// The chip supervisor lowered a core's duty ceiling below 1.0
+    /// (hierarchical DTM; one event per capped core per interval).
+    SupervisorCap {
+        /// Cycle of the DTM sample the cap was decided on.
+        cycle: u64,
+        /// The capped core.
+        core: usize,
+        /// The core's hottest sensed temperature that triggered the cap
+        /// (°C).
+        hottest: f64,
+        /// The duty ceiling imposed on the core's command.
+        cap: f64,
+    },
+    /// A core parked (hit its stop condition and froze) or unparked.
+    Park {
+        /// Cycle of the transition.
+        cycle: u64,
+        /// The core.
+        core: usize,
+        /// `true` when the core parked, `false` when it resumed.
+        parked: bool,
     },
 }
 
@@ -104,6 +139,8 @@ impl Event {
             Event::DutyChange { .. } => "duty_change",
             Event::ThermalEdge { .. } => "thermal_edge",
             Event::SensorRead { .. } => "sensor_read",
+            Event::SupervisorCap { .. } => "supervisor_cap",
+            Event::Park { .. } => "park",
         }
     }
 
@@ -113,14 +150,34 @@ impl Event {
             Event::Controller { cycle, .. }
             | Event::DutyChange { cycle, .. }
             | Event::ThermalEdge { cycle, .. }
-            | Event::SensorRead { cycle, .. } => cycle,
+            | Event::SensorRead { cycle, .. }
+            | Event::SupervisorCap { cycle, .. }
+            | Event::Park { cycle, .. } => cycle,
+        }
+    }
+
+    /// The core the event is tagged with (0 on the single-core path).
+    pub fn core(&self) -> usize {
+        match *self {
+            Event::Controller { core, .. }
+            | Event::DutyChange { core, .. }
+            | Event::ThermalEdge { core, .. }
+            | Event::SensorRead { core, .. }
+            | Event::SupervisorCap { core, .. }
+            | Event::Park { core, .. } => core,
         }
     }
 
     /// One JSON object (no trailing newline).
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(128);
-        let _ = write!(s, "{{\"kind\":\"{}\",\"cycle\":{}", self.kind(), self.cycle());
+        let _ = write!(
+            s,
+            "{{\"kind\":\"{}\",\"cycle\":{},\"core\":{}",
+            self.kind(),
+            self.cycle(),
+            self.core()
+        );
         match *self {
             Event::Controller { sample: c, .. } => {
                 let _ = write!(
@@ -153,43 +210,60 @@ impl Event {
             Event::SensorRead { block, reading, .. } => {
                 let _ = write!(s, ",\"block\":{},\"reading\":{}", block, json_f64(reading));
             }
+            Event::SupervisorCap { hottest, cap, .. } => {
+                let _ = write!(s, ",\"hottest\":{},\"cap\":{}", json_f64(hottest), json_f64(cap));
+            }
+            Event::Park { parked, .. } => {
+                let _ = write!(s, ",\"parked\":{parked}");
+            }
         }
         s.push('}');
         s
     }
 
     /// One CSV row matching [`EventTrace::CSV_HEADER`]; absent fields are
-    /// empty cells.
+    /// empty cells. Supervisor caps put the triggering temperature in the
+    /// `reading` column (it is a sensed temperature) and the ceiling in
+    /// `cap`.
     pub fn to_csv_row(&self) -> String {
-        // kind,cycle,block,error,p_term,i_term,d_term,integral_pre_clamp,
-        // integral,output,saturated,duty_from,duty_to,threshold,entered,reading
-        let mut cells: [String; 16] = std::array::from_fn(|_| String::new());
+        // kind,cycle,core,block,error,p_term,i_term,d_term,
+        // integral_pre_clamp,integral,output,saturated,duty_from,duty_to,
+        // threshold,entered,reading,cap,parked
+        let mut cells: [String; 19] = std::array::from_fn(|_| String::new());
         cells[0] = self.kind().to_string();
         cells[1] = self.cycle().to_string();
+        cells[2] = self.core().to_string();
         match *self {
             Event::Controller { sample: c, .. } => {
-                cells[2] = c.block.to_string();
-                cells[3] = c.error.to_string();
-                cells[4] = c.p_term.to_string();
-                cells[5] = c.i_term.to_string();
-                cells[6] = c.d_term.to_string();
-                cells[7] = c.integral_pre_clamp.to_string();
-                cells[8] = c.integral.to_string();
-                cells[9] = c.output.to_string();
-                cells[10] = c.saturated.to_string();
+                cells[3] = c.block.to_string();
+                cells[4] = c.error.to_string();
+                cells[5] = c.p_term.to_string();
+                cells[6] = c.i_term.to_string();
+                cells[7] = c.d_term.to_string();
+                cells[8] = c.integral_pre_clamp.to_string();
+                cells[9] = c.integral.to_string();
+                cells[10] = c.output.to_string();
+                cells[11] = c.saturated.to_string();
             }
             Event::DutyChange { from, to, .. } => {
-                cells[11] = from.to_string();
-                cells[12] = to.to_string();
+                cells[12] = from.to_string();
+                cells[13] = to.to_string();
             }
             Event::ThermalEdge { block, threshold, entered, .. } => {
-                cells[2] = block.to_string();
-                cells[13] = threshold.label().to_string();
-                cells[14] = entered.to_string();
+                cells[3] = block.to_string();
+                cells[14] = threshold.label().to_string();
+                cells[15] = entered.to_string();
             }
             Event::SensorRead { block, reading, .. } => {
-                cells[2] = block.to_string();
-                cells[15] = reading.to_string();
+                cells[3] = block.to_string();
+                cells[16] = reading.to_string();
+            }
+            Event::SupervisorCap { hottest, cap, .. } => {
+                cells[16] = hottest.to_string();
+                cells[17] = cap.to_string();
+            }
+            Event::Park { parked, .. } => {
+                cells[18] = parked.to_string();
             }
         }
         cells.join(",")
@@ -222,8 +296,9 @@ pub struct EventTrace {
 
 impl EventTrace {
     /// Header row for [`to_csv`](EventTrace::to_csv).
-    pub const CSV_HEADER: &'static str = "kind,cycle,block,error,p_term,i_term,d_term,\
-         integral_pre_clamp,integral,output,saturated,duty_from,duty_to,threshold,entered,reading";
+    pub const CSV_HEADER: &'static str = "kind,cycle,core,block,error,p_term,i_term,d_term,\
+         integral_pre_clamp,integral,output,saturated,duty_from,duty_to,threshold,entered,\
+         reading,cap,parked";
 
     /// Creates an empty trace retaining at most `capacity` events and
     /// sampling dense events every `stride`-th DTM sample.
@@ -318,6 +393,7 @@ mod tests {
     fn controller_event(cycle: u64) -> Event {
         Event::Controller {
             cycle,
+            core: 0,
             sample: ControllerSample {
                 block: 5,
                 error: -0.25,
@@ -336,7 +412,7 @@ mod tests {
     fn ring_evicts_oldest_and_counts_drops() {
         let mut t = EventTrace::new(3, 1);
         for c in 0..5 {
-            t.record(Event::DutyChange { cycle: c, from: 1.0, to: 0.5 });
+            t.record(Event::DutyChange { cycle: c, core: 0, from: 1.0, to: 0.5 });
         }
         assert_eq!(t.len(), 3);
         assert_eq!(t.recorded(), 5);
@@ -373,14 +449,17 @@ mod tests {
         t.record(controller_event(1000));
         t.record(Event::ThermalEdge {
             cycle: 1200,
+            core: 1,
             block: 3,
             threshold: ThresholdKind::Emergency,
             entered: true,
         });
-        t.record(Event::SensorRead { cycle: 2000, block: 0, reading: 108.5 });
+        t.record(Event::SensorRead { cycle: 2000, core: 0, block: 0, reading: 108.5 });
+        t.record(Event::SupervisorCap { cycle: 3000, core: 2, hottest: 111.25, cap: 0.5 });
+        t.record(Event::Park { cycle: 4000, core: 3, parked: true });
         let jsonl = t.to_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert_eq!(lines.len(), 3);
+        assert_eq!(lines.len(), 5);
         for line in &lines {
             assert!(line.starts_with('{') && line.ends_with('}'), "line: {line}");
             // Balanced quotes and no raw NaN tokens.
@@ -388,14 +467,21 @@ mod tests {
             assert!(!line.contains("NaN"));
         }
         assert!(lines[0].contains("\"kind\":\"controller\""));
+        assert!(lines[0].contains("\"core\":0"));
         assert!(lines[0].contains("\"saturated\":true"));
         assert!(lines[1].contains("\"threshold\":\"emergency\""));
+        assert!(lines[1].contains("\"core\":1"));
         assert!(lines[2].contains("\"reading\":108.5"));
+        assert!(lines[3].contains("\"kind\":\"supervisor_cap\""));
+        assert!(lines[3].contains("\"hottest\":111.25"));
+        assert!(lines[3].contains("\"cap\":0.5"));
+        assert!(lines[4].contains("\"kind\":\"park\""));
+        assert!(lines[4].contains("\"parked\":true"));
     }
 
     #[test]
     fn nonfinite_floats_export_as_null() {
-        let e = Event::SensorRead { cycle: 1, block: 0, reading: f64::NEG_INFINITY };
+        let e = Event::SensorRead { cycle: 1, core: 0, block: 0, reading: f64::NEG_INFINITY };
         assert!(e.to_json().contains("\"reading\":null"));
     }
 
@@ -403,15 +489,19 @@ mod tests {
     fn csv_rows_match_header_width() {
         let mut t = EventTrace::new(8, 1);
         t.record(controller_event(10));
-        t.record(Event::DutyChange { cycle: 20, from: 1.0, to: 0.875 });
+        t.record(Event::DutyChange { cycle: 20, core: 1, from: 1.0, to: 0.875 });
+        t.record(Event::SupervisorCap { cycle: 30, core: 2, hottest: 110.5, cap: 0.75 });
+        t.record(Event::Park { cycle: 40, core: 3, parked: false });
         let csv = t.to_csv();
         let mut lines = csv.lines();
         let header = lines.next().unwrap();
         let w = header.split(',').count();
-        assert_eq!(w, 16);
+        assert_eq!(w, 19);
         for row in lines {
             assert_eq!(row.split(',').count(), w, "row: {row}");
         }
-        assert!(csv.contains("duty_change,20,,,,,,,,,,1,0.875,,,"));
+        assert!(csv.contains("duty_change,20,1,,,,,,,,,,1,0.875,,,,,"));
+        assert!(csv.contains("supervisor_cap,30,2,,,,,,,,,,,,,,110.5,0.75,"));
+        assert!(csv.contains("park,40,3,,,,,,,,,,,,,,,,false"));
     }
 }

@@ -17,7 +17,12 @@
 //!   telemetry to 1-thread grids);
 //! * [`phase`] — a [`PhaseProfile`] of scoped host-time timers (pipeline
 //!   stages, thermal step, controller sample, grid cell) for attributing
-//!   wall-clock cost.
+//!   wall-clock cost;
+//! * [`stream`] — incremental fleet observability: [`CellRecord`]s of
+//!   completed experiment-grid cells fed to a [`StreamSink`] (JSONL file
+//!   or in-memory) with monotone completion stamps, so a live consumer
+//!   sees progress as it happens and an N-thread stream sorts back to the
+//!   deterministic 1-thread replay.
 //!
 //! Everything here *observes* — nothing feeds back into the simulation.
 //! Consumers keep instrumentation behind `Option`s so a disabled run pays
@@ -30,9 +35,10 @@
 //! use tdtm_telemetry::{Event, EventTrace, ThresholdKind};
 //!
 //! let mut trace = EventTrace::new(4, 1);
-//! trace.record(Event::DutyChange { cycle: 999, from: 1.0, to: 0.5 });
+//! trace.record(Event::DutyChange { cycle: 999, core: 0, from: 1.0, to: 0.5 });
 //! trace.record(Event::ThermalEdge {
 //!     cycle: 1_500,
+//!     core: 0,
 //!     block: 3,
 //!     threshold: ThresholdKind::Stress,
 //!     entered: true,
@@ -44,10 +50,12 @@
 pub mod event;
 pub mod phase;
 pub mod registry;
+pub mod stream;
 
 pub use event::{ControllerSample, Event, EventTrace, ThresholdKind};
 pub use phase::{Phase, PhaseProfile};
 pub use registry::{Counter, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot};
+pub use stream::{CellRecord, JsonlSink, MemorySink, StampedSink, StreamSink};
 
 /// What to collect during a run. Everything defaults to off; a default
 /// config produces a [`Telemetry`] that records nothing.

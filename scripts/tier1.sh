@@ -19,6 +19,19 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
 echo "== tier 1: trace_run smoke =="
 cargo run -q --release -p tdtm-bench --bin trace_run -- gcc pid --stride 1000 --insts 60000 > /dev/null
+# The chip path: per-core rings + the chip supervisor ring.
+cargo run -q --release -p tdtm-bench --bin trace_run -- gcc pid --cores 2 --supervisor --stride 1000 --insts 8000 > /dev/null
+
+echo "== tier 1: obs_report smoke (streaming grid -> JSONL -> dashboard) =="
+# End-to-end through the observability stack: run a 2x2 grid with
+# streaming, then assert the JSONL parses and the dashboard renders.
+OBS_STREAM="$(mktemp /tmp/tier1_obs.XXXXXX.jsonl)"
+trap 'rm -f "$OBS_STREAM"' EXIT
+OBS_OUT="$(cargo run -q --release -p tdtm-bench --bin obs_report -- --demo-grid "$OBS_STREAM" 2> /dev/null)"
+test "$(wc -l < "$OBS_STREAM")" -eq 4 || { echo "obs stream: expected 4 JSONL records"; exit 1; }
+grep -q '"label":"gcc/PID"' "$OBS_STREAM" || { echo "obs stream: missing cell record"; exit 1; }
+echo "$OBS_OUT" | grep -q '^# Grid observability dashboard' || { echo "obs_report: dashboard did not render"; exit 1; }
+echo "$OBS_OUT" | grep -q '| art/stability |' || { echo "obs_report: missing per-cell row"; exit 1; }
 
 echo "== tier 1: multicore interference smoke =="
 # The cross-core figure end-to-end at a tiny budget: coupled chips, the
