@@ -1,0 +1,402 @@
+//! Batched SoA execution of independent single-core grid cells.
+//!
+//! The experiment engine's unit of work used to be one cell = one
+//! [`Simulator`](crate::simulator::Simulator): each worker thread runs one
+//! cell to completion, with the cell's seven block temperatures and decay
+//! factors scattered across its own `BlockModel`. `GridBatch` instead
+//! packs the thermal state of up to [`BATCH_LANES`] cells into one
+//! [`ThermalBatch`] — a struct-of-arrays with every lane's temperatures,
+//! decay factors, and resistances in contiguous per-field arrays — and
+//! advances all of them in lockstep: one round runs one machine cycle per
+//! live cell, then a single vectorizable sweep steps every lane's exact
+//! exponential-decay update at once.
+//!
+//! # Byte identity
+//!
+//! Batching is a host-side execution strategy, never a model change. Each
+//! lane replicates the uninstrumented fast loop of
+//! [`Simulator::run`](crate::simulator::Simulator::run) operation for
+//! operation — the same stop-condition order, resync stalls, V/f
+//! retiming, warm-start jump, accumulator folds, and DTM boundary
+//! sampling — and [`ThermalBatch::step_batch`] reproduces
+//! `BlockModel::step_scaled` bit-exactly per lane (pinned by property
+//! tests in `tdtm-thermal`). Reports finalize through the same
+//! `finalize_report` path as every other loop, so a batched grid's
+//! `RunReport`s are byte-identical to the per-cell reference path
+//! (pinned by `tests/engine.rs` and `tests/hot_loop_identity.rs`).
+//!
+//! # Eligibility
+//!
+//! [`batch_eligible`] mirrors the simulator's own `RunPlan::fast`
+//! classification for the engine's uninstrumented path: single core, no
+//! supervisor, direct DTM triggering, no leakage feedback. Anything else
+//! — multicore chips, interrupt-delayed commands, leakage, or any
+//! instrumented run (telemetry, proxies, traces attach only through
+//! driver closures or streaming, which keep the per-cell reference path)
+//! — falls back to [`GridCell::run_chip`].
+
+use crate::config::SimConfig;
+use crate::engine::GridCell;
+use crate::metrics::RunReport;
+use crate::simulator::{finalize_report, RunAccum, NUM_THERMAL};
+use tdtm_dtm::{build_policy_at, DtmConfig, DtmPolicy, PolicyKind, SensorModel, TriggerMechanism};
+use tdtm_power::{PowerModel, PowerSample};
+use tdtm_thermal::{BlockModel, BlockParams, ThermalBatch};
+use tdtm_uarch::{Core, CoreControl};
+
+/// Maximum cells packed into one `GridBatch` (one SoA lane each).
+///
+/// Small on purpose: a lane costs one resident core + power model, and
+/// the lockstep rounds only pay off while every lane stays hot in cache.
+pub const BATCH_LANES: usize = 4;
+
+/// Whether a cell with this configuration can run on the batched SoA
+/// path with a byte-identical report.
+///
+/// The predicate mirrors the simulator's internal fast-loop
+/// classification for a cell the engine runs without instrumentation:
+/// one core, no supervisor, direct DTM triggering, and no
+/// temperature-dependent leakage (the batched sweep monomorphizes the
+/// leakage-free update).
+pub fn batch_eligible(cfg: &SimConfig) -> bool {
+    cfg.chip.cores == 1
+        && cfg.chip.supervisor.is_none()
+        && matches!(cfg.dtm.mechanism, TriggerMechanism::Direct)
+        && cfg.leakage.is_none()
+}
+
+/// Everything one lane needs besides its thermal state (which lives in
+/// the shared [`ThermalBatch`]): the core, power model, policy, sensors,
+/// accumulators, and the V/f bookkeeping of the fast loop.
+struct LaneState {
+    /// Grid-cell index, for keying the finished report.
+    index: usize,
+    name: String,
+    core: Core,
+    power: std::sync::Arc<PowerModel>,
+    policy: Box<dyn DtmPolicy>,
+    sensors: SensorModel,
+    params: Vec<BlockParams>,
+    dtm: DtmConfig,
+    acc: RunAccum,
+    // Run constants hoisted from the config.
+    interval: u64,
+    emergency: f64,
+    stress: f64,
+    nominal_dt: f64,
+    warmup: u64,
+    warm_window: u64,
+    max_insts: u64,
+    max_cycles: u64,
+    idle_sample: PowerSample,
+    /// Cycle of the next DTM-sample boundary (`(cycle + 1) % interval
+    /// == 0` without the per-cycle modulo).
+    next_sample: u64,
+    // Mutable fast-loop state.
+    warm_start_power: [f64; NUM_THERMAL],
+    sensed: [f64; NUM_THERMAL],
+    resync_remaining: u64,
+    vf_power_scale: f64,
+    vf_freq_scale: f64,
+    vf_engaged: bool,
+    duty_history: Vec<f64>,
+}
+
+impl LaneState {
+    fn finalize(&self) -> RunReport {
+        finalize_report(
+            &self.name,
+            self.policy.as_ref(),
+            &self.params,
+            self.core.stats(),
+            self.core.bpred().accuracy(),
+            &self.acc,
+        )
+    }
+}
+
+/// A group of batch-eligible grid cells advanced in lockstep over one
+/// shared [`ThermalBatch`].
+///
+/// Push up to [`BATCH_LANES`] cells, then [`run`](GridBatch::run) them
+/// to completion. Cells finish at their own stop conditions; a finished
+/// cell's lane is swap-removed so the SoA sweep only ever touches live
+/// lanes.
+pub(crate) struct GridBatch {
+    batch: ThermalBatch,
+    lanes: Vec<LaneState>,
+    reports: Vec<(usize, RunReport)>,
+}
+
+impl GridBatch {
+    pub(crate) fn new() -> GridBatch {
+        GridBatch {
+            batch: ThermalBatch::new(NUM_THERMAL),
+            lanes: Vec::new(),
+            reports: Vec::new(),
+        }
+    }
+
+    /// Adds one cell as a new lane, replicating the construction in
+    /// `Simulator::build` (same skip, shared power model, same policy
+    /// and ideal sensors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell's configuration is not [`batch_eligible`].
+    pub(crate) fn push(&mut self, cell: &GridCell) {
+        let cfg = cell.config();
+        assert!(batch_eligible(&cfg), "cell {} is not batch-eligible", cell.label());
+        let core = Core::with_skip_shared(
+            cfg.core,
+            cell.workload.program_shared(),
+            cell.workload.warmup_insts,
+        );
+        let power = cell.power_model();
+        let thermal = BlockModel::new(cfg.blocks.clone(), cfg.heatsink_temp, cfg.cycle_time());
+        let lane = self.batch.push(&thermal);
+        debug_assert_eq!(lane, self.lanes.len());
+        let interval = cfg.dtm.sample_interval.max(1);
+        let nominal_dt = cfg.cycle_time();
+        let idle_sample = power.cycle_power(&tdtm_uarch::Activity::new());
+        self.lanes.push(LaneState {
+            index: cell.index,
+            name: cell.workload.name.to_string(),
+            core,
+            power,
+            policy: build_policy_at(&cfg.dtm, cfg.core.clock_hz),
+            sensors: SensorModel::ideal(),
+            params: cfg.blocks,
+            dtm: cfg.dtm,
+            acc: RunAccum::new(),
+            interval,
+            emergency: cfg.dtm.emergency,
+            stress: cfg.dtm.emergency - 1.0,
+            nominal_dt,
+            warmup: cfg.thermal_warmup_cycles,
+            warm_window: if cfg.warm_start { interval } else { 0 },
+            max_insts: cfg.max_insts,
+            max_cycles: cfg.max_cycles,
+            idle_sample,
+            next_sample: interval - 1,
+            warm_start_power: [0.0; NUM_THERMAL],
+            sensed: [0.0; NUM_THERMAL],
+            resync_remaining: 0,
+            vf_power_scale: 1.0,
+            vf_freq_scale: 1.0,
+            vf_engaged: false,
+            duty_history: Vec::new(),
+        });
+    }
+
+    /// Runs every lane to completion and returns the reports keyed by
+    /// grid-cell index (in completion order, not grid order).
+    ///
+    /// Each lockstep round has three phases. Phase 1 walks the live
+    /// lanes checking stop conditions in the fast loop's exact order
+    /// (instruction budget while counting, then cycle budget / program
+    /// halt), runs one machine cycle (or a resync stall) per survivor,
+    /// and stages its scaled block powers. Phase 2 is the point of the
+    /// whole module: one [`ThermalBatch::step_batch`] sweep advances
+    /// every lane's exact exponential update over contiguous arrays.
+    /// Phase 3 finishes each lane's cycle — warm-start accumulation and
+    /// jump, `RunAccum::record_cycle`, and the DTM boundary sample with
+    /// command application (direct mode only, per eligibility).
+    pub(crate) fn run(mut self) -> Vec<(usize, RunReport)> {
+        let mut powers = vec![0.0f64; self.lanes.len() * NUM_THERMAL];
+        let mut scales = vec![1.0f64; self.lanes.len()];
+        let mut totals = vec![0.0f64; self.lanes.len()];
+        let mut countings = vec![false; self.lanes.len()];
+
+        loop {
+            // Phase 1: stop checks and one machine cycle per live lane.
+            let mut l = 0;
+            while l < self.lanes.len() {
+                let lane = &mut self.lanes[l];
+                let counting = lane.acc.cycle >= lane.warmup;
+                if counting && lane.acc.counted_cycles == 0 {
+                    lane.acc.committed_at_count_start = lane.core.stats().committed;
+                }
+                let insts_done = lane
+                    .core
+                    .stats()
+                    .committed
+                    .saturating_sub(lane.acc.committed_at_count_start)
+                    >= lane.max_insts
+                    && counting;
+                if insts_done || lane.acc.cycle >= lane.max_cycles || lane.core.finished() {
+                    // Swap-remove the lane from both the SoA batch and
+                    // the state list, keeping them parallel; the moved
+                    // lane (previously last, not yet visited this
+                    // round) is revisited at slot `l`.
+                    let finished = self.lanes.swap_remove(l);
+                    self.batch.remove_lane(l);
+                    self.reports.push((finished.index, finished.finalize()));
+                    continue;
+                }
+                let sample = if lane.resync_remaining > 0 {
+                    lane.resync_remaining -= 1;
+                    lane.idle_sample
+                } else {
+                    lane.power.cycle_power(lane.core.cycle())
+                };
+                powers[l * NUM_THERMAL..(l + 1) * NUM_THERMAL]
+                    .copy_from_slice(&sample.thermal_powers());
+                scales[l] = lane.vf_power_scale;
+                totals[l] = sample.total * lane.vf_power_scale;
+                countings[l] = counting;
+                l += 1;
+            }
+            let live = self.lanes.len();
+            if live == 0 {
+                break;
+            }
+
+            // Phase 2: one SoA sweep steps every live lane's thermal
+            // state (and writes back the scaled powers, exactly as
+            // `BlockModel::step_scaled` would per lane).
+            self.batch.step_batch(&mut powers[..live * NUM_THERMAL], &scales[..live]);
+
+            // Phase 3: per-lane cycle epilogue.
+            for l in 0..live {
+                let lane = &mut self.lanes[l];
+                let thermal_powers: &[f64; NUM_THERMAL] = powers[l * NUM_THERMAL..][..NUM_THERMAL]
+                    .try_into()
+                    .expect("seven staged block powers");
+
+                // Warm start: after the first sampling interval, jump
+                // blocks to the steady state of the observed average
+                // power (the lane-wise `warm_start_jump`).
+                if lane.acc.cycle < lane.warm_window {
+                    for (acc, &p) in lane.warm_start_power.iter_mut().zip(thermal_powers) {
+                        *acc += p;
+                    }
+                    if lane.acc.cycle + 1 == lane.interval {
+                        for p in &mut lane.warm_start_power {
+                            *p /= lane.interval as f64;
+                        }
+                        self.batch.warm_start_lane(l, &lane.warm_start_power[..]);
+                        if lane.dtm.policy != PolicyKind::None {
+                            let ceiling = if lane.dtm.policy.is_control_theoretic() {
+                                lane.dtm.setpoint
+                            } else {
+                                lane.dtm.trigger
+                            };
+                            for i in 0..NUM_THERMAL {
+                                if self.batch.temperatures(l)[i] > ceiling {
+                                    self.batch.set_temperature(l, i, ceiling);
+                                }
+                            }
+                        }
+                    }
+                }
+
+                if countings[l] {
+                    let temps = self.batch.temperatures_fixed::<NUM_THERMAL>(l);
+                    lane.acc.record_cycle(
+                        temps,
+                        thermal_powers,
+                        totals[l],
+                        lane.nominal_dt / lane.vf_freq_scale,
+                        lane.emergency,
+                        lane.stress,
+                    );
+                }
+
+                // DTM sample at the interval boundary — same cycle the
+                // fast loop's chunk ends on, applied directly.
+                if lane.acc.cycle == lane.next_sample {
+                    lane.next_sample += lane.interval;
+                    let temps = *self.batch.temperatures_fixed::<NUM_THERMAL>(l);
+                    lane.sensors.read_all(&temps[..], &mut lane.sensed);
+                    let cmd = lane.policy.sample(&lane.sensed);
+                    lane.acc.samples += 1;
+                    lane.duty_history.push(cmd.fetch_duty);
+                    lane.core.set_control(CoreControl {
+                        fetch_duty: cmd.fetch_duty,
+                        fetch_width_limit: cmd.fetch_width_limit,
+                        max_unresolved_branches: cmd.max_unresolved_branches,
+                    });
+                    match (cmd.vf, lane.vf_engaged) {
+                        (Some(vf), false) => {
+                            lane.vf_engaged = true;
+                            lane.vf_power_scale = vf.power_scale();
+                            lane.vf_freq_scale = vf.freq_scale;
+                            self.batch.set_lane_dt(l, lane.nominal_dt / vf.freq_scale);
+                            lane.resync_remaining = lane.dtm.vf_resync_cycles;
+                        }
+                        (None, true) => {
+                            lane.vf_engaged = false;
+                            lane.vf_power_scale = 1.0;
+                            lane.vf_freq_scale = 1.0;
+                            self.batch.set_lane_dt(l, lane.nominal_dt);
+                            lane.resync_remaining = lane.dtm.vf_resync_cycles;
+                        }
+                        _ => {}
+                    }
+                }
+                lane.acc.cycle += 1;
+            }
+        }
+        self.reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ExperimentGrid;
+    use crate::experiments::ExperimentScale;
+
+    #[test]
+    fn eligibility_mirrors_the_fast_loop_preconditions() {
+        let base = ExperimentScale::quick().config(PolicyKind::Pid);
+        assert!(batch_eligible(&base));
+
+        let mut multicore = base.clone();
+        multicore.chip.cores = 4;
+        assert!(!batch_eligible(&multicore));
+
+        let mut interrupt = base.clone();
+        interrupt.dtm.mechanism = TriggerMechanism::Interrupt { latency_cycles: 100 };
+        assert!(!batch_eligible(&interrupt));
+
+        let mut leaky = base;
+        leaky.leakage = Some(tdtm_power::LeakageModel::node_180nm());
+        assert!(!batch_eligible(&leaky));
+    }
+
+    #[test]
+    fn a_batch_of_cells_reports_byte_identically_to_their_simulators() {
+        let grid = ExperimentGrid::new(ExperimentScale::quick())
+            .workload(tdtm_workloads::by_name("gcc").unwrap())
+            .workload(tdtm_workloads::by_name("art").unwrap())
+            .policies(&[PolicyKind::Pid, PolicyKind::VfScale]);
+        let cells = grid.cells();
+        assert_eq!(cells.len(), 4);
+
+        let mut batch = GridBatch::new();
+        for cell in &cells {
+            batch.push(cell);
+        }
+        let mut batched = batch.run();
+        batched.sort_by_key(|&(index, _)| index);
+
+        for (cell, (index, report)) in cells.iter().zip(&batched) {
+            assert_eq!(cell.index, *index);
+            let reference = cell.simulator().run();
+            assert_eq!(report, &reference, "cell {}", cell.label());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not batch-eligible")]
+    fn pushing_an_ineligible_cell_panics() {
+        let grid = ExperimentGrid::new(ExperimentScale::quick())
+            .workload(tdtm_workloads::by_name("gcc").unwrap())
+            .variant("quad", |cfg| cfg.chip.cores = 4);
+        let cells = grid.cells();
+        let mut batch = GridBatch::new();
+        batch.push(&cells[0]);
+    }
+}

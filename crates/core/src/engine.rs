@@ -59,6 +59,16 @@ pub fn thread_count() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// Whether [`ExperimentGrid::run_threads`] uses the batched SoA path
+/// for eligible cells: on unless the `TDTM_BATCH` environment variable
+/// is `0` or `off`.
+fn batching_default() -> bool {
+    !matches!(
+        std::env::var("TDTM_BATCH").ok().as_deref().map(str::trim),
+        Some("0") | Some("off")
+    )
+}
+
 /// Applies `f` to every item of `items`, sharding the work across
 /// `threads` scoped worker threads. Workers pull items from a shared
 /// atomic cursor (so uneven cell costs still balance), but the returned
@@ -431,11 +441,104 @@ impl ExperimentGrid {
     /// identical for any `threads` value. Cells whose variant configures
     /// a multicore chip run on the chip simulator (reporting core 0);
     /// everything else takes the single-core path.
+    ///
+    /// Uninstrumented single-core cells are additionally packed into
+    /// SoA thermal batches ([`crate::batch`]) and advanced in lockstep,
+    /// up to [`crate::batch::BATCH_LANES`] per work item — a host-side
+    /// execution strategy that leaves every report byte-identical to
+    /// the per-cell path (pinned by `tests/engine.rs`). Set
+    /// `TDTM_BATCH=0` to force the per-cell reference path.
     pub fn run_threads(&self, threads: usize) -> GridResults {
-        self.run_with_threads(threads, |cell| {
-            let (report, _chip) = cell.run_chip();
-            (report, ())
-        })
+        self.run_threads_with_batching(threads, batching_default())
+    }
+
+    /// [`run_threads`](ExperimentGrid::run_threads) with the batched
+    /// dispatch chosen explicitly instead of from `TDTM_BATCH` —
+    /// identity tests and benchmarks run both paths and compare.
+    pub fn run_threads_with_batching(&self, threads: usize, batching: bool) -> GridResults {
+        if !batching {
+            return self.run_with_threads(threads, |cell| {
+                let (report, _chip) = cell.run_chip();
+                (report, ())
+            });
+        }
+        let cells = self.cells();
+        let grid_start = Instant::now();
+
+        // Partition into work items: consecutive batch-eligible cells
+        // group into lockstep batches (a trailing group of one stays
+        // solo — the chunked fast loop is cheaper for a lone cell);
+        // everything else runs the per-cell chip path.
+        enum Item<'a> {
+            Solo(&'a GridCell),
+            Group(Vec<&'a GridCell>),
+        }
+        let mut items: Vec<Item> = Vec::new();
+        let mut group: Vec<&GridCell> = Vec::new();
+        for cell in &cells {
+            if crate::batch::batch_eligible(&cell.config()) {
+                group.push(cell);
+                if group.len() == crate::batch::BATCH_LANES {
+                    items.push(Item::Group(std::mem::take(&mut group)));
+                }
+            } else {
+                items.push(Item::Solo(cell));
+            }
+        }
+        match group.len() {
+            0 => {}
+            1 => items.push(Item::Solo(group[0])),
+            _ => items.push(Item::Group(group)),
+        }
+
+        let make_result = |cell: &GridCell, report: RunReport, wall: f64| RunResult {
+            index: cell.index,
+            bench: cell.workload.name.to_string(),
+            policy: cell.policy,
+            variant: cell.variant,
+            obs: RunObservation::from_report(&report, wall),
+            report,
+            extra: (),
+        };
+        let sharded = shard_map(&items, threads, |_, item| match item {
+            Item::Solo(cell) => {
+                let start = Instant::now();
+                let (report, _chip) = cell.run_chip();
+                let wall = start.elapsed().as_secs_f64();
+                vec![make_result(cell, report, wall)]
+            }
+            Item::Group(cells) => {
+                let start = Instant::now();
+                let mut batch = crate::batch::GridBatch::new();
+                for cell in cells {
+                    batch.push(cell);
+                }
+                let reports = batch.run();
+                // Lanes finish at their own stop conditions inside one
+                // lockstep run, so per-cell wall time is not separable;
+                // each cell is charged an even share (wall_seconds is
+                // nondeterministic and never part of identity pins).
+                let wall = start.elapsed().as_secs_f64() / cells.len() as f64;
+                reports
+                    .into_iter()
+                    .map(|(index, report)| {
+                        let cell = cells
+                            .iter()
+                            .find(|c| c.index == index)
+                            .expect("report keyed by a pushed cell");
+                        make_result(cell, report, wall)
+                    })
+                    .collect()
+            }
+        });
+        let mut runs: Vec<RunResult> = sharded.into_iter().flatten().collect();
+        runs.sort_by_key(|r| r.index);
+        GridResults {
+            runs,
+            threads,
+            wall_seconds: grid_start.elapsed().as_secs_f64(),
+            telemetry: None,
+        }
     }
 
     /// Runs every cell through a custom driver on [`thread_count`]
@@ -598,6 +701,7 @@ impl ExperimentGrid {
                 policy: cell.policy.to_string(),
                 variant: cell.variant.to_string(),
                 wall_seconds: wall,
+                elapsed_seconds: 0.0, // stamped at emit
                 thermal_steps: report.total_cycles,
                 committed: report.committed,
                 dtm_samples: report.samples,

@@ -38,6 +38,7 @@
 //! assert!(report.committed >= 30_000);
 //! ```
 
+pub mod batch;
 pub mod config;
 pub mod engine;
 pub mod experiments;

@@ -218,10 +218,19 @@ fn obs_run_section(title: &str, records: &[tdtm_telemetry::CellRecord]) -> Strin
     let cell_seconds: f64 = sorted.iter().map(|r| r.wall_seconds).sum();
     let cells_per_sec =
         if cell_seconds > 0.0 { sorted.len() as f64 / cell_seconds } else { 0.0 };
+    // Grid wall time: the stream's last emission stamp. Older streams
+    // (pre-`elapsed_seconds`) carry 0.0 there, so fall back to the
+    // cell-seconds sum, which is exact for 1-worker runs.
+    let wall = sorted.iter().map(|r| r.elapsed_seconds).fold(0.0_f64, f64::max);
+    let wall = if wall > 0.0 { wall } else { cell_seconds };
+    let agg_cells_per_sec = if wall > 0.0 { sorted.len() as f64 / wall } else { 0.0 };
     let emergency: u64 = sorted.iter().map(|r| r.emergency_cycles).sum();
     let stress: u64 = sorted.iter().map(|r| r.stress_cycles).sum();
 
     let mut out = format!("\n## {title} — {} cells\n\n", sorted.len());
+    out.push_str(&format!(
+        "- {wall:.3} s grid wall time ({agg_cells_per_sec:.2} cells/s aggregate)\n"
+    ));
     out.push_str(&format!(
         "- {cell_seconds:.3} cell-seconds total ({cells_per_sec:.2} cells/s per worker)\n"
     ));
@@ -428,6 +437,7 @@ mod tests {
             policy: "PID".to_string(),
             variant: "base".to_string(),
             wall_seconds: 0.5,
+            elapsed_seconds: 0.0,
             thermal_steps: 1_000_000,
             committed: 120_000,
             dtm_samples: 1_000,
@@ -453,6 +463,24 @@ mod tests {
         let art = s.find("| art/PID |").expect("art row");
         assert!(gcc < art, "rows are in cell-index order, not completion order");
         assert!(!s.contains("Run B"), "no baseline section without a baseline");
+    }
+
+    #[test]
+    fn obs_dashboard_header_reports_grid_wall_and_aggregate_throughput() {
+        // A 2-worker fixture stream: both cells took 0.5 s of worker time
+        // but overlapped, so the last emission stamp (grid wall) is 0.6 s.
+        let mut records = vec![obs_record(0, "gcc/PID", 40), obs_record(1, "art/PID", 7)];
+        records[0].elapsed_seconds = 0.5;
+        records[1].elapsed_seconds = 0.6;
+        let s = obs_dashboard(&records, None);
+        assert!(s.contains("- 0.600 s grid wall time (3.33 cells/s aggregate)"), "got:\n{s}");
+        assert!(s.contains("- 1.000 cell-seconds total (2.00 cells/s per worker)"), "got:\n{s}");
+
+        // Legacy streams predate `elapsed_seconds` (all 0.0): the header
+        // falls back to the cell-seconds sum for the wall estimate.
+        let legacy = vec![obs_record(0, "gcc/PID", 40), obs_record(1, "art/PID", 7)];
+        let s = obs_dashboard(&legacy, None);
+        assert!(s.contains("- 1.000 s grid wall time (2.00 cells/s aggregate)"), "got:\n{s}");
     }
 
     #[test]

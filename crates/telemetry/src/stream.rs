@@ -15,10 +15,11 @@
 //! record a monotone `seq` **under the same lock that serializes the
 //! emit**, so the stream's physical order always matches its `seq` order.
 //! The deterministic replay guarantee is: sort any N-thread stream by
-//! cell `index` and its deterministic fields (everything except `seq` and
-//! `wall_seconds`; see [`CellRecord::deterministic_eq`]) are byte-
-//! identical to a 1-thread run's stream, which completes cells in index
-//! order already. Pinned by `tests/observability.rs`.
+//! cell `index` and its deterministic fields (everything except `seq`,
+//! `wall_seconds`, and `elapsed_seconds`; see
+//! [`CellRecord::deterministic_eq`]) are byte-identical to a 1-thread
+//! run's stream, which completes cells in index order already. Pinned by
+//! `tests/observability.rs`.
 
 use std::fmt::Write as _;
 use std::fs::File;
@@ -31,9 +32,9 @@ use std::sync::Mutex;
 /// Plain data only (no simulator types): the record is the wire format,
 /// so it must be constructible from a parsed JSONL line alone.
 ///
-/// `seq` and `wall_seconds` are host-side and **nondeterministic** across
-/// thread counts; every other field is a deterministic function of the
-/// cell's configuration.
+/// `seq`, `wall_seconds`, and `elapsed_seconds` are host-side and
+/// **nondeterministic** across thread counts; every other field is a
+/// deterministic function of the cell's configuration.
 #[derive(Clone, PartialEq, Debug, Default)]
 pub struct CellRecord {
     /// Monotone completion stamp (0-based) assigned at emit time.
@@ -50,6 +51,12 @@ pub struct CellRecord {
     pub variant: String,
     /// Host wall-clock seconds the cell took (nondeterministic).
     pub wall_seconds: f64,
+    /// Host wall-clock seconds from grid start to this record's emission,
+    /// stamped by [`StampedSink`] under the emit lock — monotone
+    /// nondecreasing along the stream, so the last record's value is the
+    /// grid's total wall time (nondeterministic). `0.0` when the stream
+    /// predates the field or was built without a stamping sink.
+    pub elapsed_seconds: f64,
     /// Thermal solver steps taken.
     pub thermal_steps: u64,
     /// Instructions committed.
@@ -72,10 +79,10 @@ pub struct CellRecord {
 }
 
 impl CellRecord {
-    /// Compares the deterministic fields only — everything except `seq`
-    /// and `wall_seconds`, which are host-side and vary across thread
-    /// counts and machines. This is the equality the stream-determinism
-    /// pin uses; see the module docs for the contract.
+    /// Compares the deterministic fields only — everything except `seq`,
+    /// `wall_seconds`, and `elapsed_seconds`, which are host-side and
+    /// vary across thread counts and machines. This is the equality the
+    /// stream-determinism pin uses; see the module docs for the contract.
     pub fn deterministic_eq(&self, other: &CellRecord) -> bool {
         self.index == other.index
             && self.label == other.label
@@ -99,7 +106,7 @@ impl CellRecord {
         let _ = write!(
             s,
             "{{\"seq\":{},\"index\":{},\"label\":{},\"bench\":{},\"policy\":{},\"variant\":{},\
-             \"wall_seconds\":{},\"thermal_steps\":{},\"committed\":{},\"dtm_samples\":{},\
+             \"wall_seconds\":{},\"elapsed_seconds\":{},\"thermal_steps\":{},\"committed\":{},\"dtm_samples\":{},\
              \"ipc\":{},\"emergency_cycles\":{},\"stress_cycles\":{},\"hottest_block\":{},\
              \"hottest_temp_c\":{},\"metrics\":{{",
             self.seq,
@@ -109,6 +116,7 @@ impl CellRecord {
             json_str(&self.policy),
             json_str(&self.variant),
             json_f64(self.wall_seconds),
+            json_f64(self.elapsed_seconds),
             self.thermal_steps,
             self.committed,
             self.dtm_samples,
@@ -146,6 +154,9 @@ impl CellRecord {
                 "policy" => r.policy = v.as_str().ok_or("policy: not a string")?.to_string(),
                 "variant" => r.variant = v.as_str().ok_or("variant: not a string")?.to_string(),
                 "wall_seconds" => r.wall_seconds = v.as_f64().ok_or("wall_seconds: not a number")?,
+                "elapsed_seconds" => {
+                    r.elapsed_seconds = v.as_f64().ok_or("elapsed_seconds: not a number")?
+                }
                 "thermal_steps" => {
                     r.thermal_steps = v.as_u64().ok_or("thermal_steps: not a u64")?
                 }
@@ -506,9 +517,13 @@ impl<W: Write + Send> StreamSink for JsonlSink<W> {
 
 /// Serializes concurrent emits and assigns each record its monotone
 /// `seq` stamp *under the same lock*, so the sink's physical order always
-/// equals `seq` order even when N worker threads race to emit.
+/// equals `seq` order even when N worker threads race to emit. The same
+/// lock stamps `elapsed_seconds` (time since the sink was created, i.e.
+/// grid start), which is therefore monotone nondecreasing along the
+/// stream.
 pub struct StampedSink<'a> {
     inner: Mutex<StampState<'a>>,
+    started: std::time::Instant,
 }
 
 struct StampState<'a> {
@@ -517,16 +532,20 @@ struct StampState<'a> {
 }
 
 impl<'a> StampedSink<'a> {
-    /// Wraps a sink; stamps start at 0.
+    /// Wraps a sink; stamps start at 0 and the elapsed clock starts now.
     pub fn new(sink: &'a mut dyn StreamSink) -> StampedSink<'a> {
-        StampedSink { inner: Mutex::new(StampState { next: 0, sink }) }
+        StampedSink {
+            inner: Mutex::new(StampState { next: 0, sink }),
+            started: std::time::Instant::now(),
+        }
     }
 
-    /// Stamps `record.seq` and forwards it to the wrapped sink, atomically.
-    /// Returns the assigned stamp.
+    /// Stamps `record.seq` and `record.elapsed_seconds` and forwards the
+    /// record to the wrapped sink, atomically. Returns the assigned stamp.
     pub fn emit(&self, record: &mut CellRecord) -> u64 {
         let mut st = self.inner.lock().expect("stream sink lock poisoned");
         record.seq = st.next;
+        record.elapsed_seconds = self.started.elapsed().as_secs_f64();
         st.next += 1;
         st.sink.emit(record);
         record.seq
@@ -551,6 +570,7 @@ mod tests {
             policy: "pid".to_string(),
             variant: "single".to_string(),
             wall_seconds: 0.25,
+            elapsed_seconds: 0.75,
             thermal_steps: 1200,
             committed: 120_000,
             dtm_samples: 12,
@@ -587,6 +607,7 @@ mod tests {
         let mut b = sample(1);
         b.seq = 99;
         b.wall_seconds = 123.0;
+        b.elapsed_seconds = 456.0;
         assert!(a.deterministic_eq(&b));
         assert_ne!(a, b, "full equality still sees the host-side fields");
         b.committed += 1;

@@ -1,0 +1,476 @@
+//! Batched SoA stepping of many independent block models.
+//!
+//! A fleet experiment steps hundreds of [`BlockModel`]s — one per grid
+//! cell (or one per uncoupled core of a [`CoupledChip`]) — every cycle.
+//! Stepping them one object at a time walks scattered heap allocations
+//! and re-loads per-model scalars for every handful of blocks.
+//! [`ThermalBatch`] packs the models' per-block state into contiguous
+//! structure-of-arrays fields (temperatures, decay factors, resistances)
+//! so one [`step_batch`](ThermalBatch::step_batch) sweep advances every
+//! lane with dense, vectorizable inner loops.
+//!
+//! The batch is a *bit-exact* re-arrangement, not an approximation: each
+//! lane replicates [`BlockModel::step_scaled`]'s per-block operation
+//! order exactly (pinned by property tests), so a run stepped through a
+//! batch produces byte-identical trajectories to one stepped through the
+//! individual models.
+//!
+//! Lanes are identified by index. Finished cells are retired with
+//! [`remove_lane`](ThermalBatch::remove_lane) (swap-remove compaction),
+//! keeping the sweep dense as the fleet drains.
+
+use crate::block_model::BlockModel;
+use crate::multicore::CoupledChip;
+use crate::{Celsius, Watts};
+
+/// A structure-of-arrays pack of many equally-shaped block models.
+///
+/// Every lane holds `width` blocks. Per-block fields are stored
+/// lane-major: lane `l`'s blocks occupy `l*width .. (l+1)*width` of each
+/// field array (and of the caller's flat power buffer).
+#[derive(Clone, Debug, Default)]
+pub struct ThermalBatch {
+    /// Blocks per lane.
+    width: usize,
+    /// Block temperatures, lane-major.
+    temps: Vec<f64>,
+    /// Precomputed per-block decay factors `e^{-dt/RC}`, lane-major.
+    decay: Vec<f64>,
+    /// Per-block normal resistance to the heatsink, lane-major.
+    r: Vec<f64>,
+    /// Per-block RC product, lane-major (for decay refresh on retiming).
+    rc: Vec<f64>,
+    /// Per-lane heatsink temperature.
+    heatsink: Vec<f64>,
+    /// Per-lane integration step (seconds).
+    dt: Vec<f64>,
+}
+
+impl ThermalBatch {
+    /// Creates an empty batch of models with `width` blocks each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(width: usize) -> ThermalBatch {
+        assert!(width > 0, "need at least one block per lane");
+        ThermalBatch { width, ..ThermalBatch::default() }
+    }
+
+    /// Blocks per lane.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of packed lanes.
+    pub fn lanes(&self) -> usize {
+        self.heatsink.len()
+    }
+
+    /// Whether the batch holds no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.heatsink.is_empty()
+    }
+
+    /// Packs a model's state into a new lane and returns its index. The
+    /// decay factors are *copied* from the model (via
+    /// [`BlockModel::decay_factors`]), not recomputed, so the lane steps
+    /// with exactly the factors the model would have used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's block count differs from the batch width.
+    pub fn push(&mut self, model: &BlockModel) -> usize {
+        assert_eq!(model.len(), self.width, "model width must match the batch");
+        let lane = self.lanes();
+        self.temps.extend_from_slice(model.temperatures());
+        self.decay.extend_from_slice(model.decay_factors());
+        for p in model.params() {
+            self.r.push(p.r);
+            self.rc.push(p.r * p.c);
+        }
+        self.heatsink.push(model.heatsink());
+        self.dt.push(model.dt());
+        lane
+    }
+
+    /// Packs every core of an *uncoupled* chip, one lane per core, and
+    /// returns the first lane index (cores occupy consecutive lanes).
+    /// With no coupling edges, [`CoupledChip::step`] degenerates to
+    /// independent per-core steps, which is exactly what the batch
+    /// replicates; a coupled chip cannot be batched this way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chip has coupling edges or its cores' block count
+    /// differs from the batch width.
+    pub fn push_chip_cores(&mut self, chip: &CoupledChip) -> usize {
+        assert!(
+            chip.edges().is_empty(),
+            "only uncoupled chips batch as independent lanes"
+        );
+        let first = self.lanes();
+        for core in chip.core_models() {
+            self.push(core);
+        }
+        first
+    }
+
+    /// Advances every lane one step with the fused scale-and-step update
+    /// of [`BlockModel::step_scaled`]: block `i` of lane `l` reads
+    /// `powers[l*width + i]`, multiplies it by `scales[l]` (writing the
+    /// effective watts back), and takes the exact constant-power decay
+    /// step. Per-lane results are bit-identical to calling
+    /// `step_scaled` on the corresponding models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers` is not `lanes*width` long or `scales` is not
+    /// one per lane.
+    pub fn step_batch(&mut self, powers: &mut [Watts], scales: &[f64]) {
+        let lanes = self.lanes();
+        assert_eq!(powers.len(), lanes * self.width, "one power per block per lane");
+        assert_eq!(scales.len(), lanes, "one scale per lane");
+        for (l, &scale) in scales.iter().enumerate() {
+            let base = l * self.width;
+            let span = base..base + self.width;
+            let heatsink = self.heatsink[l];
+            let temps = &mut self.temps[span.clone()];
+            let lane_powers = &mut powers[span.clone()];
+            let r = &self.r[span.clone()];
+            let decay = &self.decay[span];
+            for ((temp, power), (&r, &decay)) in
+                temps.iter_mut().zip(lane_powers).zip(r.iter().zip(decay))
+            {
+                let p = *power * scale;
+                *power = p;
+                let t_ss = heatsink + p * r;
+                *temp = t_ss + (*temp - t_ss) * decay;
+            }
+        }
+    }
+
+    /// Retimes one lane's integration step (e.g. under frequency
+    /// scaling), recomputing its decay factors exactly as
+    /// [`BlockModel::set_dt`] would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive or `lane` is out of range.
+    pub fn set_lane_dt(&mut self, lane: usize, dt: f64) {
+        assert!(dt > 0.0, "dt must be positive");
+        self.dt[lane] = dt;
+        let base = lane * self.width;
+        for i in base..base + self.width {
+            self.decay[i] = (-dt / self.rc[i]).exp();
+        }
+    }
+
+    /// One lane's integration step in seconds.
+    pub fn lane_dt(&self, lane: usize) -> f64 {
+        self.dt[lane]
+    }
+
+    /// Initializes one lane's blocks to their steady-state temperatures
+    /// under the given powers, exactly as [`BlockModel::warm_start`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers.len()` differs from the batch width or `lane`
+    /// is out of range.
+    pub fn warm_start_lane(&mut self, lane: usize, powers: &[Watts]) {
+        assert_eq!(powers.len(), self.width, "one power per block");
+        let base = lane * self.width;
+        let heatsink = self.heatsink[lane];
+        for (i, &power) in powers.iter().enumerate() {
+            self.temps[base + i] = heatsink + power * self.r[base + i];
+        }
+    }
+
+    /// Overrides one block temperature of one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` or `block` is out of range.
+    pub fn set_temperature(&mut self, lane: usize, block: usize, temp: Celsius) {
+        assert!(block < self.width, "block index out of range");
+        self.temps[lane * self.width + block] = temp;
+    }
+
+    /// One lane's block temperatures, in block order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn temperatures(&self, lane: usize) -> &[Celsius] {
+        &self.temps[lane * self.width..(lane + 1) * self.width]
+    }
+
+    /// One lane's block temperatures as a fixed-arity array reference,
+    /// mirroring [`BlockModel::temperatures_fixed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range or `N` differs from the width.
+    pub fn temperatures_fixed<const N: usize>(&self, lane: usize) -> &[Celsius; N] {
+        self.temperatures(lane).try_into().expect("fixed-arity temperature read")
+    }
+
+    /// The index and temperature of one lane's hottest block, with
+    /// [`BlockModel::hottest`]'s exact tie-breaking (first block wins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn hottest(&self, lane: usize) -> (usize, Celsius) {
+        let temps = self.temperatures(lane);
+        let mut best = (0, temps[0]);
+        for (i, &t) in temps.iter().enumerate() {
+            if t > best.1 {
+                best = (i, t);
+            }
+        }
+        best
+    }
+
+    /// Writes one lane's temperatures back into a model (the inverse of
+    /// [`push`](ThermalBatch::push) for the mutable state; parameters
+    /// are the caller's responsibility to keep matched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's block count differs from the batch width or
+    /// `lane` is out of range.
+    pub fn scatter_to(&self, lane: usize, model: &mut BlockModel) {
+        assert_eq!(model.len(), self.width, "model width must match the batch");
+        for (i, &t) in self.temperatures(lane).iter().enumerate() {
+            model.set_temperature(i, t);
+        }
+    }
+
+    /// Writes consecutive lanes (starting at `first`) back into an
+    /// uncoupled chip's cores, the inverse of
+    /// [`push_chip_cores`](ThermalBatch::push_chip_cores).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn scatter_chip_cores(&self, first: usize, chip: &mut CoupledChip) {
+        for k in 0..chip.cores() {
+            self.scatter_to(first + k, chip.core_mut(k));
+        }
+    }
+
+    /// Retires a lane by swap-remove: the last lane moves into `lane`'s
+    /// slot (all field arrays compacted in lockstep) and the batch
+    /// shrinks by one. Returns the index of the lane that moved (the old
+    /// last lane), or `None` if `lane` was the last. Lane indices above
+    /// the removed one are invalidated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn remove_lane(&mut self, lane: usize) -> Option<usize> {
+        let last = self.lanes() - 1;
+        assert!(lane <= last, "lane index out of range");
+        let (a, b) = (lane * self.width, last * self.width);
+        for i in 0..self.width {
+            self.temps.swap(a + i, b + i);
+            self.decay.swap(a + i, b + i);
+            self.r.swap(a + i, b + i);
+            self.rc.swap(a + i, b + i);
+        }
+        self.temps.truncate(b);
+        self.decay.truncate(b);
+        self.r.truncate(b);
+        self.rc.truncate(b);
+        self.heatsink.swap_remove(lane);
+        self.dt.swap_remove(lane);
+        (lane != last).then_some(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block_model::BlockParams;
+    use crate::multicore::MulticoreFloorplan;
+
+    const W: usize = 7;
+
+    /// A randomized 7-block model with random R/C/temperature state —
+    /// the same generator shape the block-model kernel tests use.
+    fn random_model(rng: &mut tdtm_prng::Rng) -> BlockModel {
+        let params: Vec<BlockParams> = (0..W)
+            .map(|i| BlockParams {
+                name: format!("b{i}"),
+                area: 1e-6,
+                r: 0.1 + rng.next_f64() * 30.0,
+                c: 1e-8 + rng.next_f64() * 1e-4,
+            })
+            .collect();
+        let heatsink = 20.0 + rng.next_f64() * 90.0;
+        let dt = 10f64.powf(rng.next_f64() * 8.0 - 10.0);
+        let mut m = BlockModel::new(params, heatsink, dt);
+        for i in 0..W {
+            m.set_temperature(i, heatsink - 5.0 + rng.next_f64() * 60.0);
+        }
+        m
+    }
+
+    fn random_powers(rng: &mut tdtm_prng::Rng) -> [f64; W] {
+        std::array::from_fn(|_| rng.next_f64() * 40.0)
+    }
+
+    /// The tentpole's pin: packing N heterogeneous models, stepping the
+    /// batch, and reading lanes back must be bit-identical to stepping
+    /// each model individually through `step_scaled` — across random
+    /// parameters, powers, per-lane scales, and written-back watts.
+    #[test]
+    fn property_step_batch_matches_individual_models_bitwise() {
+        tdtm_prng::cases(40, 0x50A_BA7C, |rng| {
+            let n = 1 + rng.index(12);
+            let mut models: Vec<BlockModel> = (0..n).map(|_| random_model(rng)).collect();
+            let mut batch = ThermalBatch::new(W);
+            for m in &models {
+                assert_eq!(batch.push(m), batch.lanes() - 1);
+            }
+            for _ in 0..20 {
+                let mut flat = vec![0.0f64; n * W];
+                let mut scales = vec![0.0f64; n];
+                let mut expect_flat = vec![0.0f64; n * W];
+                for l in 0..n {
+                    let powers = random_powers(rng);
+                    flat[l * W..(l + 1) * W].copy_from_slice(&powers);
+                    scales[l] = 0.2 + rng.next_f64() * 1.3;
+                    let mut fused = powers;
+                    models[l].step_scaled(&mut fused, scales[l]);
+                    expect_flat[l * W..(l + 1) * W].copy_from_slice(&fused);
+                }
+                batch.step_batch(&mut flat, &scales);
+                assert_eq!(flat, expect_flat, "written-back effective watts");
+                for (l, m) in models.iter().enumerate() {
+                    assert_eq!(batch.temperatures(l), m.temperatures(), "lane {l}");
+                    assert_eq!(batch.hottest(l), m.hottest(), "lane {l} hottest");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn property_retiming_and_warm_start_match_the_model() {
+        tdtm_prng::cases(40, 0x0D7_0D70, |rng| {
+            let mut model = random_model(rng);
+            let mut batch = ThermalBatch::new(W);
+            let lane = batch.push(&model);
+            assert_eq!(batch.lane_dt(lane), model.dt());
+
+            let powers = random_powers(rng);
+            model.warm_start(&powers);
+            batch.warm_start_lane(lane, &powers);
+            assert_eq!(batch.temperatures(lane), model.temperatures());
+
+            let dt = 10f64.powf(rng.next_f64() * 8.0 - 10.0);
+            model.set_dt(dt);
+            batch.set_lane_dt(lane, dt);
+            let mut a = powers;
+            let mut b = powers;
+            model.step_scaled(&mut a, 1.1);
+            batch.step_batch(&mut b, &[1.1]);
+            assert_eq!(batch.temperatures(lane), model.temperatures());
+            assert_eq!(a, b);
+        });
+    }
+
+    #[test]
+    fn scatter_restores_a_model_exactly() {
+        let mut rng = tdtm_prng::Rng::new(0x5CA_77E2);
+        let mut model = random_model(&mut rng);
+        let mut batch = ThermalBatch::new(W);
+        let lane = batch.push(&model);
+        let mut flat: Vec<f64> = random_powers(&mut rng).to_vec();
+        batch.step_batch(&mut flat, &[1.0]);
+        assert_ne!(batch.temperatures(lane), model.temperatures());
+        batch.scatter_to(lane, &mut model);
+        assert_eq!(batch.temperatures(lane), model.temperatures());
+    }
+
+    #[test]
+    fn swap_remove_compacts_and_keeps_survivors_intact() {
+        let mut rng = tdtm_prng::Rng::new(0xC0_47AC7);
+        let models: Vec<BlockModel> = (0..4).map(|_| random_model(&mut rng)).collect();
+        let mut batch = ThermalBatch::new(W);
+        for m in &models {
+            batch.push(m);
+        }
+        // Remove lane 1: lane 3 moves into its slot.
+        assert_eq!(batch.remove_lane(1), Some(3));
+        assert_eq!(batch.lanes(), 3);
+        assert_eq!(batch.temperatures(0), models[0].temperatures());
+        assert_eq!(batch.temperatures(1), models[3].temperatures());
+        assert_eq!(batch.temperatures(2), models[2].temperatures());
+        assert_eq!(batch.lane_dt(1), models[3].dt());
+        // Survivors still step exactly as their source models.
+        let mut m0 = models[0].clone();
+        let mut flat = vec![3.0f64; 3 * W];
+        let mut p0 = [3.0f64; W];
+        batch.step_batch(&mut flat, &[1.0, 1.0, 1.0]);
+        m0.step_scaled(&mut p0, 1.0);
+        assert_eq!(batch.temperatures(0), m0.temperatures());
+        // Removing the last lane moves nothing.
+        assert_eq!(batch.remove_lane(2), None);
+        assert_eq!(batch.lanes(), 2);
+    }
+
+    #[test]
+    fn uncoupled_chip_round_trips_through_the_batch() {
+        let dt = 1.0 / 1.5e9;
+        let plan = MulticoreFloorplan::new(3).coupling(0.0).heterogeneity(0.2);
+        let mut chip = plan.build_chip(103.0, dt);
+        let mut batched = chip.clone();
+        let mut batch = ThermalBatch::new(W);
+        let first = batch.push_chip_cores(&batched);
+        assert_eq!(first, 0);
+        assert_eq!(batch.lanes(), 3);
+
+        let powers: Vec<Vec<f64>> =
+            (0..3).map(|k| (0..W).map(|i| (k * W + i) as f64 * 0.3).collect()).collect();
+        let mut flat: Vec<f64> = powers.iter().flatten().copied().collect();
+        for _ in 0..2_000 {
+            chip.step(&powers);
+            // Unit scale writes back the same watts, so `flat` is stable.
+            batch.step_batch(&mut flat, &[1.0; 3]);
+        }
+        batch.scatter_chip_cores(first, &mut batched);
+        for k in 0..3 {
+            assert_eq!(batched.temperatures(k), chip.temperatures(k), "core {k}");
+        }
+    }
+
+    #[test]
+    fn temperatures_fixed_views_the_same_state() {
+        let mut rng = tdtm_prng::Rng::new(0xF1_EDF1);
+        let model = random_model(&mut rng);
+        let mut batch = ThermalBatch::new(W);
+        let lane = batch.push(&model);
+        let fixed: &[f64; W] = batch.temperatures_fixed(lane);
+        assert_eq!(&fixed[..], batch.temperatures(lane));
+    }
+
+    #[test]
+    #[should_panic(expected = "model width must match the batch")]
+    fn width_mismatch_is_rejected() {
+        let mut rng = tdtm_prng::Rng::new(1);
+        let model = random_model(&mut rng);
+        let mut batch = ThermalBatch::new(3);
+        batch.push(&model);
+    }
+
+    #[test]
+    #[should_panic(expected = "only uncoupled chips batch")]
+    fn coupled_chip_is_rejected() {
+        let chip = MulticoreFloorplan::new(2).build_chip(103.0, 1e-6);
+        let mut batch = ThermalBatch::new(W);
+        batch.push_chip_cores(&chip);
+    }
+}

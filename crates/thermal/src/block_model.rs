@@ -121,6 +121,15 @@ impl BlockModel {
         self.dt
     }
 
+    /// The precomputed per-block decay factors `e^{-dt/RC}`, in block
+    /// order. Exposed so batch steppers ([`crate::batch::ThermalBatch`])
+    /// can pack the *exact* factors this model would use — recomputing
+    /// them from R and C would be bit-identical today, but copying removes
+    /// the coupling between the two code paths entirely.
+    pub fn decay_factors(&self) -> &[f64] {
+        &self.decay
+    }
+
     /// Changes the heatsink temperature (e.g. to model long-term drift
     /// between experiments).
     pub fn set_heatsink(&mut self, heatsink: Celsius) {

@@ -36,6 +36,7 @@
 //! assert!((net.temperature(die) - 77.0).abs() < 0.1);
 //! ```
 
+pub mod batch;
 pub mod block_model;
 pub mod boxcar;
 pub mod chipwide;
@@ -44,10 +45,13 @@ pub mod duality;
 pub mod floorplan;
 pub mod multicore;
 pub mod network;
+pub mod reduction;
 pub mod silicon;
 
+pub use batch::ThermalBatch;
 pub use block_model::{BlockModel, BlockParams};
 pub use multicore::{CoupledChip, CouplingEdge, MulticoreFloorplan};
+pub use reduction::CompactModel;
 pub use boxcar::BoxcarProxy;
 pub use chipwide::ChipWideModel;
 pub use silicon::SiliconProperties;

@@ -16,7 +16,7 @@ use crate::{Celsius, Watts};
 
 /// Identifier for a node in an [`RcNetwork`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct NodeId(usize);
+pub struct NodeId(pub(crate) usize);
 
 #[derive(Clone, Debug)]
 struct Node {
@@ -111,6 +111,41 @@ impl RcNetwork {
         self.time
     }
 
+    /// The ambient reference temperature.
+    pub fn ambient(&self) -> Celsius {
+        self.ambient
+    }
+
+    /// Whether `node` is a fixed-temperature node.
+    pub fn is_fixed(&self, node: NodeId) -> bool {
+        self.nodes[node.0].fixed
+    }
+
+    /// Thermal capacitance of `node` (J/K).
+    pub fn capacitance(&self, node: NodeId) -> f64 {
+        self.nodes[node.0].capacitance
+    }
+
+    /// Heat currently injected at `node` (W).
+    pub fn power(&self, node: NodeId) -> Watts {
+        self.nodes[node.0].power
+    }
+
+    /// All node ids, in insertion order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// All resistive edges as `(a, b, conductance)`; `b` is `None` for
+    /// edges to the ambient reference. Exposed for model-extraction
+    /// passes ([`crate::reduction`]).
+    pub fn edge_list(&self) -> impl Iterator<Item = (NodeId, Option<NodeId>, f64)> + '_ {
+        self.edges.iter().map(|e| {
+            let b = if e.b == AMBIENT { None } else { Some(NodeId(e.b)) };
+            (NodeId(e.a), b, e.conductance)
+        })
+    }
+
     /// Number of nodes.
     pub fn len(&self) -> usize {
         self.nodes.len()
@@ -123,6 +158,13 @@ impl RcNetwork {
 
     /// The largest forward-Euler step that keeps every node's update
     /// contraction stable (`dt < C_i / Σg_i`), with a 2x safety margin.
+    ///
+    /// Degenerate networks impose no bound and return `INFINITY`: an
+    /// empty network, a fixed-only network, and free nodes with no
+    /// edges at all (their Euler update `T += dt·P/C` has no
+    /// contraction to destabilize). [`RcNetwork::run`] clamps with
+    /// `min`, so an infinite bound simply leaves the caller's `dt`
+    /// untouched.
     pub fn max_stable_dt(&self) -> f64 {
         let mut total_g = vec![0.0f64; self.nodes.len()];
         for e in &self.edges {
@@ -397,6 +439,77 @@ mod tests {
         let mut net = RcNetwork::new(27.0);
         let _lonely = net.add_node(1.0, 50.0);
         assert!(net.steady_state().is_none());
+    }
+
+    /// Degenerate-input audit (regression pins): networks with nothing
+    /// to integrate must answer consistently instead of dividing by
+    /// zero, spinning, or panicking.
+    #[test]
+    fn degenerate_networks_have_consistent_answers() {
+        // Empty network: no stability bound, a trivially converged
+        // (empty) steady state, and `run` is a harmless clock advance.
+        let mut empty = RcNetwork::new(27.0);
+        assert_eq!(empty.max_stable_dt(), f64::INFINITY);
+        assert_eq!(empty.steady_state(), Some(Vec::new()));
+        empty.run(1.0, 0.1);
+        assert_eq!(empty.time(), 1.0);
+        assert!(empty.is_settled(1e-12));
+
+        // Fixed-only network: every temperature is pinned, so there is
+        // no bound to respect and the steady state is immediate.
+        let mut fixed_only = RcNetwork::new(27.0);
+        let a = fixed_only.add_fixed_node(103.0);
+        let b = fixed_only.add_fixed_node(45.0);
+        fixed_only.connect(a, b, 1.0);
+        assert_eq!(fixed_only.max_stable_dt(), f64::INFINITY);
+        assert_eq!(fixed_only.steady_state(), Some(vec![103.0, 45.0]));
+        fixed_only.run(10.0, 1e-3);
+        assert_eq!(fixed_only.temperature(a), 103.0, "fixed nodes never move");
+        assert_eq!(fixed_only.temperature(b), 45.0);
+
+        // An edgeless free node is a pure integrator: it bounds nothing
+        // (its Euler update has no contraction), heats linearly under
+        // power, and has no steady state.
+        let mut lonely = RcNetwork::new(27.0);
+        let n = lonely.add_node(0.5, 30.0);
+        lonely.set_power(n, 2.0);
+        assert_eq!(lonely.max_stable_dt(), f64::INFINITY);
+        lonely.run(10.0, 0.1);
+        assert!((lonely.temperature(n) - 70.0).abs() < 1e-9, "2 W / 0.5 J/K for 10 s = +40 K");
+        assert!(lonely.steady_state().is_none());
+
+        // A free node whose only neighbors are fixed still has a unique
+        // steady state (the references pin it).
+        let mut pinned = RcNetwork::new(27.0);
+        let sink = pinned.add_fixed_node(103.0);
+        let die = pinned.add_node(1e-4, 20.0);
+        pinned.connect(die, sink, 2.0);
+        pinned.set_power(die, 5.0);
+        let ss = pinned.steady_state().expect("fixed neighbor is a reference");
+        assert!((ss[1] - 113.0).abs() < 1e-9, "5 W x 2 K/W above 103 C");
+    }
+
+    /// The zero/negative-parameter guards: non-positive (or NaN)
+    /// capacitances, resistances, and steps are construction errors,
+    /// not silent divisions by zero.
+    #[test]
+    #[should_panic(expected = "capacitance must be positive")]
+    fn zero_capacitance_is_rejected() {
+        RcNetwork::new(27.0).add_node(0.0, 27.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacitance must be positive")]
+    fn nan_capacitance_is_rejected() {
+        RcNetwork::new(27.0).add_node(f64::NAN, 27.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance must be positive")]
+    fn zero_resistance_is_rejected() {
+        let mut net = RcNetwork::new(27.0);
+        let n = net.add_node(1.0, 27.0);
+        net.connect_to_ambient(n, 0.0);
     }
 
     /// Regression: `run(1.0, 0.3)` used to take `ceil(1.0/0.3) = 4` full

@@ -195,10 +195,18 @@ pub struct Core {
     /// Writeback's per-cycle completion scratch `(ruu index, seq)`,
     /// hoisted to a field so the cycle loop never heap-allocates.
     wb_completed: Vec<(usize, u64)>,
-    /// Issue-select scan hint: every RUU entry with `seq` below this has
-    /// already issued, so the scan may start there instead of at the
-    /// window head. Clamped on recovery (squashed seqs are recycled).
-    issue_first_unissued: u64,
+    /// Writeback's per-cycle wakeup scratch (seqs that became ready),
+    /// hoisted for the same reason.
+    wb_woken: Vec<u64>,
+    /// Issue-select ready list: seqs of RUU entries that are ready (no
+    /// outstanding deps) and not yet issued, ascending. Maintained
+    /// incrementally — dispatch adds born-ready entries, writeback adds
+    /// entries whose last dep cleared, issue removes what it issues, and
+    /// recovery drops squashed seqs — so the select loop visits only
+    /// actual candidates instead of rescanning the window every cycle.
+    /// The candidate *order* (oldest first) matches the scan it replaced,
+    /// so issue selection and unit allocation are bit-identical.
+    ready_unissued: Vec<u64>,
 
     /// When set, each pipeline stage is wrapped in a host timer and the
     /// accumulated nanoseconds land in `stage_nanos`. Off by default — the
@@ -276,7 +284,8 @@ impl Core {
             stats: CoreStats::default(),
             halted_seen: false,
             wb_completed: Vec::new(),
-            issue_first_unissued: 0,
+            wb_woken: Vec::new(),
+            ready_unissued: Vec::with_capacity(cfg.ruu_size),
             stage_profiling: false,
             stage_nanos: [0; 6],
             cfg,
@@ -531,18 +540,32 @@ impl Core {
         if let (Some(&(first_idx, first_seq)), Some(&(_, last_seq))) =
             (completed.first(), completed.last())
         {
+            let mut woken = std::mem::take(&mut self.wb_woken);
+            woken.clear();
             for e in self.ruu.range_mut(first_idx + 1..) {
+                let mut cleared = false;
                 for d in e.deps.iter_mut() {
                     if let Some(v) = *d {
                         if v >= first_seq
                             && v <= last_seq
-                            && completed.iter().any(|&(_, s)| s == v)
+                            && completed.binary_search_by_key(&v, |&(_, s)| s).is_ok()
                         {
                             *d = None;
+                            cleared = true;
                         }
                     }
                 }
+                // A cleared dep means the entry was not ready before this
+                // cycle, so it cannot already be on the ready list.
+                if cleared && !e.issued && e.ready() {
+                    woken.push(e.seq);
+                }
             }
+            for &seq in &woken {
+                let pos = self.ready_unissued.partition_point(|&s| s < seq);
+                self.ready_unissued.insert(pos, seq);
+            }
+            self.wb_woken = woken;
         }
         self.wb_completed = completed;
 
@@ -590,9 +613,9 @@ impl Core {
         // RUU sequence numbers must stay contiguous (dependence lookups
         // index by `seq - front.seq`): recycle the squashed numbers.
         self.next_seq = branch_seq + 1;
-        // The recycled numbers will name fresh, un-issued entries; the
-        // issue hint must not claim they have issued.
-        self.issue_first_unissued = self.issue_first_unissued.min(self.next_seq);
+        // Squashed entries leave the ready list too — the recycled seqs
+        // will name fresh entries that must earn their own readiness.
+        self.ready_unissued.retain(|&s| s <= branch_seq);
     }
 
     // ------------------------------------------------------------------
@@ -600,6 +623,9 @@ impl Core {
     // ------------------------------------------------------------------
 
     fn issue(&mut self) {
+        if self.ready_unissued.is_empty() {
+            return;
+        }
         let mut issued = 0;
         let mut int_alu = self.cfg.int_alu_count;
         let mut int_mult = self.cfg.int_mult_count;
@@ -607,33 +633,24 @@ impl Core {
         let mut fp_mult = self.cfg.fp_mult_count;
         let mut mem_ports = self.cfg.mem_ports;
 
-        let front_seq = match self.ruu.front() {
-            Some(e) => e.seq,
-            None => return,
-        };
+        let front_seq =
+            self.ruu.front().expect("a ready entry implies a nonempty window").seq;
 
-        // Everything older than the hint has issued already; the select
-        // scan starts there instead of at the window head. Any entry left
-        // un-issued this cycle (not ready, no free unit, or past the issue
-        // width) lowers the hint back to itself.
-        let start = (self.issue_first_unissued.saturating_sub(front_seq)) as usize;
-        let mut first_unissued = u64::MAX;
-        for i in start..self.ruu.len() {
+        // Oldest-first over the ready candidates only. Entries that fail
+        // to issue (no free unit, LSQ-blocked load, or past the issue
+        // width) are kept, in order, for next cycle.
+        let mut ready = std::mem::take(&mut self.ready_unissued);
+        let mut kept = 0;
+        for r in 0..ready.len() {
+            let seq = ready[r];
             if issued >= self.cfg.issue_width {
-                first_unissued = first_unissued.min(self.ruu[i].seq);
-                break;
-            }
-            let (seq, class, ready, already) = {
-                let e = &self.ruu[i];
-                (e.seq, e.class, e.ready(), e.issued)
-            };
-            if already {
+                ready[kept] = seq;
+                kept += 1;
                 continue;
             }
-            if !ready {
-                first_unissued = first_unissued.min(seq);
-                continue;
-            }
+            let i = (seq - front_seq) as usize;
+            debug_assert!(self.ruu[i].ready() && !self.ruu[i].issued);
+            let class = self.ruu[i].class;
             let latency = match class {
                 OpClass::IntAlu | OpClass::Branch | OpClass::Jump | OpClass::System => {
                     if int_alu == 0 {
@@ -715,7 +732,8 @@ impl Core {
                 }
             };
             let Some(latency) = latency else {
-                first_unissued = first_unissued.min(seq);
+                ready[kept] = seq;
+                kept += 1;
                 continue;
             };
 
@@ -726,11 +744,8 @@ impl Core {
             issued += 1;
             self.stats.issued += 1;
         }
-        self.issue_first_unissued = if first_unissued == u64::MAX {
-            front_seq + self.ruu.len() as u64
-        } else {
-            first_unissued
-        };
+        ready.truncate(kept);
+        self.ready_unissued = ready;
     }
 
     /// Checks LSQ ordering constraints for the load at RUU index `i` and
@@ -886,6 +901,7 @@ impl Core {
             self.unresolved_branches += 1;
         }
 
+        let born_ready = deps[0].is_none() && deps[1].is_none();
         self.ruu.push_back(RuuEntry {
             seq,
             uop,
@@ -896,6 +912,11 @@ impl Core {
             complete_cycle: 0,
             dest,
         });
+        if born_ready {
+            // `seq` exceeds every live seq, so a push keeps the list sorted.
+            debug_assert!(self.ready_unissued.last().is_none_or(|&s| s < seq));
+            self.ready_unissued.push(seq);
+        }
         self.stats.dispatched += 1;
     }
 

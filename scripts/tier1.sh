@@ -44,4 +44,14 @@ echo "== tier 1: bench regression smoke (simulator_throughput vs BENCH_simloop.j
 # Absolute path: cargo runs bench binaries with CWD = the package dir.
 cargo bench -p tdtm-bench --bench simulator_throughput -- --quick --check "$PWD/BENCH_simloop.json"
 
+echo "== tier 1: grid throughput smoke (grid_throughput vs BENCH_grid.json) =="
+# Full 18x5 hot grid through both dispatches (reference and batched SoA);
+# fails if either regresses >3x against the committed cells/sec baseline.
+cargo bench -p tdtm-bench --bench grid_throughput -- --quick --check "$PWD/BENCH_grid.json"
+
+echo "== tier 1: reduction accuracy smoke (Table-3 compact extraction) =="
+# Extracts the Table-3 floorplan into a compact model and asserts the
+# truncation error bound and full-solver agreement hold at tol = 10.
+cargo test -q --release -p tdtm-thermal --lib table3_floorplan_extracts_and_tracks -- --exact reduction::tests::table3_floorplan_extracts_and_tracks
+
 echo "tier 1: OK"

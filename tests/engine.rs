@@ -47,6 +47,30 @@ fn one_thread_reproduces_many_threads_byte_for_byte() {
 }
 
 #[test]
+fn batched_dispatch_reports_byte_identically_to_the_per_cell_path() {
+    // `run_threads` packs eligible single-core cells into SoA thermal
+    // batches; `small_grid` mixes them with supervised two-core chip
+    // cells that must fall back to the per-cell path. Whatever the
+    // dispatch, the reports are byte-identical (the Debug rendering
+    // distinguishes every bit pattern short of NaN).
+    let grid = small_grid();
+    let batched = grid.run_threads_with_batching(4, true);
+    let reference = grid.run_threads_with_batching(1, false);
+    assert_eq!(batched.runs.len(), reference.runs.len());
+    for (b, r) in batched.runs.iter().zip(&reference.runs) {
+        assert_eq!(b.index, r.index);
+        assert_eq!(b.report, r.report, "cell {} diverged under batching", b.label());
+        assert_eq!(
+            format!("{:?}", b.report),
+            format!("{:?}", r.report),
+            "cell {}: bit patterns differ under batching",
+            b.label()
+        );
+        assert!(b.obs.deterministic_eq(&r.obs), "cell {}: observability diverged", b.label());
+    }
+}
+
+#[test]
 fn per_run_observability_is_populated() {
     let results = small_grid().run_threads(2);
     for run in &results.runs {

@@ -69,6 +69,36 @@ fn fast_loop_matches_reference_loop_without_warm_start() {
 }
 
 #[test]
+fn batched_soa_stepping_matches_both_loops_across_policies() {
+    // The engine's third execution strategy: eligible cells run in
+    // lockstep over a shared SoA thermal batch (`tdtm_core::batch`).
+    // For every policy the batched grid report must be byte-identical
+    // to the cell's own fast- and reference-loop runs.
+    use tdtm::core::engine::ExperimentGrid;
+    use tdtm::core::experiments::ExperimentScale;
+
+    let grid = ExperimentGrid::new(ExperimentScale::quick())
+        .workload(by_name("gcc").expect("suite workload"))
+        .policies(&[PolicyKind::None, PolicyKind::Pid, PolicyKind::Toggle1, PolicyKind::VfScale])
+        .variant("hot", |cfg| {
+            cfg.max_insts = 120_000;
+            cfg.heatsink_temp = 107.0;
+        });
+    let batched = grid.run_threads_with_batching(1, true);
+    assert_eq!(batched.runs.len(), 4);
+    for run in &batched.runs {
+        let (fast, _) = run_with(hot_cfg(run.policy), "gcc", false);
+        let (reference, _) = run_with(hot_cfg(run.policy), "gcc", true);
+        assert_byte_identical(&run.report, &fast, &format!("batched vs fast, {:?}", run.policy));
+        assert_byte_identical(
+            &run.report,
+            &reference,
+            &format!("batched vs reference, {:?}", run.policy),
+        );
+    }
+}
+
+#[test]
 fn telemetry_never_perturbs_the_simulation() {
     // Telemetry collection routes through the reference loop; a plain run
     // takes the fast loop. The report must not notice.
