@@ -39,6 +39,12 @@ use tdtm_workloads::by_name;
 /// many times the committed baseline.
 const CHECK_TOLERANCE: f64 = 3.0;
 
+/// Minimum speedup idle-gap skipping must deliver on the fully-gated
+/// toggle row (`sim_run_gcc_toggle` vs its `_noskip` twin); the gap is
+/// several-fold in practice, so 1.5x stays safe against `--quick` noise
+/// while catching a disabled or degraded skip path.
+const SKIP_SPEEDUP_FLOOR: f64 = 1.5;
+
 fn cell_config(policy: PolicyKind, heatsink: f64) -> SimConfig {
     let mut cfg = SimConfig::quick_test();
     cfg.dtm.policy = policy;
@@ -49,15 +55,30 @@ fn cell_config(policy: PolicyKind, heatsink: f64) -> SimConfig {
 
 /// Times whole uninstrumented runs of one cell, normalized per simulated
 /// cycle (construction excluded — this measures the cycle loop).
-fn bench_run(h: &mut Harness, name: &str, bench: &str, cfg: &SimConfig, reps: u32) {
+/// `skip` pins idle-gap skipping on or off; `None` keeps the `TDTM_SKIP`
+/// default (on), which is what the plain rows bench.
+fn bench_run(
+    h: &mut Harness,
+    name: &str,
+    bench: &str,
+    cfg: &SimConfig,
+    reps: u32,
+    skip: Option<bool>,
+) {
     let w = by_name(bench).expect("suite workload");
     // One calibration run to learn the deterministic cycle count.
     let mut probe = Simulator::for_workload(cfg.clone(), &w);
+    if let Some(on) = skip {
+        probe.set_skip(on);
+    }
     let report = probe.run();
     let cycles = report.total_cycles;
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let mut sim = Simulator::for_workload(cfg.clone(), &w);
+        if let Some(on) = skip {
+            sim.set_skip(on);
+        }
         let start = std::time::Instant::now();
         black_box(sim.run());
         best = best.min(start.elapsed().as_secs_f64());
@@ -75,14 +96,27 @@ fn bench_run(h: &mut Harness, name: &str, bench: &str, cfg: &SimConfig, reps: u3
 /// (ns per core-cycle, comparable to the single-core rows: the coupled
 /// kernel should cost roughly one `sim_run` per core plus the flow
 /// phase).
-fn bench_chip_run(h: &mut Harness, name: &str, bench: &str, cfg: &SimConfig, reps: u32) {
+fn bench_chip_run(
+    h: &mut Harness,
+    name: &str,
+    bench: &str,
+    cfg: &SimConfig,
+    reps: u32,
+    skip: Option<bool>,
+) {
     let w = by_name(bench).expect("suite workload");
     let mut probe = MulticoreSim::for_workload(cfg.clone(), &w);
+    if let Some(on) = skip {
+        probe.set_skip(on);
+    }
     let report = probe.run();
     let core_cycles = report.chip_cycles * cfg.chip.cores as u64;
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let mut sim = MulticoreSim::for_workload(cfg.clone(), &w);
+        if let Some(on) = skip {
+            sim.set_skip(on);
+        }
         let start = std::time::Instant::now();
         black_box(sim.run());
         best = best.min(start.elapsed().as_secs_f64());
@@ -161,37 +195,75 @@ fn main() {
     }
 
     // Whole uninstrumented runs (the run-plan fast path).
-    bench_run(&mut h, "sim_run_gcc_none", "gcc", &cell_config(PolicyKind::None, 103.0), reps);
-    bench_run(&mut h, "sim_run_gcc_pid", "gcc", &cell_config(PolicyKind::Pid, 107.0), reps);
+    bench_run(&mut h, "sim_run_gcc_none", "gcc", &cell_config(PolicyKind::None, 103.0), reps, None);
+    bench_run(&mut h, "sim_run_gcc_pid", "gcc", &cell_config(PolicyKind::Pid, 107.0), reps, None);
     bench_run(
         &mut h,
         "sim_run_gcc_vfscale",
         "gcc",
         &cell_config(PolicyKind::VfScale, 107.0),
         reps,
+        None,
     );
     let mut leak_cfg = cell_config(PolicyKind::None, 103.0);
     leak_cfg.leakage = Some(tdtm_power::LeakageModel::node_180nm());
-    bench_run(&mut h, "sim_run_gcc_leak", "gcc", &leak_cfg, reps);
+    bench_run(&mut h, "sim_run_gcc_leak", "gcc", &leak_cfg, reps, None);
     bench_run(
         &mut h,
         "sim_run_crafty_none",
         "crafty",
         &cell_config(PolicyKind::None, 103.0),
         reps,
+        None,
     );
+
+    // Idle-gap skipping rows: at a 108 C heatsink the toggle policy's
+    // duty-0.0 actuation engages at the first sample and never releases,
+    // so the whole run (capped by `max_cycles`) is interval-long gated
+    // windows — the pure skip regime. The `_noskip` twin pins skipping
+    // off so the pair measures the fast-forward speedup directly.
+    let mut toggle = cell_config(PolicyKind::Toggle1, 108.0);
+    toggle.max_cycles = 1_000_000;
+    bench_run(&mut h, "sim_run_gcc_toggle", "gcc", &toggle, reps, Some(true));
+    bench_run(&mut h, "sim_run_gcc_toggle_noskip", "gcc", &toggle, reps, Some(false));
 
     // Multicore chip runs through the coupled thermal kernel: the 2-core
     // PID row measures the lockstep loop plus the flow phase; the 4-core
     // row adds hot unthrottled neighbors and the chip-level supervisor.
     let mut mc2 = cell_config(PolicyKind::Pid, 107.0);
     mc2.chip.cores = 2;
-    bench_chip_run(&mut h, "sim_run_mc2_pid", "gcc", &mc2, reps);
+    bench_chip_run(&mut h, "sim_run_mc2_pid", "gcc", &mc2, reps, None);
     let mut mc4 = cell_config(PolicyKind::Pid, 107.0);
     mc4.chip.cores = 4;
     mc4.chip.neighbor_policy = Some(PolicyKind::None);
     mc4.chip.supervisor = Some(SupervisorConfig::default());
-    bench_chip_run(&mut h, "sim_run_mc4_super", "gcc", &mc4, reps);
+    bench_chip_run(&mut h, "sim_run_mc4_super", "gcc", &mc4, reps, None);
+
+    // Parked-chip skip rows: unthrottled neighbors finish early and park
+    // while the throttled core 0 keeps running — once the chip drains to
+    // one gated core, the probe opens Parked-reason gaps every interval.
+    let mut mc4_park = cell_config(PolicyKind::Toggle1, 107.0);
+    mc4_park.chip.cores = 4;
+    mc4_park.chip.neighbor_policy = Some(PolicyKind::None);
+    bench_chip_run(&mut h, "sim_run_mc4_park", "gcc", &mc4_park, reps, Some(true));
+    bench_chip_run(&mut h, "sim_run_mc4_park_noskip", "gcc", &mc4_park, reps, Some(false));
+
+    // Gate the skip speedup on the fully-gated toggle row: a disabled or
+    // degraded skip path shows up here long before the loose `--check`
+    // tolerance would notice.
+    let row = |name: &str| {
+        h.results()
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, ns)| *ns)
+            .expect("toggle rows always run")
+    };
+    let speedup = row("sim_run_gcc_toggle_noskip") / row("sim_run_gcc_toggle");
+    println!("skip speedup sim_run_gcc_toggle: {speedup:.2}x (floor {SKIP_SPEEDUP_FLOOR}x)");
+    if speedup < SKIP_SPEEDUP_FLOOR {
+        eprintln!("idle-gap skip speedup below floor ({speedup:.2}x < {SKIP_SPEEDUP_FLOOR}x)");
+        std::process::exit(1);
+    }
 
     if let Some(i) = args.iter().position(|a| a == "--json") {
         let path = args.get(i + 1).expect("--json needs a path");

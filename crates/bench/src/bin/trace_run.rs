@@ -160,7 +160,7 @@ fn main() {
     let tcfg = TelemetryConfig::full(args.capacity, args.stride);
 
     if chip_path {
-        let mut sim = MulticoreSim::for_workload(cfg, &workload);
+        let mut sim = MulticoreSim::for_workload(cfg.clone(), &workload);
         sim.enable_telemetry(&tcfg);
         let report = sim.run();
         let telemetry = sim.take_telemetry().expect("telemetry was enabled");
@@ -207,8 +207,17 @@ fn main() {
             }
         }
         dump_events(&traces, args.csv, args.capacity);
+
+        // Instrumentation suppresses idle-gap skipping in the run above;
+        // replay the cell uninstrumented with window logging to show what
+        // the fast path fast-forwards (logging is off by default, so
+        // plain runs are never perturbed by this feature).
+        let mut replay = MulticoreSim::for_workload(cfg, &workload);
+        replay.record_skip_windows();
+        let replay_report = replay.run();
+        dump_skip_windows(replay.skip_windows(), replay_report.chip_cycles);
     } else {
-        let mut sim = Simulator::for_workload(cfg, &workload);
+        let mut sim = Simulator::for_workload(cfg.clone(), &workload);
         sim.enable_telemetry(&tcfg);
         let report = sim.run();
         let telemetry = sim.take_telemetry().expect("telemetry was enabled");
@@ -238,6 +247,48 @@ fn main() {
         if let Some(events) = &telemetry.events {
             dump_events(&[("events".into(), events)], args.csv, args.capacity);
         }
+
+        // Telemetry routes through the reference loop, which never
+        // skips; replay the cell uninstrumented with window logging to
+        // show what the fast path fast-forwards (logging is off by
+        // default, so plain runs are never perturbed by this feature).
+        let mut replay = Simulator::for_workload(cfg, &workload);
+        replay.record_skip_windows();
+        let replay_report = replay.run();
+        dump_skip_windows(replay.skip_windows(), replay_report.total_cycles);
+    }
+}
+
+/// Annotates the idle windows the uninstrumented fast path
+/// fast-forwarded: start/end cycle and the reason (gated fetch, drained
+/// pipeline, V/f resync, parked chip neighbors). Stderr like the other
+/// annotations, so event dumps redirect cleanly.
+fn dump_skip_windows(windows: &[tdtm_core::SkipWindow], total_cycles: u64) {
+    let skipped: u64 = windows.iter().map(tdtm_core::SkipWindow::len).sum();
+    eprintln!(
+        "\nskipped idle windows (uninstrumented replay): {} windows, {} of {} cycles ({:.1}%)",
+        windows.len(),
+        skipped,
+        total_cycles,
+        100.0 * skipped as f64 / total_cycles.max(1) as f64
+    );
+    const SHOWN: usize = 32;
+    for w in windows.iter().take(SHOWN) {
+        eprintln!(
+            "  [{:>10}, {:>10})  {:>6} cycles  {}",
+            w.start,
+            w.end,
+            w.len(),
+            match w.reason {
+                tdtm_core::SkipReason::Gated => "gated",
+                tdtm_core::SkipReason::Drained => "drained",
+                tdtm_core::SkipReason::Resync => "resync",
+                tdtm_core::SkipReason::Parked => "parked",
+            }
+        );
+    }
+    if windows.len() > SHOWN {
+        eprintln!("  ... {} more windows", windows.len() - SHOWN);
     }
 }
 

@@ -38,7 +38,7 @@
 use crate::config::SimConfig;
 use crate::engine::GridCell;
 use crate::metrics::RunReport;
-use crate::simulator::{finalize_report, RunAccum, NUM_THERMAL};
+use crate::simulator::{finalize_report, skip_default, RunAccum, MIN_SKIP_WINDOW, NUM_THERMAL};
 use tdtm_dtm::{build_policy_at, DtmConfig, DtmPolicy, PolicyKind, SensorModel, TriggerMechanism};
 use tdtm_power::{PowerModel, PowerSample};
 use tdtm_thermal::{BlockModel, BlockParams, ThermalBatch};
@@ -126,6 +126,8 @@ pub(crate) struct GridBatch {
     batch: ThermalBatch,
     lanes: Vec<LaneState>,
     reports: Vec<(usize, RunReport)>,
+    /// Per-lane idle-gap fast-forwarding (defaults from `TDTM_SKIP`).
+    skip: bool,
 }
 
 impl GridBatch {
@@ -134,7 +136,15 @@ impl GridBatch {
             batch: ThermalBatch::new(NUM_THERMAL),
             lanes: Vec::new(),
             reports: Vec::new(),
+            skip: skip_default(),
         }
+    }
+
+    /// Overrides the `TDTM_SKIP` default for this batch — identity tests
+    /// run the same cells with skipping on and off and compare reports.
+    #[cfg(test)]
+    pub(crate) fn set_skip(&mut self, on: bool) {
+        self.skip = on;
     }
 
     /// Adds one cell as a new lane, replicating the construction in
@@ -146,7 +156,11 @@ impl GridBatch {
     /// Panics if the cell's configuration is not [`batch_eligible`].
     pub(crate) fn push(&mut self, cell: &GridCell) {
         let cfg = cell.config();
-        assert!(batch_eligible(&cfg), "cell {} is not batch-eligible", cell.label());
+        assert!(
+            batch_eligible(&cfg),
+            "cell {} is not batch-eligible",
+            cell.label()
+        );
         let core = Core::with_skip_shared(
             cfg.core,
             cell.workload.program_shared(),
@@ -202,17 +216,35 @@ impl GridBatch {
     /// Phase 3 finishes each lane's cycle — warm-start accumulation and
     /// jump, `RunAccum::record_cycle`, and the DTM boundary sample with
     /// command application (direct mode only, per eligibility).
-    pub(crate) fn run(mut self) -> Vec<(usize, RunReport)> {
-        let mut powers = vec![0.0f64; self.lanes.len() * NUM_THERMAL];
-        let mut scales = vec![1.0f64; self.lanes.len()];
-        let mut totals = vec![0.0f64; self.lanes.len()];
-        let mut countings = vec![false; self.lanes.len()];
+    ///
+    /// Lanes also fast-forward idle gaps independently: when a lane is
+    /// provably idle for `k` cycles (resync-stalled, fetch-gated shut,
+    /// or drained against a known wake cycle), phase 1 folds the whole
+    /// window through [`ThermalBatch::step_lane_gap`] — the bit-exact
+    /// per-lane iteration of the batch sweep — and jumps the lane's
+    /// clock, leaving the other lanes untouched. Gaps stop strictly
+    /// before the lane's next DTM boundary (the boundary cycle always
+    /// runs through the normal phases), the warmup crossing, and the
+    /// cycle budget; a fast-forwarded lane simply re-enters its stop
+    /// checks at the new cycle. Reports stay byte-identical with
+    /// skipping on or off (pinned by tests).
+    pub(crate) fn run(self) -> Vec<(usize, RunReport)> {
+        let GridBatch {
+            mut batch,
+            mut lanes,
+            mut reports,
+            skip,
+        } = self;
+        let mut powers = vec![0.0f64; lanes.len() * NUM_THERMAL];
+        let mut scales = vec![1.0f64; lanes.len()];
+        let mut totals = vec![0.0f64; lanes.len()];
+        let mut countings = vec![false; lanes.len()];
 
         loop {
             // Phase 1: stop checks and one machine cycle per live lane.
             let mut l = 0;
-            while l < self.lanes.len() {
-                let lane = &mut self.lanes[l];
+            while l < lanes.len() {
+                let lane = &mut lanes[l];
                 let counting = lane.acc.cycle >= lane.warmup;
                 if counting && lane.acc.counted_cycles == 0 {
                     lane.acc.committed_at_count_start = lane.core.stats().committed;
@@ -229,10 +261,57 @@ impl GridBatch {
                     // the state list, keeping them parallel; the moved
                     // lane (previously last, not yet visited this
                     // round) is revisited at slot `l`.
-                    let finished = self.lanes.swap_remove(l);
-                    self.batch.remove_lane(l);
-                    self.reports.push((finished.index, finished.finalize()));
+                    let finished = lanes.swap_remove(l);
+                    batch.remove_lane(l);
+                    reports.push((finished.index, finished.finalize()));
                     continue;
+                }
+                // Lane idle-gap fast-forward (see the method docs): fold
+                // the window here in phase 1, then re-enter the stop
+                // checks at the new cycle without advancing `l`.
+                if skip && lane.acc.cycle >= lane.warm_window {
+                    let mut cap = (lane.next_sample - lane.acc.cycle)
+                        .min(lane.max_cycles - lane.acc.cycle);
+                    if lane.acc.cycle < lane.warmup {
+                        cap = cap.min(lane.warmup - lane.acc.cycle);
+                    }
+                    let window = if cap < MIN_SKIP_WINDOW {
+                        None
+                    } else if lane.resync_remaining > 0 {
+                        Some(lane.resync_remaining.min(cap))
+                    } else {
+                        lane.core.idle_window(cap).map(|(len, _)| len)
+                    };
+                    if let Some(k) = window.filter(|&k| k >= MIN_SKIP_WINDOW) {
+                        // Every gap cycle draws the bitwise-same idle
+                        // power, so pre-scaling once matches the
+                        // per-cycle `step_batch` bits exactly.
+                        let scale = lane.vf_power_scale;
+                        let mut gap_powers = lane.idle_sample.thermal_powers();
+                        for p in &mut gap_powers {
+                            *p *= scale;
+                        }
+                        if counting {
+                            let gap_total = lane.idle_sample.total * scale;
+                            let dt_wall = lane.nominal_dt / lane.vf_freq_scale;
+                            let (emergency, stress) = (lane.emergency, lane.stress);
+                            let acc = &mut lane.acc;
+                            batch.step_lane_gap(l, &gap_powers, k, |temps| {
+                                acc.record_cycle(
+                                    temps, &gap_powers, gap_total, dt_wall, emergency, stress,
+                                );
+                            });
+                        } else {
+                            batch.step_lane_gap(l, &gap_powers, k, |_| {});
+                        }
+                        if lane.resync_remaining > 0 {
+                            lane.resync_remaining -= k;
+                        } else {
+                            lane.core.skip_idle(k);
+                        }
+                        lane.acc.cycle += k;
+                        continue;
+                    }
                 }
                 let sample = if lane.resync_remaining > 0 {
                     lane.resync_remaining -= 1;
@@ -247,7 +326,7 @@ impl GridBatch {
                 countings[l] = counting;
                 l += 1;
             }
-            let live = self.lanes.len();
+            let live = lanes.len();
             if live == 0 {
                 break;
             }
@@ -255,11 +334,11 @@ impl GridBatch {
             // Phase 2: one SoA sweep steps every live lane's thermal
             // state (and writes back the scaled powers, exactly as
             // `BlockModel::step_scaled` would per lane).
-            self.batch.step_batch(&mut powers[..live * NUM_THERMAL], &scales[..live]);
+            batch.step_batch(&mut powers[..live * NUM_THERMAL], &scales[..live]);
 
             // Phase 3: per-lane cycle epilogue.
             for l in 0..live {
-                let lane = &mut self.lanes[l];
+                let lane = &mut lanes[l];
                 let thermal_powers: &[f64; NUM_THERMAL] = powers[l * NUM_THERMAL..][..NUM_THERMAL]
                     .try_into()
                     .expect("seven staged block powers");
@@ -275,7 +354,7 @@ impl GridBatch {
                         for p in &mut lane.warm_start_power {
                             *p /= lane.interval as f64;
                         }
-                        self.batch.warm_start_lane(l, &lane.warm_start_power[..]);
+                        batch.warm_start_lane(l, &lane.warm_start_power[..]);
                         if lane.dtm.policy != PolicyKind::None {
                             let ceiling = if lane.dtm.policy.is_control_theoretic() {
                                 lane.dtm.setpoint
@@ -283,8 +362,8 @@ impl GridBatch {
                                 lane.dtm.trigger
                             };
                             for i in 0..NUM_THERMAL {
-                                if self.batch.temperatures(l)[i] > ceiling {
-                                    self.batch.set_temperature(l, i, ceiling);
+                                if batch.temperatures(l)[i] > ceiling {
+                                    batch.set_temperature(l, i, ceiling);
                                 }
                             }
                         }
@@ -292,7 +371,7 @@ impl GridBatch {
                 }
 
                 if countings[l] {
-                    let temps = self.batch.temperatures_fixed::<NUM_THERMAL>(l);
+                    let temps = batch.temperatures_fixed::<NUM_THERMAL>(l);
                     lane.acc.record_cycle(
                         temps,
                         thermal_powers,
@@ -307,7 +386,7 @@ impl GridBatch {
                 // fast loop's chunk ends on, applied directly.
                 if lane.acc.cycle == lane.next_sample {
                     lane.next_sample += lane.interval;
-                    let temps = *self.batch.temperatures_fixed::<NUM_THERMAL>(l);
+                    let temps = *batch.temperatures_fixed::<NUM_THERMAL>(l);
                     lane.sensors.read_all(&temps[..], &mut lane.sensed);
                     let cmd = lane.policy.sample(&lane.sensed);
                     lane.acc.samples += 1;
@@ -322,14 +401,14 @@ impl GridBatch {
                             lane.vf_engaged = true;
                             lane.vf_power_scale = vf.power_scale();
                             lane.vf_freq_scale = vf.freq_scale;
-                            self.batch.set_lane_dt(l, lane.nominal_dt / vf.freq_scale);
+                            batch.set_lane_dt(l, lane.nominal_dt / vf.freq_scale);
                             lane.resync_remaining = lane.dtm.vf_resync_cycles;
                         }
                         (None, true) => {
                             lane.vf_engaged = false;
                             lane.vf_power_scale = 1.0;
                             lane.vf_freq_scale = 1.0;
-                            self.batch.set_lane_dt(l, lane.nominal_dt);
+                            batch.set_lane_dt(l, lane.nominal_dt);
                             lane.resync_remaining = lane.dtm.vf_resync_cycles;
                         }
                         _ => {}
@@ -338,7 +417,7 @@ impl GridBatch {
                 lane.acc.cycle += 1;
             }
         }
-        self.reports
+        reports
     }
 }
 
@@ -358,7 +437,9 @@ mod tests {
         assert!(!batch_eligible(&multicore));
 
         let mut interrupt = base.clone();
-        interrupt.dtm.mechanism = TriggerMechanism::Interrupt { latency_cycles: 100 };
+        interrupt.dtm.mechanism = TriggerMechanism::Interrupt {
+            latency_cycles: 100,
+        };
         assert!(!batch_eligible(&interrupt));
 
         let mut leaky = base;
@@ -387,6 +468,33 @@ mod tests {
             let reference = cell.simulator().run();
             assert_eq!(report, &reference, "cell {}", cell.label());
         }
+    }
+
+    #[test]
+    fn lane_fast_forward_reports_byte_identically_to_non_skipping_lanes() {
+        // A hot heatsink forces the toggle policy to gate fetch shut for
+        // long stretches, so the skipping batch actually fast-forwards;
+        // the reports must not move by a bit relative to the per-cycle
+        // lanes.
+        let grid = ExperimentGrid::new(ExperimentScale::quick())
+            .workload(tdtm_workloads::by_name("gcc").unwrap())
+            .workload(tdtm_workloads::by_name("art").unwrap())
+            .policies(&[PolicyKind::Toggle1, PolicyKind::VfScale])
+            .variant("hot", |cfg| cfg.heatsink_temp = 107.0);
+        let cells = grid.cells();
+        let mut skipping = GridBatch::new();
+        let mut reference = GridBatch::new();
+        for cell in &cells {
+            skipping.push(cell);
+            reference.push(cell);
+        }
+        skipping.set_skip(true);
+        reference.set_skip(false);
+        let mut fast = skipping.run();
+        let mut slow = reference.run();
+        fast.sort_by_key(|&(index, _)| index);
+        slow.sort_by_key(|&(index, _)| index);
+        assert_eq!(fast, slow);
     }
 
     #[test]

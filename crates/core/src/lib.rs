@@ -53,4 +53,4 @@ pub use config::{ChipConfig, SimConfig};
 pub use engine::{ExperimentGrid, GridResults, RunResult};
 pub use metrics::{BlockMetrics, RunReport};
 pub use multicore::{ChipReport, ChipTelemetry, MulticoreSim};
-pub use simulator::Simulator;
+pub use simulator::{Simulator, SkipReason, SkipWindow};

@@ -35,8 +35,10 @@
 use crate::config::SimConfig;
 use crate::metrics::RunReport;
 use crate::simulator::{
-    finalize_report, warm_start_jump, RunAccum, Simulator, TelemetryState, NUM_THERMAL,
+    finalize_report, skip_default, warm_start_jump, RunAccum, Simulator, SkipReason, SkipWindow,
+    TelemetryState, MIN_SKIP_WINDOW, NUM_THERMAL,
 };
+use std::sync::Arc;
 use tdtm_dtm::{
     build_policy_at, ChipSupervisor, DtmCommand, DtmConfig, DtmPolicy, SensorModel,
     TriggerMechanism,
@@ -45,9 +47,8 @@ use tdtm_isa::Program;
 use tdtm_power::PowerModel;
 use tdtm_telemetry::{Event, EventTrace, RegistrySnapshot, Telemetry, TelemetryConfig};
 use tdtm_thermal::{CoupledChip, MulticoreFloorplan};
-use tdtm_uarch::{Core, CoreControl};
+use tdtm_uarch::{Core, CoreControl, IdleKind};
 use tdtm_workloads::Workload;
-use std::sync::Arc;
 
 /// One core's machine state: pipeline, policy, actuators, accumulators.
 struct CoreSlot {
@@ -193,6 +194,14 @@ pub struct MulticoreSim {
     telemetry: Option<ChipTelemetryState>,
     /// Collected telemetry of the last run.
     collected: Option<ChipTelemetry>,
+    /// Fast-forwards chip-level gaps in which every active core is
+    /// provably idle (see [`set_skip`](MulticoreSim::set_skip); defaults
+    /// from `TDTM_SKIP`).
+    skip: bool,
+    /// Records one [`SkipWindow`] per chip-level gap when enabled.
+    log_skip_windows: bool,
+    /// The skip-window log of the last run (when enabled).
+    skip_windows: Vec<SkipWindow>,
 }
 
 impl MulticoreSim {
@@ -211,7 +220,13 @@ impl MulticoreSim {
     /// Builds a chip simulator for a suite workload, honoring its
     /// functional warmup skip on every core.
     pub fn for_workload(cfg: SimConfig, workload: &Workload) -> MulticoreSim {
-        MulticoreSim::build(cfg, workload.program_shared(), workload.name, workload.warmup_insts, None)
+        MulticoreSim::build(
+            cfg,
+            workload.program_shared(),
+            workload.name,
+            workload.warmup_insts,
+            None,
+        )
     }
 
     /// [`for_workload`](MulticoreSim::for_workload) with a prebuilt,
@@ -222,7 +237,13 @@ impl MulticoreSim {
         workload: &Workload,
         power: Arc<PowerModel>,
     ) -> MulticoreSim {
-        MulticoreSim::build(cfg, workload.program_shared(), workload.name, workload.warmup_insts, Some(power))
+        MulticoreSim::build(
+            cfg,
+            workload.program_shared(),
+            workload.name,
+            workload.warmup_insts,
+            Some(power),
+        )
     }
 
     fn build(
@@ -238,8 +259,7 @@ impl MulticoreSim {
             matches!(cfg.dtm.mechanism, TriggerMechanism::Direct),
             "the multicore simulator supports direct triggering only"
         );
-        let power =
-            power.unwrap_or_else(|| Arc::new(PowerModel::new(&cfg.power, &cfg.core)));
+        let power = power.unwrap_or_else(|| Arc::new(PowerModel::new(&cfg.power, &cfg.core)));
         let chip = MulticoreFloorplan::with_blocks(n, cfg.blocks.clone())
             .coupling(cfg.chip.coupling)
             .heterogeneity(cfg.chip.heterogeneity)
@@ -257,7 +277,11 @@ impl MulticoreSim {
                     policy: build_policy_at(&dtm, cfg.core.clock_hz),
                     sensors: SensorModel::ideal(),
                     dtm,
-                    name: if k == 0 { name.to_string() } else { format!("{name}#{k}") },
+                    name: if k == 0 {
+                        name.to_string()
+                    } else {
+                        format!("{name}#{k}")
+                    },
                     resync_remaining: 0,
                     vf_power_scale: 1.0,
                     vf_freq_scale: 1.0,
@@ -279,7 +303,38 @@ impl MulticoreSim {
             chip_cycles: 0,
             telemetry: None,
             collected: None,
+            skip: skip_default(),
+            log_skip_windows: false,
+            skip_windows: Vec::new(),
         }
+    }
+
+    /// Enables or disables chip-level idle-gap skipping, overriding the
+    /// `TDTM_SKIP` default. A gap opens only when *every* active core is
+    /// simultaneously inside a provably-idle window (parked cores are
+    /// idle by definition), and elides only the pipeline/power phase —
+    /// the coupled thermal step and all accounting still run per cycle —
+    /// so [`ChipReport`]s stay byte-identical either way (pinned by
+    /// `tests/hot_loop_identity.rs`).
+    pub fn set_skip(&mut self, on: bool) {
+        self.skip = on;
+    }
+
+    /// Enables skip-window logging for the next
+    /// [`run`](MulticoreSim::run); see
+    /// [`skip_windows`](MulticoreSim::skip_windows).
+    pub fn record_skip_windows(&mut self) {
+        self.log_skip_windows = true;
+    }
+
+    /// The chip-level skip-window log of the last run (empty unless
+    /// [`record_skip_windows`](MulticoreSim::record_skip_windows) was
+    /// enabled and gaps actually opened). A gap in which at least one
+    /// core sat parked reports [`SkipReason::Parked`]; an all-resync gap
+    /// reports [`SkipReason::Resync`]; otherwise the gated cause wins
+    /// over the drained one.
+    pub fn skip_windows(&self) -> &[SkipWindow] {
+        &self.skip_windows
     }
 
     /// Enables telemetry collection for the next [`run`](MulticoreSim::run):
@@ -300,7 +355,9 @@ impl MulticoreSim {
             }
         }
         self.telemetry = Some(ChipTelemetryState {
-            cores: (0..self.slots.len()).map(|k| TelemetryState::with_core(cfg, k)).collect(),
+            cores: (0..self.slots.len())
+                .map(|k| TelemetryState::with_core(cfg, k))
+                .collect(),
             chip_events: cfg.events.map(|e| EventTrace::new(e.capacity, e.stride)),
         });
     }
@@ -352,8 +409,20 @@ impl MulticoreSim {
     /// Conducted heat is a flow, not dissipation: reported per-block and
     /// chip powers exclude the coupling flows.
     pub fn run(&mut self) -> ChipReport {
-        let MulticoreSim { cfg, chip, slots, supervisor, power, chip_cycles, telemetry, collected } =
-            self;
+        let MulticoreSim {
+            cfg,
+            chip,
+            slots,
+            supervisor,
+            power,
+            chip_cycles,
+            telemetry,
+            collected,
+            skip,
+            log_skip_windows,
+            skip_windows,
+        } = self;
+        skip_windows.clear();
         // Detached for the loop (same discipline as the single-core
         // path); flushed into `collected` at the end.
         let mut tstate = telemetry.take();
@@ -376,69 +445,195 @@ impl MulticoreSim {
         let mut hottest = vec![f64::NEG_INFINITY; n];
         let mut cmds: Vec<Option<DtmCommand>> = (0..n).map(|_| None).collect();
         let mut sensed = [0.0f64; NUM_THERMAL];
+        // Chip-level idle-gap skipping is off under temperature-dependent
+        // leakage: an idle core's power then varies with its temperature,
+        // so phase 1 is no longer constant across a gap.
+        let skipping = *skip && leak.is_none();
+        let mut gap_remaining: u64 = 0;
 
         'run: loop {
             if active.iter().all(|a| !a) {
                 break;
             }
-            let until_sample = interval - *chip_cycles % interval;
-            for _ in 0..until_sample {
-                // Phase 1: per-core stop checks, pipeline cycle, power.
-                for (k, slot) in slots.iter_mut().enumerate() {
-                    if slot.parked {
-                        continue;
+            let mut remaining = interval - *chip_cycles % interval;
+            while remaining > 0 {
+                // Chip-level idle-gap fast-forward: when every active
+                // core is simultaneously inside a provably-idle window
+                // (resync-stalled, fetch-gated shut, or drained against
+                // a known wake cycle — parked cores are idle by
+                // definition), phase 1 produces the bitwise-same idle
+                // powers every cycle. The loop stages those powers once,
+                // applies the cores' window bookkeeping wholesale
+                // (nothing observes a core mid-gap), and elides phase 1
+                // for the gap; phases 2 and 3 — the coupled thermal
+                // step, telemetry, and accounting — still run per cycle,
+                // which is what keeps ChipReports and telemetry
+                // byte-identical to the non-skipping loop even with
+                // coupling attached. Gaps are clipped so no stop
+                // condition, park transition, warmup crossing, or DTM
+                // boundary can fall inside them.
+                if gap_remaining == 0 && skipping {
+                    'probe: {
+                        let mut m = remaining;
+                        let mut any_parked = false;
+                        let mut all_resync = true;
+                        let mut any_gated = false;
+                        for slot in slots.iter_mut() {
+                            if slot.parked {
+                                any_parked = true;
+                                continue;
+                            }
+                            // The warm-start window accumulates power per
+                            // cycle in phase 3; no gaps until past it.
+                            if slot.acc.cycle < warm_window {
+                                break 'probe;
+                            }
+                            // A core due to park *this* cycle must park
+                            // through phase 1 (the active mask feeds the
+                            // masked thermal step).
+                            let counting = slot.acc.cycle >= warmup;
+                            let base = if counting && slot.acc.counted_cycles == 0 {
+                                slot.core.stats().committed
+                            } else {
+                                slot.acc.committed_at_count_start
+                            };
+                            if (counting
+                                && slot.core.stats().committed.saturating_sub(base)
+                                    >= cfg.max_insts)
+                                || slot.acc.cycle >= cfg.max_cycles
+                                || slot.core.finished()
+                            {
+                                break 'probe;
+                            }
+                            let mut cap = remaining.min(cfg.max_cycles - slot.acc.cycle);
+                            if slot.acc.cycle < warmup {
+                                cap = cap.min(warmup - slot.acc.cycle);
+                            }
+                            let window = if slot.resync_remaining > 0 {
+                                slot.resync_remaining.min(cap)
+                            } else {
+                                all_resync = false;
+                                match slot.core.idle_window(cap) {
+                                    Some((len, kind)) => {
+                                        if kind == IdleKind::Gated {
+                                            any_gated = true;
+                                        }
+                                        len
+                                    }
+                                    None => break 'probe,
+                                }
+                            };
+                            m = m.min(window);
+                        }
+                        if m < MIN_SKIP_WINDOW {
+                            break 'probe;
+                        }
+                        for (k, slot) in slots.iter_mut().enumerate() {
+                            if slot.parked {
+                                continue;
+                            }
+                            let counting = slot.acc.cycle >= warmup;
+                            if counting && slot.acc.counted_cycles == 0 {
+                                slot.acc.committed_at_count_start = slot.core.stats().committed;
+                            }
+                            if slot.resync_remaining > 0 {
+                                slot.resync_remaining -= m;
+                            } else {
+                                slot.core.skip_idle(m);
+                            }
+                            // Every gap cycle draws the bitwise-same idle
+                            // power, so staging the scaled powers once is
+                            // exactly what phase 1 would compute.
+                            let scale = slot.vf_power_scale;
+                            let thermal_powers = idle_sample.thermal_powers();
+                            let buf = &mut powers[k];
+                            for i in 0..NUM_THERMAL {
+                                buf[i] = thermal_powers[i] * scale;
+                            }
+                            totals[k] = idle_sample.total * scale;
+                        }
+                        if *log_skip_windows {
+                            let reason = if any_parked {
+                                SkipReason::Parked
+                            } else if all_resync {
+                                SkipReason::Resync
+                            } else if any_gated {
+                                SkipReason::Gated
+                            } else {
+                                SkipReason::Drained
+                            };
+                            skip_windows.push(SkipWindow {
+                                start: *chip_cycles,
+                                end: *chip_cycles + m,
+                                reason,
+                            });
+                        }
+                        gap_remaining = m;
                     }
-                    let counting = slot.acc.cycle >= warmup;
-                    if counting && slot.acc.counted_cycles == 0 {
-                        slot.acc.committed_at_count_start = slot.core.stats().committed;
-                    }
-                    let budget_hit = slot
-                        .core
-                        .stats()
-                        .committed
-                        .saturating_sub(slot.acc.committed_at_count_start)
-                        >= cfg.max_insts
-                        && counting;
-                    if budget_hit || slot.acc.cycle >= cfg.max_cycles || slot.core.finished() {
-                        slot.parked = true;
-                        active[k] = false;
-                        if let Some(ts) = tstate.as_mut() {
-                            ts.cores[k].bump_park();
-                            if let Some(ring) = &mut ts.chip_events {
-                                ring.record(Event::Park {
-                                    cycle: *chip_cycles,
-                                    core: k,
-                                    parked: true,
-                                });
+                }
+
+                if gap_remaining > 0 {
+                    // Inside a gap: phase 1 is elided — `powers`,
+                    // `totals`, and `active` are loop constants.
+                    gap_remaining -= 1;
+                } else {
+                    // Phase 1: per-core stop checks, pipeline cycle, power.
+                    for (k, slot) in slots.iter_mut().enumerate() {
+                        if slot.parked {
+                            continue;
+                        }
+                        let counting = slot.acc.cycle >= warmup;
+                        if counting && slot.acc.counted_cycles == 0 {
+                            slot.acc.committed_at_count_start = slot.core.stats().committed;
+                        }
+                        let budget_hit = slot
+                            .core
+                            .stats()
+                            .committed
+                            .saturating_sub(slot.acc.committed_at_count_start)
+                            >= cfg.max_insts
+                            && counting;
+                        if budget_hit || slot.acc.cycle >= cfg.max_cycles || slot.core.finished() {
+                            slot.parked = true;
+                            active[k] = false;
+                            if let Some(ts) = tstate.as_mut() {
+                                ts.cores[k].bump_park();
+                                if let Some(ring) = &mut ts.chip_events {
+                                    ring.record(Event::Park {
+                                        cycle: *chip_cycles,
+                                        core: k,
+                                        parked: true,
+                                    });
+                                }
+                            }
+                            continue;
+                        }
+                        let sample = if slot.resync_remaining > 0 {
+                            slot.resync_remaining -= 1;
+                            idle_sample
+                        } else {
+                            power.cycle_power(slot.core.cycle())
+                        };
+                        let scale = slot.vf_power_scale;
+                        let thermal_powers = sample.thermal_powers();
+                        let mut total = sample.total * scale;
+                        let buf = &mut powers[k];
+                        for i in 0..NUM_THERMAL {
+                            buf[i] = thermal_powers[i] * scale;
+                        }
+                        if let Some(leak) = leak {
+                            let temps_now = chip.temperatures(k);
+                            for i in 0..NUM_THERMAL {
+                                // Leakage scales with V (roughly linearly
+                                // through V·I_leak); reuse the dynamic scale
+                                // conservatively, as the single-core loops do.
+                                let lp = leak.leakage_power(peaks[i], temps_now[i]) * scale;
+                                buf[i] += lp;
+                                total += lp;
                             }
                         }
-                        continue;
+                        totals[k] = total;
                     }
-                    let sample = if slot.resync_remaining > 0 {
-                        slot.resync_remaining -= 1;
-                        idle_sample
-                    } else {
-                        power.cycle_power(slot.core.cycle())
-                    };
-                    let scale = slot.vf_power_scale;
-                    let thermal_powers = sample.thermal_powers();
-                    let mut total = sample.total * scale;
-                    let buf = &mut powers[k];
-                    for i in 0..NUM_THERMAL {
-                        buf[i] = thermal_powers[i] * scale;
-                    }
-                    if let Some(leak) = leak {
-                        let temps_now = chip.temperatures(k);
-                        for i in 0..NUM_THERMAL {
-                            // Leakage scales with V (roughly linearly
-                            // through V·I_leak); reuse the dynamic scale
-                            // conservatively, as the single-core loops do.
-                            let lp = leak.leakage_power(peaks[i], temps_now[i]) * scale;
-                            buf[i] += lp;
-                            total += lp;
-                        }
-                    }
-                    totals[k] = total;
                 }
                 if active.iter().all(|a| !a) {
                     break 'run;
@@ -474,8 +669,10 @@ impl MulticoreSim {
                     }
                     if slot.acc.cycle >= warmup {
                         let temps = chip.core_models()[k].temperatures_fixed();
-                        let block_powers: &[f64; NUM_THERMAL] =
-                            powers[k].as_slice().try_into().expect("seven thermal blocks");
+                        let block_powers: &[f64; NUM_THERMAL] = powers[k]
+                            .as_slice()
+                            .try_into()
+                            .expect("seven thermal blocks");
                         slot.acc.record_cycle(
                             temps,
                             block_powers,
@@ -488,6 +685,7 @@ impl MulticoreSim {
                     slot.acc.cycle += 1;
                 }
                 *chip_cycles += 1;
+                remaining -= 1;
             }
 
             // DTM boundary: every active core senses and samples its own
@@ -584,7 +782,10 @@ impl MulticoreSim {
                     )
                 })
                 .collect();
-            *collected = Some(ChipTelemetry { cores, chip_events: ts.chip_events });
+            *collected = Some(ChipTelemetry {
+                cores,
+                chip_events: ts.chip_events,
+            });
         }
 
         ChipReport {
@@ -699,19 +900,27 @@ mod tests {
         cfg.chip.supervisor = Some(tdtm_dtm::SupervisorConfig::default());
         let mut sim = MulticoreSim::for_workload(cfg, &workload());
         let chip = sim.run();
-        assert!(chip.supervisor_interventions > 0, "hot chip must trigger the supervisor");
+        assert!(
+            chip.supervisor_interventions > 0,
+            "hot chip must trigger the supervisor"
+        );
         let mut duties = Vec::new();
         for k in 0..2 {
             duties.extend_from_slice(sim.duty_history(k));
         }
-        assert!(duties.iter().any(|&d| d < 1.0), "at least one capped duty recorded");
+        assert!(
+            duties.iter().any(|&d| d < 1.0),
+            "at least one capped duty recorded"
+        );
     }
 
     #[test]
     #[should_panic(expected = "direct triggering only")]
     fn interrupt_mechanism_is_rejected() {
         let mut cfg = quick(PolicyKind::Pid, 2);
-        cfg.dtm.mechanism = TriggerMechanism::Interrupt { latency_cycles: 250 };
+        cfg.dtm.mechanism = TriggerMechanism::Interrupt {
+            latency_cycles: 250,
+        };
         let _ = MulticoreSim::for_workload(cfg, &workload());
     }
 
@@ -720,7 +929,10 @@ mod tests {
         let cfg = quick(PolicyKind::Pid, 1);
         let power = Arc::new(PowerModel::new(&cfg.power, &cfg.core));
         let (_, chip) = run_chip_cell(cfg.clone(), &workload(), power.clone());
-        assert!(chip.is_none(), "one supervisor-less core takes the single-core path");
+        assert!(
+            chip.is_none(),
+            "one supervisor-less core takes the single-core path"
+        );
         let mut cfg2 = cfg;
         cfg2.chip.cores = 2;
         cfg2.max_insts = 10_000;

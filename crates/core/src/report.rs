@@ -10,7 +10,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> TextTable {
-        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -177,8 +180,10 @@ pub fn grid_telemetry_summary(telemetry: &crate::engine::GridTelemetry) -> Strin
     out.push_str(&format!(
         "  cell wall-time     n={} p50={} ms p99={} ms\n",
         wall.count(),
-        wall.quantile(0.5).map_or_else(|| "-".into(), |v| format!("{v:.0}")),
-        wall.quantile(0.99).map_or_else(|| "-".into(), |v| format!("{v:.0}")),
+        wall.quantile(0.5)
+            .map_or_else(|| "-".into(), |v| format!("{v:.0}")),
+        wall.quantile(0.99)
+            .map_or_else(|| "-".into(), |v| format!("{v:.0}")),
     ));
     if telemetry.phases.total_nanos() > 0 {
         out.push_str("host-time phase profile (not deterministic)\n");
@@ -197,9 +202,15 @@ pub fn grid_telemetry_summary(telemetry: &crate::engine::GridTelemetry) -> Strin
 /// Records are presented in cell-index order regardless of the stream's
 /// completion order, so a dashboard over an N-thread stream reads the
 /// same as over a 1-thread stream (wall columns aside).
-pub fn obs_dashboard(a: &[tdtm_telemetry::CellRecord], b: Option<&[tdtm_telemetry::CellRecord]>) -> String {
+pub fn obs_dashboard(
+    a: &[tdtm_telemetry::CellRecord],
+    b: Option<&[tdtm_telemetry::CellRecord]>,
+) -> String {
     let mut out = String::from("# Grid observability dashboard\n");
-    out.push_str(&obs_run_section(if b.is_some() { "Run A" } else { "Run" }, a));
+    out.push_str(&obs_run_section(
+        if b.is_some() { "Run A" } else { "Run" },
+        a,
+    ));
     if let Some(b) = b {
         out.push_str(&obs_run_section("Run B (baseline)", b));
         out.push_str(&obs_delta_section(a, b));
@@ -213,28 +224,45 @@ fn obs_sorted(records: &[tdtm_telemetry::CellRecord]) -> Vec<&tdtm_telemetry::Ce
     sorted
 }
 
+/// `cells / seconds` formatted for the dashboard header, or `n/a` when
+/// the denominator is zero, negative, or non-finite — a stream whose
+/// timing fields are absent (legacy), zeroed, or corrupt has no
+/// throughput to report, and printing `inf` or a fake `0.00` misreads
+/// as a measurement.
+fn obs_rate(cells: usize, seconds: f64) -> String {
+    if seconds > 0.0 && seconds.is_finite() {
+        format!("{:.2}", cells as f64 / seconds)
+    } else {
+        "n/a".to_string()
+    }
+}
+
 fn obs_run_section(title: &str, records: &[tdtm_telemetry::CellRecord]) -> String {
     let sorted = obs_sorted(records);
     let cell_seconds: f64 = sorted.iter().map(|r| r.wall_seconds).sum();
-    let cells_per_sec =
-        if cell_seconds > 0.0 { sorted.len() as f64 / cell_seconds } else { 0.0 };
+    let cells_per_sec = obs_rate(sorted.len(), cell_seconds);
     // Grid wall time: the stream's last emission stamp. Older streams
     // (pre-`elapsed_seconds`) carry 0.0 there, so fall back to the
     // cell-seconds sum, which is exact for 1-worker runs.
-    let wall = sorted.iter().map(|r| r.elapsed_seconds).fold(0.0_f64, f64::max);
-    let wall = if wall > 0.0 { wall } else { cell_seconds };
-    let agg_cells_per_sec = if wall > 0.0 { sorted.len() as f64 / wall } else { 0.0 };
+    let wall = sorted
+        .iter()
+        .map(|r| r.elapsed_seconds)
+        .fold(0.0_f64, f64::max);
+    let wall = if wall > 0.0 && wall.is_finite() { wall } else { cell_seconds };
+    let agg_cells_per_sec = obs_rate(sorted.len(), wall);
     let emergency: u64 = sorted.iter().map(|r| r.emergency_cycles).sum();
     let stress: u64 = sorted.iter().map(|r| r.stress_cycles).sum();
 
     let mut out = format!("\n## {title} — {} cells\n\n", sorted.len());
     out.push_str(&format!(
-        "- {wall:.3} s grid wall time ({agg_cells_per_sec:.2} cells/s aggregate)\n"
+        "- {wall:.3} s grid wall time ({agg_cells_per_sec} cells/s aggregate)\n"
     ));
     out.push_str(&format!(
-        "- {cell_seconds:.3} cell-seconds total ({cells_per_sec:.2} cells/s per worker)\n"
+        "- {cell_seconds:.3} cell-seconds total ({cells_per_sec} cells/s per worker)\n"
     ));
-    out.push_str(&format!("- emergency cycles: {emergency}, stress cycles: {stress}\n"));
+    out.push_str(&format!(
+        "- emergency cycles: {emergency}, stress cycles: {stress}\n"
+    ));
 
     // Hottest-block distribution: count of cells peaking in each block,
     // most frequent first (name breaks ties, for determinism).
@@ -250,7 +278,10 @@ fn obs_run_section(title: &str, records: &[tdtm_telemetry::CellRecord]) -> Strin
     }
     dist.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
     if !dist.is_empty() {
-        let list: Vec<String> = dist.iter().map(|(name, n)| format!("{name} ×{n}")).collect();
+        let list: Vec<String> = dist
+            .iter()
+            .map(|(name, n)| format!("{name} ×{n}"))
+            .collect();
         out.push_str(&format!("- hottest blocks: {}\n", list.join(", ")));
     }
 
@@ -277,10 +308,7 @@ fn obs_run_section(title: &str, records: &[tdtm_telemetry::CellRecord]) -> Strin
     out
 }
 
-fn obs_delta_section(
-    a: &[tdtm_telemetry::CellRecord],
-    b: &[tdtm_telemetry::CellRecord],
-) -> String {
+fn obs_delta_section(a: &[tdtm_telemetry::CellRecord], b: &[tdtm_telemetry::CellRecord]) -> String {
     let mut out = String::from(
         "\n## A vs B (matched by cell label)\n\n\
          | cell | wall A (s) | wall B (s) | speedup | emerg A | emerg B | Δemerg | Δpeak °C |\n\
@@ -292,7 +320,11 @@ fn obs_delta_section(
             unmatched.push(ra.label.clone());
             continue;
         };
-        let speedup = if ra.wall_seconds > 0.0 { rb.wall_seconds / ra.wall_seconds } else { 0.0 };
+        let speedup = if ra.wall_seconds > 0.0 {
+            rb.wall_seconds / ra.wall_seconds
+        } else {
+            0.0
+        };
         out.push_str(&format!(
             "| {} | {:.3} | {:.3} | {:.2}x | {} | {} | {:+} | {:+.2} |\n",
             ra.label,
@@ -461,8 +493,14 @@ mod tests {
         assert!(s.contains("hottest blocks: int reg. file ×2"));
         let gcc = s.find("| gcc/PID |").expect("gcc row");
         let art = s.find("| art/PID |").expect("art row");
-        assert!(gcc < art, "rows are in cell-index order, not completion order");
-        assert!(!s.contains("Run B"), "no baseline section without a baseline");
+        assert!(
+            gcc < art,
+            "rows are in cell-index order, not completion order"
+        );
+        assert!(
+            !s.contains("Run B"),
+            "no baseline section without a baseline"
+        );
     }
 
     #[test]
@@ -473,14 +511,84 @@ mod tests {
         records[0].elapsed_seconds = 0.5;
         records[1].elapsed_seconds = 0.6;
         let s = obs_dashboard(&records, None);
-        assert!(s.contains("- 0.600 s grid wall time (3.33 cells/s aggregate)"), "got:\n{s}");
-        assert!(s.contains("- 1.000 cell-seconds total (2.00 cells/s per worker)"), "got:\n{s}");
+        assert!(
+            s.contains("- 0.600 s grid wall time (3.33 cells/s aggregate)"),
+            "got:\n{s}"
+        );
+        assert!(
+            s.contains("- 1.000 cell-seconds total (2.00 cells/s per worker)"),
+            "got:\n{s}"
+        );
 
         // Legacy streams predate `elapsed_seconds` (all 0.0): the header
         // falls back to the cell-seconds sum for the wall estimate.
         let legacy = vec![obs_record(0, "gcc/PID", 40), obs_record(1, "art/PID", 7)];
         let s = obs_dashboard(&legacy, None);
-        assert!(s.contains("- 1.000 s grid wall time (2.00 cells/s aggregate)"), "got:\n{s}");
+        assert!(
+            s.contains("- 1.000 s grid wall time (2.00 cells/s aggregate)"),
+            "got:\n{s}"
+        );
+    }
+
+    #[test]
+    fn obs_dashboard_header_prints_na_without_timing_data() {
+        // A stream with no usable timing at all (elapsed_seconds absent
+        // AND wall_seconds zeroed) has no throughput to report: the
+        // header must say `n/a`, never `inf`, `NaN`, or a fake `0.00`.
+        let mut records = vec![obs_record(0, "gcc/PID", 40), obs_record(1, "art/PID", 7)];
+        for r in &mut records {
+            r.wall_seconds = 0.0;
+        }
+        let s = obs_dashboard(&records, None);
+        assert!(
+            s.contains("- 0.000 s grid wall time (n/a cells/s aggregate)"),
+            "got:\n{s}"
+        );
+        assert!(
+            s.contains("- 0.000 cell-seconds total (n/a cells/s per worker)"),
+            "got:\n{s}"
+        );
+
+        // A corrupt stamp (e.g. a hand-edited fixture) must not leak
+        // `inf` into the aggregate either: the wall estimate falls back
+        // to the cell-seconds sum.
+        let mut corrupt = vec![obs_record(0, "gcc/PID", 40), obs_record(1, "art/PID", 7)];
+        corrupt[1].elapsed_seconds = f64::INFINITY;
+        let s = obs_dashboard(&corrupt, None);
+        assert!(
+            s.contains("- 1.000 s grid wall time (2.00 cells/s aggregate)"),
+            "got:\n{s}"
+        );
+        assert!(!s.contains("inf"), "got:\n{s}");
+    }
+
+    #[test]
+    fn obs_dashboard_renders_committed_stream_fixtures() {
+        // The committed demo streams are legacy fixtures (no
+        // `elapsed_seconds` field): parsing them and rendering the
+        // dashboard must keep working, with real throughput numbers from
+        // the wall_seconds fallback and no `inf`/`NaN` anywhere.
+        for fixture in ["quick_nominal.jsonl", "quick_hot.jsonl"] {
+            let path = format!(
+                "{}/../../results/streams/{fixture}",
+                env!("CARGO_MANIFEST_DIR")
+            );
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("read fixture {path}: {e}"));
+            let records =
+                tdtm_telemetry::CellRecord::parse_jsonl(&text).expect("fixture parses");
+            assert!(!records.is_empty(), "{fixture}: empty fixture");
+            assert!(
+                records.iter().all(|r| r.elapsed_seconds == 0.0),
+                "{fixture}: no longer a legacy stream; update this test"
+            );
+            let s = obs_dashboard(&records, None);
+            assert!(
+                s.contains("cells/s aggregate") && !s.contains("(n/a cells/s aggregate)"),
+                "{fixture}: wall_seconds fallback should yield a real rate:\n{s}"
+            );
+            assert!(!s.contains("inf") && !s.contains("NaN"), "{fixture}:\n{s}");
+        }
     }
 
     #[test]
@@ -492,7 +600,10 @@ mod tests {
         assert!(s.contains("Run B (baseline)"));
         assert!(s.contains("A vs B"));
         // 1.0s baseline over 0.5s current = 2.00x speedup; 40 - 55 = -15.
-        assert!(s.contains("| gcc/PID | 0.500 | 1.000 | 2.00x | 40 | 55 | -15 |"), "got:\n{s}");
+        assert!(
+            s.contains("| gcc/PID | 0.500 | 1.000 | 2.00x | 40 | 55 | -15 |"),
+            "got:\n{s}"
+        );
         assert!(s.contains("Not in B: art/PID"));
     }
 

@@ -3,6 +3,8 @@
 use crate::config::SimConfig;
 use crate::metrics::{BlockMetrics, RunReport};
 use crate::telemetry::{sim_metrics_registry, HIST_FETCH_DUTY, HIST_HOTTEST_TEMP};
+use std::collections::VecDeque;
+use std::time::Instant;
 use tdtm_control::pid::PidSample;
 use tdtm_dtm::{build_policy_at, DtmCommand, DtmPolicy, SensorModel, TriggerMechanism};
 use tdtm_isa::Program;
@@ -14,12 +16,80 @@ use tdtm_telemetry::{
 use tdtm_thermal::boxcar::BoxcarProxy;
 use tdtm_thermal::comparison::AgreementCounts;
 use tdtm_thermal::BlockModel;
-use tdtm_uarch::{Core, CoreControl};
+use tdtm_uarch::{Core, CoreControl, IdleKind};
 use tdtm_workloads::Workload;
-use std::collections::VecDeque;
-use std::time::Instant;
 
 pub(crate) const NUM_THERMAL: usize = 7;
+
+/// Minimum idle-window length (cycles) worth fast-forwarding: shorter
+/// windows are cheaper to just execute than to probe, fold, and
+/// book-keep.
+pub(crate) const MIN_SKIP_WINDOW: u64 = 4;
+
+/// Whether the fast loops fast-forward across provably-idle windows:
+/// on unless the `TDTM_SKIP` environment variable is `0` or `off`
+/// (mirroring `TDTM_BATCH` for the SoA grid path).
+pub(crate) fn skip_default() -> bool {
+    !matches!(
+        std::env::var("TDTM_SKIP").ok().as_deref().map(str::trim),
+        Some("0") | Some("off")
+    )
+}
+
+/// Whether skipped *uncounted* windows use the approximate `powf`
+/// closed form instead of the bit-exact iterated fold: off unless
+/// `TDTM_SKIP_CLOSED` is `1` or `on`. Opt-in because it rounds
+/// differently from the per-cycle recurrence and therefore breaks
+/// byte-identity with the reference loop.
+pub(crate) fn closed_form_default() -> bool {
+    matches!(
+        std::env::var("TDTM_SKIP_CLOSED")
+            .ok()
+            .as_deref()
+            .map(str::trim),
+        Some("1") | Some("on")
+    )
+}
+
+/// Why a run loop fast-forwarded a window of cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SkipReason {
+    /// Duty-cycle fetch gating held the front end closed and the window
+    /// was otherwise drained.
+    Gated,
+    /// The window was drained and stalled on a long-latency completion
+    /// with a known wake cycle.
+    Drained,
+    /// A V/f resynchronization stall (the core is not clocked at all).
+    Resync,
+    /// A multicore gap in which at least one core was parked (chip-level
+    /// windows only).
+    Parked,
+}
+
+/// One fast-forwarded window: cycles `start..end` were advanced with a
+/// constant-power thermal fold instead of per-cycle pipeline execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SkipWindow {
+    /// First skipped cycle.
+    pub start: u64,
+    /// One past the last skipped cycle.
+    pub end: u64,
+    /// Why the window was provably idle.
+    pub reason: SkipReason,
+}
+
+impl SkipWindow {
+    /// Window length in cycles.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the window is empty (never recorded by the run loops).
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+}
 
 /// A temperature-proxy attachment for the Tables 9/10 comparison.
 #[derive(Clone, Debug)]
@@ -38,7 +108,10 @@ enum ProxyKind {
     /// thermal rule (avg power × R + heatsink vs. threshold).
     PerStructure { boxcars: Vec<BoxcarProxy> },
     /// One boxcar over total chip power with a watts threshold.
-    ChipWide { boxcar: BoxcarProxy, threshold_w: f64 },
+    ChipWide {
+        boxcar: BoxcarProxy,
+        threshold_w: f64,
+    },
 }
 
 /// A full simulation of one program under one configuration.
@@ -75,6 +148,17 @@ pub struct Simulator {
     /// for the specialized fast loop (validation knob; see
     /// [`set_reference_loop`](Simulator::set_reference_loop)).
     reference_loop: bool,
+    /// Fast-forwards the fast loop across provably-idle windows (see
+    /// [`set_skip`](Simulator::set_skip); defaults from `TDTM_SKIP`).
+    skip: bool,
+    /// Uses the approximate closed form for *uncounted* skipped windows
+    /// (see [`set_skip_closed`](Simulator::set_skip_closed)).
+    skip_closed: bool,
+    /// Records one [`SkipWindow`] per fast-forwarded window when enabled
+    /// (off by default so long runs don't grow a log nobody reads).
+    log_skip_windows: bool,
+    /// The skip-window log of the last run (when enabled).
+    skip_windows: Vec<SkipWindow>,
 }
 
 /// In-flight telemetry collection: the collectors plus the cheap local
@@ -124,7 +208,10 @@ impl TelemetryState {
     pub(crate) fn with_core(cfg: &TelemetryConfig, core_id: usize) -> TelemetryState {
         let registry = cfg.metrics.then(sim_metrics_registry);
         let (temp_idx, duty_idx) = registry.as_ref().map_or((0, 0), |reg| {
-            (reg.histogram_index(HIST_HOTTEST_TEMP), reg.histogram_index(HIST_FETCH_DUTY))
+            (
+                reg.histogram_index(HIST_HOTTEST_TEMP),
+                reg.histogram_index(HIST_FETCH_DUTY),
+            )
         });
         TelemetryState {
             events: cfg.events.map(|e| EventTrace::new(e.capacity, e.stride)),
@@ -207,7 +294,9 @@ impl TelemetryState {
     /// are due on the `index`-th DTM sample. `false` when the event ring
     /// is disabled.
     pub(crate) fn sample_due(&self, index: u64) -> bool {
-        self.events.as_ref().is_some_and(|trace| trace.sample_due(index))
+        self.events
+            .as_ref()
+            .is_some_and(|trace| trace.sample_due(index))
     }
 
     /// Records one [`Event::SensorRead`] per block (call only when
@@ -216,7 +305,12 @@ impl TelemetryState {
         self.sensor_reads += sensed.len() as u64;
         if let Some(trace) = &mut self.events {
             for (block, &reading) in sensed.iter().enumerate() {
-                trace.record(Event::SensorRead { cycle, core: self.core_id, block, reading });
+                trace.record(Event::SensorRead {
+                    cycle,
+                    core: self.core_id,
+                    block,
+                    reading,
+                });
             }
         }
     }
@@ -255,7 +349,12 @@ impl TelemetryState {
     pub(crate) fn record_duty_change(&mut self, cycle: u64, from: f64, to: f64) {
         self.duty_changes += 1;
         if let Some(trace) = &mut self.events {
-            trace.record(Event::DutyChange { cycle, core: self.core_id, from, to });
+            trace.record(Event::DutyChange {
+                cycle,
+                core: self.core_id,
+                from,
+                to,
+            });
         }
     }
 
@@ -314,10 +413,18 @@ impl TelemetryState {
             }
             profile.add(Phase::Power, self.power_nanos, self.power_calls);
             profile.add(Phase::ThermalStep, self.thermal_nanos, self.thermal_calls);
-            profile.add(Phase::Controller, self.controller_nanos, self.controller_calls);
+            profile.add(
+                Phase::Controller,
+                self.controller_nanos,
+                self.controller_calls,
+            );
             profile
         });
-        Telemetry { events: self.events, metrics: self.registry, phases }
+        Telemetry {
+            events: self.events,
+            metrics: self.registry,
+            phases,
+        }
     }
 }
 
@@ -348,7 +455,13 @@ pub struct Trace {
 
 impl Trace {
     fn new(stride: u64) -> Trace {
-        Trace { stride, cycles: Vec::new(), temperatures: Vec::new(), power: Vec::new(), duty: Vec::new() }
+        Trace {
+            stride,
+            cycles: Vec::new(),
+            temperatures: Vec::new(),
+            power: Vec::new(),
+            duty: Vec::new(),
+        }
     }
 
     /// Number of recorded samples.
@@ -529,7 +642,11 @@ pub(crate) fn warm_start_jump(
     }
     thermal.warm_start(&warm_start_power[..]);
     if dtm.policy != tdtm_dtm::PolicyKind::None {
-        let ceiling = if dtm.policy.is_control_theoretic() { dtm.setpoint } else { dtm.trigger };
+        let ceiling = if dtm.policy.is_control_theoretic() {
+            dtm.setpoint
+        } else {
+            dtm.trigger
+        };
         for i in 0..NUM_THERMAL {
             let t = thermal.temperatures()[i];
             if t > ceiling {
@@ -556,7 +673,11 @@ pub(crate) fn finalize_report(
         .map(|i| BlockMetrics {
             name: params[i].name.clone(),
             avg_temp: acc.block_sum_t[i] / n,
-            max_temp: if acc.block_max_t[i].is_finite() { acc.block_max_t[i] } else { 0.0 },
+            max_temp: if acc.block_max_t[i].is_finite() {
+                acc.block_max_t[i]
+            } else {
+                0.0
+            },
             emergency_cycles: acc.block_emerg[i],
             stress_cycles: acc.block_stress[i],
             avg_power: acc.block_sum_p[i] / n,
@@ -596,7 +717,13 @@ impl Simulator {
     /// Builds a simulator for a suite workload, honoring its functional
     /// warmup skip.
     pub fn for_workload(cfg: SimConfig, workload: &Workload) -> Simulator {
-        Simulator::build(cfg, workload.program_shared(), workload.name, workload.warmup_insts, None)
+        Simulator::build(
+            cfg,
+            workload.program_shared(),
+            workload.name,
+            workload.warmup_insts,
+            None,
+        )
     }
 
     /// [`for_workload`](Simulator::for_workload) with a prebuilt, shared
@@ -608,7 +735,13 @@ impl Simulator {
         workload: &Workload,
         power: std::sync::Arc<PowerModel>,
     ) -> Simulator {
-        Simulator::build(cfg, workload.program_shared(), workload.name, workload.warmup_insts, Some(power))
+        Simulator::build(
+            cfg,
+            workload.program_shared(),
+            workload.name,
+            workload.warmup_insts,
+            Some(power),
+        )
     }
 
     fn build(
@@ -642,6 +775,10 @@ impl Simulator {
             telemetry: None,
             collected: None,
             reference_loop: false,
+            skip: skip_default(),
+            skip_closed: closed_form_default(),
+            log_skip_windows: false,
+            skip_windows: Vec::new(),
             cfg,
         }
     }
@@ -698,10 +835,7 @@ impl Simulator {
             acc: [0.0; NUM_THERMAL],
             acc_total: 0.0,
             count: 0,
-            trace: crate::replay::PowerTrace::new(
-                self.cfg.cycle_time() * stride as f64,
-                stride,
-            ),
+            trace: crate::replay::PowerTrace::new(self.cfg.cycle_time() * stride as f64, stride),
         });
     }
 
@@ -732,7 +866,10 @@ impl Simulator {
     pub fn add_chipwide_proxy(&mut self, window: usize, threshold_w: f64) {
         self.proxies.push(ProxyAttachment {
             label: format!("chip-wide {window}"),
-            kind: ProxyKind::ChipWide { boxcar: BoxcarProxy::new(window), threshold_w },
+            kind: ProxyKind::ChipWide {
+                boxcar: BoxcarProxy::new(window),
+                threshold_w,
+            },
             counts: vec![AgreementCounts::new()],
         });
     }
@@ -762,6 +899,41 @@ impl Simulator {
         self.reference_loop = on;
     }
 
+    /// Enables or disables idle-gap skipping in the fast loop,
+    /// overriding the `TDTM_SKIP` default. Skipping never changes the
+    /// report: a gated, drained, or resync-stalled window is advanced
+    /// with the same per-cycle arithmetic the loop would have executed,
+    /// so [`RunReport`]s stay byte-identical either way (pinned by
+    /// `tests/hot_loop_identity.rs`).
+    pub fn set_skip(&mut self, on: bool) {
+        self.skip = on;
+    }
+
+    /// Opts *uncounted* skipped windows into the `powf` closed form
+    /// (one exponentiation instead of a k-cycle fold), overriding the
+    /// `TDTM_SKIP_CLOSED` default. The closed form rounds differently
+    /// from the per-cycle recurrence, so this trades byte-identity for
+    /// speed; the drift is property-tested to stay within
+    /// `1e-9 · max(T − heatsink, 1)` per window.
+    pub fn set_skip_closed(&mut self, on: bool) {
+        self.skip_closed = on;
+    }
+
+    /// Enables skip-window logging for the next [`run`](Simulator::run):
+    /// each fast-forwarded window is recorded with its start/end cycle
+    /// and reason, available from
+    /// [`skip_windows`](Simulator::skip_windows) afterwards.
+    pub fn record_skip_windows(&mut self) {
+        self.log_skip_windows = true;
+    }
+
+    /// The skip-window log of the last run (empty unless
+    /// [`record_skip_windows`](Simulator::record_skip_windows) was
+    /// enabled and the fast loop actually skipped).
+    pub fn skip_windows(&self) -> &[SkipWindow] {
+        &self.skip_windows
+    }
+
     /// Runs to the configured instruction budget and returns the report.
     ///
     /// The loop is specialized once per run (via an internal run plan):
@@ -775,6 +947,7 @@ impl Simulator {
     pub fn run(&mut self) -> RunReport {
         let plan = RunPlan::classify(self);
         let mut acc = RunAccum::new();
+        self.skip_windows.clear();
         // Detach the telemetry state from `self` for the duration of the
         // loop so its mutable borrows stay disjoint from the simulator's
         // components; reattached as `collected` at the end.
@@ -823,6 +996,23 @@ impl Simulator {
     /// fire mid-chunk and are still checked every cycle, in exactly the
     /// reference loop's order; a mid-chunk stop skips the boundary
     /// sample just as the reference loop would.
+    ///
+    /// Idle-gap skipping: when the core proves a k-cycle window idle
+    /// ([`Core::idle_window`]: fetch gated shut or the pipeline drained
+    /// against a known wake cycle) — or the loop is inside a V/f resync
+    /// stall — every cycle in the window draws the same idle power, so
+    /// the loop folds the window with a constant-power thermal kernel
+    /// ([`BlockModel::step_gap_observed`] /
+    /// [`BlockModel::step_gap_fixed`]) and jumps the cycle counter,
+    /// never touching the pipeline. The fold iterates the per-cycle
+    /// recurrence in the same order with the same bits, and counted
+    /// cycles still fold into the accumulator one at a time, so reports
+    /// stay byte-identical with the non-skipping loops. Windows are
+    /// clipped to the chunk boundary (the boundary's DTM sample always
+    /// runs), the cycle budget, and the warmup boundary (so `counting`
+    /// is uniform across a fold); no window starts inside the
+    /// warm-start window (its per-cycle power accumulation must run) or
+    /// under temperature-dependent leakage (power varies with T).
     fn run_fast<const LEAK: bool>(&mut self, acc: &mut RunAccum, plan: RunPlan) {
         let interval = self.cfg.dtm.sample_interval.max(1);
         let emergency = self.cfg.dtm.emergency;
@@ -839,15 +1029,21 @@ impl Simulator {
         let peaks: [f64; NUM_THERMAL] =
             std::array::from_fn(|i| self.power.peak(tdtm_uarch::activity::THERMAL_BLOCKS[i]));
 
+        let skip = self.skip && !LEAK;
+
         'run: loop {
-            let until_sample = interval - acc.cycle % interval;
-            for _ in 0..until_sample {
+            let mut remaining = interval - acc.cycle % interval;
+            while remaining > 0 {
                 let counting = acc.cycle >= warmup;
                 if counting && acc.counted_cycles == 0 {
                     acc.committed_at_count_start = self.core.stats().committed;
                 }
                 // Stop conditions.
-                if self.core.stats().committed.saturating_sub(acc.committed_at_count_start)
+                if self
+                    .core
+                    .stats()
+                    .committed
+                    .saturating_sub(acc.committed_at_count_start)
                     >= self.cfg.max_insts
                     && counting
                 {
@@ -855,6 +1051,75 @@ impl Simulator {
                 }
                 if acc.cycle >= self.cfg.max_cycles || self.core.finished() {
                     break 'run;
+                }
+
+                // Idle-gap fast-forward. Inside a window nothing the
+                // stop conditions read can change (the pipeline is
+                // untouched, so `committed` and `finished` are frozen;
+                // the cycle budget caps the window), so checking them
+                // once at entry matches the per-cycle reference order.
+                if skip && acc.cycle >= warm_window {
+                    let mut cap = remaining.min(self.cfg.max_cycles - acc.cycle);
+                    if acc.cycle < warmup {
+                        cap = cap.min(warmup - acc.cycle);
+                    }
+                    let window = if self.resync_remaining > 0 {
+                        Some((self.resync_remaining.min(cap), SkipReason::Resync))
+                    } else {
+                        self.core.idle_window(cap).map(|(len, kind)| {
+                            let reason = match kind {
+                                IdleKind::Gated => SkipReason::Gated,
+                                IdleKind::Drained => SkipReason::Drained,
+                            };
+                            (len, reason)
+                        })
+                    };
+                    if let Some((k, reason)) = window {
+                        if k >= MIN_SKIP_WINDOW {
+                            // Every skipped cycle draws the bitwise-same
+                            // idle power sample, so pre-scaling once is
+                            // exactly the per-cycle `step_scaled` bits.
+                            let scale = self.vf_power_scale;
+                            let mut gap_powers = idle_sample.thermal_powers();
+                            for p in &mut gap_powers {
+                                *p *= scale;
+                            }
+                            let gap_total = idle_sample.total * scale;
+                            if counting {
+                                let dt_wall = nominal_dt / self.vf_freq_scale;
+                                let acc = &mut *acc;
+                                self.thermal.step_gap_observed(&gap_powers, k, |temps| {
+                                    acc.record_cycle(
+                                        temps,
+                                        &gap_powers,
+                                        gap_total,
+                                        dt_wall,
+                                        emergency,
+                                        stress,
+                                    );
+                                });
+                            } else if self.skip_closed {
+                                self.thermal.step_gap_closed(&gap_powers, k);
+                            } else {
+                                self.thermal.step_gap_fixed(&gap_powers, k);
+                            }
+                            if reason == SkipReason::Resync {
+                                self.resync_remaining -= k;
+                            } else {
+                                self.core.skip_idle(k);
+                            }
+                            if self.log_skip_windows {
+                                self.skip_windows.push(SkipWindow {
+                                    start: acc.cycle,
+                                    end: acc.cycle + k,
+                                    reason,
+                                });
+                            }
+                            acc.cycle += k;
+                            remaining -= k;
+                            continue;
+                        }
+                    }
                 }
 
                 // One machine cycle (or a resync-stall cycle).
@@ -902,6 +1167,7 @@ impl Simulator {
                     );
                 }
                 acc.cycle += 1;
+                remaining -= 1;
             }
 
             // DTM sample at the chunk boundary: the cycle just executed
@@ -940,8 +1206,7 @@ impl Simulator {
         // Per-block thermal resistances and the heatsink temperature are
         // run constants; hoisted for the proxy bookkeeping (this used to
         // collect a fresh `Vec<f64>` every cycle).
-        let proxy_rs: [f64; NUM_THERMAL] =
-            std::array::from_fn(|i| self.thermal.params()[i].r);
+        let proxy_rs: [f64; NUM_THERMAL] = std::array::from_fn(|i| self.thermal.params()[i].r);
         let heatsink = self.thermal.heatsink();
 
         loop {
@@ -950,7 +1215,11 @@ impl Simulator {
                 acc.committed_at_count_start = self.core.stats().committed;
             }
             // Stop conditions.
-            if self.core.stats().committed.saturating_sub(acc.committed_at_count_start)
+            if self
+                .core
+                .stats()
+                .committed
+                .saturating_sub(acc.committed_at_count_start)
                 >= self.cfg.max_insts
                 && counting
             {
@@ -1030,8 +1299,7 @@ impl Simulator {
                 ts.observe_cycle(acc.cycle, temps, hottest, emergency, stress);
             }
             if counting {
-                let temps: &[f64; NUM_THERMAL] =
-                    temps.try_into().expect("seven thermal blocks");
+                let temps: &[f64; NUM_THERMAL] = temps.try_into().expect("seven thermal blocks");
                 acc.record_cycle(
                     temps,
                     &thermal_powers,
@@ -1050,17 +1318,24 @@ impl Simulator {
                             for i in 0..NUM_THERMAL {
                                 boxcars[i].push(thermal_powers[i]);
                                 if counting {
-                                    let proxy_hot = boxcars[i]
-                                        .triggered_thermal(proxy_rs[i], heatsink, emergency);
+                                    let proxy_hot = boxcars[i].triggered_thermal(
+                                        proxy_rs[i],
+                                        heatsink,
+                                        emergency,
+                                    );
                                     proxy.counts[i].record(temps[i] > emergency, proxy_hot);
                                 }
                             }
                         }
-                        ProxyKind::ChipWide { boxcar, threshold_w } => {
+                        ProxyKind::ChipWide {
+                            boxcar,
+                            threshold_w,
+                        } => {
                             boxcar.push(total_power);
                             if counting {
                                 let reference_hot = temps.iter().any(|&t| t > emergency);
-                                proxy.counts[0].record(reference_hot, boxcar.triggered(*threshold_w));
+                                proxy.counts[0]
+                                    .record(reference_hot, boxcar.triggered(*threshold_w));
                             }
                         }
                     }
@@ -1239,7 +1514,11 @@ mod tests {
         let r = sim.run();
         assert!(r.committed >= 30_000);
         assert!(r.ipc > 1.0, "ipc {}", r.ipc);
-        assert!(r.avg_power > 10.0 && r.avg_power < 120.0, "power {}", r.avg_power);
+        assert!(
+            r.avg_power > 10.0 && r.avg_power < 120.0,
+            "power {}",
+            r.avg_power
+        );
         assert_eq!(r.blocks.len(), 7);
         assert!(r.blocks.iter().all(|b| b.avg_temp >= 100.0));
         assert_eq!(r.policy, "none");
@@ -1276,7 +1555,10 @@ mod tests {
         base_cfg.heatsink_temp = 105.0;
         let mut none = Simulator::new(base_cfg.clone(), hot_loop_program());
         let r_none = none.run();
-        assert!(r_none.emergency_cycles > 0, "hot loop at 105C heatsink must overheat");
+        assert!(
+            r_none.emergency_cycles > 0,
+            "hot loop at 105C heatsink must overheat"
+        );
 
         let mut pid_cfg = base_cfg;
         pid_cfg.dtm.policy = PolicyKind::Pid;
@@ -1292,7 +1574,9 @@ mod tests {
         let mut cfg = quick(PolicyKind::Pid);
         cfg.max_insts = 120_000;
         cfg.heatsink_temp = 107.0;
-        cfg.dtm.mechanism = TriggerMechanism::Interrupt { latency_cycles: 250 };
+        cfg.dtm.mechanism = TriggerMechanism::Interrupt {
+            latency_cycles: 250,
+        };
         let mut sim = Simulator::new(cfg, hot_loop_program());
         let r = sim.run();
         assert!(r.engaged_samples > 0);
@@ -1308,7 +1592,11 @@ mod tests {
         sim.add_chipwide_proxy(10_000, 47.0);
         let r = sim.run();
         let total: u64 = sim.proxies()[0].counts.iter().map(|c| c.total()).sum();
-        assert_eq!(total, 7 * r.cycles, "one record per block per counted cycle");
+        assert_eq!(
+            total,
+            7 * r.cycles,
+            "one record per block per counted cycle"
+        );
         assert_eq!(sim.proxies()[1].counts[0].total(), r.cycles);
     }
 
@@ -1341,7 +1629,10 @@ mod tests {
         let mut leaky = Simulator::new(leaky_cfg, hot_loop_program());
         let r_plain = plain.run();
         let r_leaky = leaky.run();
-        assert!(r_leaky.avg_power > r_plain.avg_power + 0.5, "leakage adds watts");
+        assert!(
+            r_leaky.avg_power > r_plain.avg_power + 0.5,
+            "leakage adds watts"
+        );
         assert!(
             r_leaky.hottest_block().unwrap().max_temp > r_plain.hottest_block().unwrap().max_temp,
             "and therefore kelvins"
@@ -1358,7 +1649,10 @@ mod tests {
         cfg.leakage = Some(tdtm_power::LeakageModel::node_180nm());
         let mut sim = Simulator::new(cfg, hot_loop_program());
         let r = sim.run();
-        assert_eq!(r.emergency_cycles, 0, "PID must contain the leakage feedback");
+        assert_eq!(
+            r.emergency_cycles, 0,
+            "PID must contain the leakage feedback"
+        );
         assert!(r.engaged_samples > 0, "which requires actually engaging");
     }
 

@@ -150,6 +150,51 @@ impl ThermalBatch {
         }
     }
 
+    /// Advances one lane `cycles` steps under constant, already-scaled
+    /// per-block powers, calling `observe` with the lane's post-step
+    /// temperatures after every cycle — the lane-wise analogue of
+    /// [`BlockModel::step_gap_observed`](crate::BlockModel::step_gap_observed),
+    /// for a lane fast-forwarding across a provably-idle window while
+    /// the rest of the batch keeps lockstep rounds.
+    ///
+    /// Bit-identical to `cycles` [`step_batch`](ThermalBatch::step_batch)
+    /// sweeps whose staged powers and scale produce the same effective
+    /// watts for this lane (pinned by a property test): with the
+    /// effective watts constant, each block's steady state is the same
+    /// bits every cycle, so it hoists out of the loop while the
+    /// recurrence keeps `step_batch`'s arithmetic order. Other lanes are
+    /// untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range or `N` differs from the width.
+    pub fn step_lane_gap<const N: usize>(
+        &mut self,
+        lane: usize,
+        powers: &[Watts; N],
+        cycles: u64,
+        mut observe: impl FnMut(&[Celsius; N]),
+    ) {
+        let ThermalBatch { width, temps, decay, r, heatsink, .. } = self;
+        assert_eq!(N, *width, "one power per block");
+        let base = lane * N;
+        let heatsink = heatsink[lane];
+        let temps: &mut [f64; N] =
+            (&mut temps[base..base + N]).try_into().expect("lane temperature span");
+        let r: &[f64; N] = (&r[base..base + N]).try_into().expect("lane resistance span");
+        let decay: &[f64; N] = (&decay[base..base + N]).try_into().expect("lane decay span");
+        let mut t_ss = [0.0f64; N];
+        for i in 0..N {
+            t_ss[i] = heatsink + powers[i] * r[i];
+        }
+        for _ in 0..cycles {
+            for i in 0..N {
+                temps[i] = t_ss[i] + (temps[i] - t_ss[i]) * decay[i];
+            }
+            observe(temps);
+        }
+    }
+
     /// Retimes one lane's integration step (e.g. under frequency
     /// scaling), recomputing its decay factors exactly as
     /// [`BlockModel::set_dt`] would.
@@ -379,6 +424,51 @@ mod tests {
             batch.step_batch(&mut b, &[1.1]);
             assert_eq!(batch.temperatures(lane), model.temperatures());
             assert_eq!(a, b);
+        });
+    }
+
+    /// The gap kernel's pin: fast-forwarding one lane under constant
+    /// effective watts must reproduce, bit for bit, the per-cycle
+    /// snapshots and final state that lane would have had under repeated
+    /// `step_batch` sweeps staging the same powers and scale each cycle.
+    #[test]
+    fn property_step_lane_gap_matches_repeated_step_batch_bitwise() {
+        tdtm_prng::cases(40, 0x6A9_BA7C, |rng| {
+            let models: Vec<BlockModel> = (0..3).map(|_| random_model(rng)).collect();
+            let mut reference = ThermalBatch::new(W);
+            let mut gapped = ThermalBatch::new(W);
+            for m in &models {
+                reference.push(m);
+                gapped.push(m);
+            }
+            let lane = rng.index(3);
+            let base_powers = random_powers(rng);
+            let scale = 0.2 + rng.next_f64() * 1.3;
+            let cycles = 1 + (rng.next_f64() * 30.0) as u64;
+
+            // Reference: full sweeps, every lane staged with the same
+            // constant powers; snapshot the gap lane each cycle.
+            let mut snapshots = Vec::new();
+            for _ in 0..cycles {
+                let mut flat = vec![0.0f64; 3 * W];
+                for l in 0..3 {
+                    flat[l * W..(l + 1) * W].copy_from_slice(&base_powers);
+                }
+                reference.step_batch(&mut flat, &[scale; 3]);
+                snapshots.push(*reference.temperatures_fixed::<W>(lane));
+            }
+
+            // Gap path: pre-scale once (the bits `step_batch` writes
+            // back) and fold the lane across the window.
+            let scaled: [f64; W] = std::array::from_fn(|i| base_powers[i] * scale);
+            let mut observed = Vec::new();
+            gapped.step_lane_gap(lane, &scaled, cycles, |t: &[f64; W]| observed.push(*t));
+            assert_eq!(snapshots, observed);
+            assert_eq!(reference.temperatures(lane), gapped.temperatures(lane));
+            // Other lanes were untouched by the gap.
+            for l in (0..3).filter(|&l| l != lane) {
+                assert_eq!(gapped.temperatures(l), models[l].temperatures(), "lane {l}");
+            }
         });
     }
 

@@ -268,6 +268,98 @@ impl BlockModel {
         }
     }
 
+    /// Advances `cycles` steps under constant per-block powers.
+    ///
+    /// Bit-identical to calling [`step_fixed`](BlockModel::step_fixed)
+    /// `cycles` times with the same `powers` (pinned by property tests):
+    /// the steady states `T_ss = T_heatsink + P·R` are hoisted out of the
+    /// cycle loop, which is safe because `step_fixed` recomputes them from
+    /// the same operand bits every cycle, and the per-cycle recurrence
+    /// `T ← T_ss + (T − T_ss)·d` is kept in the one-step arithmetic
+    /// order. This is the gap-fold kernel behind idle-window skipping:
+    /// power is constant across a provably-idle gap, so the thermal state
+    /// advances without any pipeline or power-model work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model does not have exactly `N` blocks.
+    pub fn step_gap_fixed<const N: usize>(&mut self, powers: &[Watts; N], cycles: u64) {
+        let BlockModel { params, temps, heatsink, decay, .. } = self;
+        let temps: &mut [f64; N] = temps.as_mut_slice().try_into().expect("one power per block");
+        let decay: &[f64; N] = decay.as_slice().try_into().expect("one decay per block");
+        assert_eq!(params.len(), N, "one power per block");
+        let mut t_ss = [0.0f64; N];
+        for i in 0..N {
+            t_ss[i] = *heatsink + powers[i] * params[i].r;
+        }
+        for _ in 0..cycles {
+            for i in 0..N {
+                temps[i] = t_ss[i] + (temps[i] - t_ss[i]) * decay[i];
+            }
+        }
+    }
+
+    /// Like [`step_gap_fixed`](BlockModel::step_gap_fixed), but calls
+    /// `observe` with the post-step temperatures after every cycle of the
+    /// gap — the counted-gap kernel: a caller folding an idle window
+    /// inside a measured region still records every cycle's temperatures
+    /// into its accumulators, so reports stay byte-identical with the
+    /// cycle-by-cycle loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model does not have exactly `N` blocks.
+    pub fn step_gap_observed<const N: usize>(
+        &mut self,
+        powers: &[Watts; N],
+        cycles: u64,
+        mut observe: impl FnMut(&[Celsius; N]),
+    ) {
+        let BlockModel { params, temps, heatsink, decay, .. } = self;
+        let temps: &mut [f64; N] = temps.as_mut_slice().try_into().expect("one power per block");
+        let decay: &[f64; N] = decay.as_slice().try_into().expect("one decay per block");
+        assert_eq!(params.len(), N, "one power per block");
+        let mut t_ss = [0.0f64; N];
+        for i in 0..N {
+            t_ss[i] = *heatsink + powers[i] * params[i].r;
+        }
+        for _ in 0..cycles {
+            for i in 0..N {
+                temps[i] = t_ss[i] + (temps[i] - t_ss[i]) * decay[i];
+            }
+            observe(temps);
+        }
+    }
+
+    /// Advances `cycles` steps under constant per-block powers in closed
+    /// form: `T ← T_ss + (T − T_ss)·d^k` with the gap decay computed by
+    /// `pow` instead of `k` multiplications.
+    ///
+    /// **Not** bit-identical to the iterated kernels — `pow` rounds
+    /// differently than a product chain — but accurate to within a few
+    /// ulps of the excess over steady state (pinned by a tolerance
+    /// property test), and O(1) in the gap length. Callers that guarantee
+    /// byte-identical reports must only use this for cycles outside every
+    /// measured window, and only behind an explicit opt-in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model does not have exactly `N` blocks.
+    pub fn step_gap_closed<const N: usize>(&mut self, powers: &[Watts; N], cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        let BlockModel { params, temps, heatsink, decay, .. } = self;
+        let temps: &mut [f64; N] = temps.as_mut_slice().try_into().expect("one power per block");
+        let decay: &[f64; N] = decay.as_slice().try_into().expect("one decay per block");
+        assert_eq!(params.len(), N, "one power per block");
+        for i in 0..N {
+            let t_ss = *heatsink + powers[i] * params[i].r;
+            let gap_decay = decay[i].powf(cycles as f64);
+            temps[i] = t_ss + (temps[i] - t_ss) * gap_decay;
+        }
+    }
+
     /// Current block temperatures as a fixed-arity array reference.
     ///
     /// # Panics
@@ -594,6 +686,80 @@ mod tests {
                 assert_eq!(ref_total.to_bits(), fused_total.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn property_step_gap_fixed_matches_iterated_step_fixed_bitwise() {
+        let mut rng = tdtm_prng::Rng::new(0x6A9_0004);
+        for _ in 0..200 {
+            let mut a = random_model(&mut rng);
+            let mut b = a.clone();
+            let powers = random_powers(&mut rng);
+            let cycles = (rng.next_f64() * 60.0) as u64; // includes 0
+            for _ in 0..cycles {
+                a.step_fixed(&powers);
+            }
+            b.step_gap_fixed(&powers, cycles);
+            assert_eq!(a.temperatures(), b.temperatures(), "k={cycles}");
+        }
+    }
+
+    #[test]
+    fn property_step_gap_observed_matches_iterated_snapshots_bitwise() {
+        let mut rng = tdtm_prng::Rng::new(0x6A9_0005);
+        for _ in 0..100 {
+            let mut a = random_model(&mut rng);
+            let mut b = a.clone();
+            let powers = random_powers(&mut rng);
+            let cycles = 1 + (rng.next_f64() * 40.0) as u64;
+            let mut reference = Vec::new();
+            for _ in 0..cycles {
+                a.step_fixed(&powers);
+                reference.push(*a.temperatures_fixed::<7>());
+            }
+            let mut observed = Vec::new();
+            b.step_gap_observed(&powers, cycles, |temps: &[f64; 7]| observed.push(*temps));
+            assert_eq!(reference, observed);
+            assert_eq!(a.temperatures(), b.temperatures());
+        }
+    }
+
+    #[test]
+    fn property_step_gap_closed_tracks_iterated_within_tolerance() {
+        // The pow-based closed form is *approximate* (different rounding
+        // than the product chain), so it is pinned to a tolerance scaled
+        // by the excess over steady state, not to bits.
+        let mut rng = tdtm_prng::Rng::new(0x6A9_0006);
+        for _ in 0..100 {
+            let mut iterated = random_model(&mut rng);
+            let mut closed = iterated.clone();
+            let powers = random_powers(&mut rng);
+            let cycles = 1 + (rng.next_f64() * 2000.0) as u64;
+            for _ in 0..cycles {
+                iterated.step_fixed(&powers);
+            }
+            closed.step_gap_closed(&powers, cycles);
+            for (i, &p) in powers.iter().enumerate() {
+                let t_ss = iterated.steady_state(i, p);
+                let excess = (iterated.temperatures()[i] - t_ss).abs().max(1.0);
+                let d = (iterated.temperatures()[i] - closed.temperatures()[i]).abs();
+                assert!(
+                    d <= 1e-9 * excess,
+                    "block {i}, k={cycles}: closed {} vs iterated {} (excess {excess})",
+                    closed.temperatures()[i],
+                    iterated.temperatures()[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn step_gap_closed_with_zero_cycles_is_a_no_op() {
+        let mut m = two_block_model();
+        m.set_temperature(0, 104.5);
+        let before = m.temperatures().to_vec();
+        m.step_gap_closed(&[5.0, 2.0], 0);
+        assert_eq!(m.temperatures(), &before[..]);
     }
 
     #[test]

@@ -160,6 +160,19 @@ enum FetchSource {
     WrongPath { resume_idx: u64, pc: u64 },
 }
 
+/// Why a provably-idle window is idle — the annotation skip tracing
+/// attaches to fast-forwarded windows.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IdleKind {
+    /// Fetch is held off (duty gate closed, width capped to zero, or the
+    /// oracle exhausted) and the window ends when the gate next opens
+    /// with fetch supply available.
+    Gated,
+    /// The pipeline is drained down to in-flight long-latency operations
+    /// whose completion cycles are already known.
+    Drained,
+}
+
 /// The cycle-level out-of-order core.
 pub struct Core {
     cfg: CoreConfig,
@@ -399,6 +412,120 @@ impl Core {
         self.cycle += 1;
         self.stats.cycles += 1;
         &self.activity
+    }
+
+    /// Cheap pre-probe for [`idle_window`](Core::idle_window): whether the
+    /// current cycle *could* start a provably-idle window. A `false`
+    /// result is definitive; a `true` result still needs the full window
+    /// walk.
+    #[inline]
+    pub fn maybe_idle(&self) -> bool {
+        self.ifq.is_empty()
+            && self.frontend.is_empty()
+            && self.ready_unissued.is_empty()
+            && self.control.max_unresolved_branches.is_none()
+    }
+
+    /// Detects a provably-idle window starting at the current cycle: a
+    /// run of cycles over which [`cycle`](Core::cycle) would do no work
+    /// beyond duty-gate bookkeeping — no fetch, decode, dispatch, issue,
+    /// writeback, or commit, and an all-zero [`Activity`]. Returns the
+    /// window length (clamped to `horizon`) and why it is idle, or
+    /// `None` if the next cycle may do work.
+    ///
+    /// The window is bounded by the two events that can wake the
+    /// pipeline. The *drain* bound is the earliest `complete_cycle` of
+    /// an in-flight (issued, uncompleted) RUU entry — writeback fires
+    /// the cycle it is reached. The *fetch* bound is the first cycle at
+    /// which the duty gate opens while fetch has both supply (an oracle
+    /// record, or any wrong-path cycle) and nonzero width; the gate is
+    /// simulated on a copy, and only advanced for real when the caller
+    /// commits via [`skip_idle`](Core::skip_idle). Preconditions for any
+    /// window: IFQ, rename pipe, and ready-unissued list empty (so no
+    /// stage has queued work), window head not yet committable, and
+    /// speculation control off (its stall counter is not modeled here).
+    ///
+    /// Takes `&mut self` because checking fetch supply may run the
+    /// functional oracle forward — deterministic and cached, exactly as
+    /// fetch itself would have.
+    pub fn idle_window(&mut self, horizon: u64) -> Option<(u64, IdleKind)> {
+        if horizon == 0 || !self.maybe_idle() {
+            return None;
+        }
+        if self.ruu.front().is_some_and(|e| e.completed) {
+            return None; // commit would retire it this cycle
+        }
+        let mut drain_wake = u64::MAX;
+        for e in &self.ruu {
+            if e.issued && !e.completed && e.complete_cycle < drain_wake {
+                drain_wake = e.complete_cycle;
+            }
+        }
+        if drain_wake <= self.cycle {
+            return None; // a completion lands this cycle
+        }
+        let bound = self.cycle.saturating_add(horizon).min(drain_wake);
+        let fetchable = self.effective_fetch_width() > 0
+            && self.cfg.ifq_size > 0
+            && match self.fetch_source {
+                FetchSource::OnPath(idx) => self.oracle.has_record(idx),
+                FetchSource::WrongPath { .. } => true,
+            };
+        let mut fetch_wake = u64::MAX;
+        if fetchable {
+            let mut gate = self.gate;
+            let mut c = self.cycle;
+            while c < bound {
+                if c >= self.fetch_stall_until && gate.tick() {
+                    fetch_wake = c;
+                    break;
+                }
+                c += 1;
+            }
+        }
+        let end = bound.min(fetch_wake);
+        let len = end - self.cycle;
+        if len == 0 {
+            return None;
+        }
+        let kind = if end == fetch_wake {
+            IdleKind::Gated
+        } else if end == drain_wake {
+            IdleKind::Drained
+        } else if fetchable {
+            IdleKind::Gated // horizon-capped with the gate still closed
+        } else {
+            IdleKind::Drained // horizon-capped with no fetch supply
+        };
+        Some((len, kind))
+    }
+
+    /// Fast-forwards `cycles` provably-idle cycles, replicating exactly
+    /// what [`cycle`](Core::cycle) would have mutated over the window:
+    /// the duty gate ticks on every non-stalled cycle (closed ticks
+    /// count as gated), the occupancy sums fold as `cycles × current
+    /// occupancy` (nothing enters or leaves the queues while idle), and
+    /// the cycle counters advance. The per-cycle [`Activity`] of every
+    /// skipped cycle is all-zero by construction. The caller must have
+    /// validated the window with [`idle_window`](Core::idle_window).
+    pub fn skip_idle(&mut self, cycles: u64) {
+        debug_assert!(self.maybe_idle(), "skip_idle outside a validated idle window");
+        for c in self.cycle..self.cycle + cycles {
+            if c >= self.fetch_stall_until && !self.gate.tick() {
+                self.stats.gated_cycles += 1;
+            }
+        }
+        self.stats.ruu_occupancy_sum += cycles * self.ruu.len() as u64;
+        self.stats.lsq_occupancy_sum += cycles * self.lsq.len() as u64;
+        self.cycle += cycles;
+        self.stats.cycles += cycles;
+    }
+
+    /// The fetch width after DTM throttling.
+    fn effective_fetch_width(&self) -> usize {
+        self.control
+            .fetch_width_limit
+            .map_or(self.cfg.fetch_width, |l| l.min(self.cfg.fetch_width))
     }
 
     /// The stage sequence of [`cycle`](Self::cycle) with each stage under
@@ -955,10 +1082,7 @@ impl Core {
             }
         }
 
-        let width = self
-            .control
-            .fetch_width_limit
-            .map_or(self.cfg.fetch_width, |l| l.min(self.cfg.fetch_width));
+        let width = self.effective_fetch_width();
         if width == 0 || self.ifq.len() >= self.cfg.ifq_size {
             return;
         }
@@ -1312,6 +1436,93 @@ mod tests {
                   halt",
         );
         assert_eq!(core.output(), &[55]);
+    }
+
+    /// The idle-window contract, end to end: a core that fast-forwards
+    /// every detected window must be indistinguishable — stats, cycle
+    /// counter, gated-cycle counter, occupancy sums, architectural
+    /// output — from one ticking cycle by cycle, and every skipped cycle
+    /// must have been a zero-activity cycle on the reference.
+    #[test]
+    fn idle_window_skip_is_indistinguishable_from_ticking() {
+        let src = "     li x1, 400
+                   l:   addi x2, x2, 1
+                        addi x3, x3, 1
+                        addi x1, x1, -1
+                        bne  x1, x0, l
+                        halt";
+        let p = assemble(src).unwrap();
+        for duty in [0.125, 0.25, 0.5] {
+            let mut reference = Core::new(CoreConfig::alpha21264_like(), &p);
+            let mut skipping = Core::new(CoreConfig::alpha21264_like(), &p);
+            let control = CoreControl { fetch_duty: duty, ..CoreControl::default() };
+            reference.set_control(control);
+            skipping.set_control(control);
+            let mut windows = 0u64;
+            let mut guard = 0u64;
+            while !skipping.finished() {
+                guard += 1;
+                assert!(guard < 1_000_000, "duty {duty}: run did not finish");
+                if let Some((k, _)) = skipping.idle_window(256) {
+                    for _ in 0..k {
+                        let a = reference.cycle();
+                        assert_eq!(a.total(), 0, "duty {duty}: skipped cycle had activity");
+                    }
+                    skipping.skip_idle(k);
+                    windows += 1;
+                } else {
+                    reference.cycle();
+                    skipping.cycle();
+                }
+                assert_eq!(reference.stats(), skipping.stats(), "duty {duty}");
+            }
+            assert!(windows > 0, "duty {duty}: gated loop should expose idle windows");
+            assert!(reference.finished(), "lockstep twins finish together");
+            assert_eq!(reference.output(), skipping.output());
+            assert!(skipping.stats().gated_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn drained_miss_chains_expose_idle_windows_at_full_duty() {
+        // Pointer-chase of cold misses: the pipeline drains down to one
+        // in-flight load whose completion cycle is known, so windows are
+        // detected even with the fetch gate wide open (the stall comes
+        // from the I-cache-miss fetch stall + drained window).
+        let p = assemble(
+            "        li x1, 0x200000
+                     li x2, 300
+             l:      lw x3, 0(x1)
+                     lw x4, 0(x3)        # depends on the missing load
+                     addi x1, x1, 8192
+                     addi x2, x2, -1
+                     bne x2, x0, l
+                     halt",
+        )
+        .unwrap();
+        let mut reference = Core::new(CoreConfig::alpha21264_like(), &p);
+        let mut skipping = Core::new(CoreConfig::alpha21264_like(), &p);
+        let mut drained = 0u64;
+        let mut guard = 0u64;
+        while !skipping.finished() {
+            guard += 1;
+            assert!(guard < 2_000_000, "run did not finish");
+            if let Some((k, kind)) = skipping.idle_window(256) {
+                for _ in 0..k {
+                    let a = reference.cycle();
+                    assert_eq!(a.total(), 0, "skipped cycle had activity");
+                }
+                skipping.skip_idle(k);
+                if kind == IdleKind::Drained {
+                    drained += 1;
+                }
+            } else {
+                reference.cycle();
+                skipping.cycle();
+            }
+        }
+        assert_eq!(reference.stats(), skipping.stats());
+        assert!(drained > 0, "miss-bound chase should expose drained windows");
     }
 
     #[test]

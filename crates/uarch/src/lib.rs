@@ -53,7 +53,7 @@ pub mod core;
 pub mod stream;
 pub mod toggle;
 
-pub use crate::core::{Core, CoreControl, CoreStats, STAGE_NAMES};
+pub use crate::core::{Core, CoreControl, CoreStats, IdleKind, STAGE_NAMES};
 pub use activity::{Activity, Block, NUM_BLOCKS};
 pub use config::CoreConfig;
 pub use toggle::FetchGate;

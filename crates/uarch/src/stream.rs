@@ -68,6 +68,19 @@ impl OracleStream {
         self.done
     }
 
+    /// Whether a record with dynamic index `idx` exists, executing the
+    /// functional simulator forward as needed — the fetch-supply half of
+    /// the timing model's idle-window probe ("will the oracle ever feed
+    /// this fetch index"). Exactly [`get`](OracleStream::get)`.is_some()`,
+    /// with the same buffering side effects fetch itself would have.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` has already been trimmed.
+    pub fn has_record(&mut self, idx: u64) -> bool {
+        self.get(idx).is_some()
+    }
+
     /// Fast-forwards the functional machine past the first `n`
     /// instructions without buffering them — the stand-in for the paper's
     /// "skip the first 2 billion instructions" warmup. Returns how many

@@ -98,6 +98,130 @@ fn batched_soa_stepping_matches_both_loops_across_policies() {
     }
 }
 
+/// Like [`run_with`], with idle-gap skipping pinned on or off (`None`
+/// keeps the build default) so the three loop flavors — skipping fast,
+/// non-skipping fast, and reference — can be compared pairwise.
+fn run_flavor(
+    cfg: SimConfig,
+    bench: &str,
+    reference: bool,
+    skip: Option<bool>,
+) -> (tdtm::core::RunReport, Vec<f64>) {
+    let w = by_name(bench).expect("suite workload");
+    let mut sim = Simulator::for_workload(cfg, &w);
+    sim.set_reference_loop(reference);
+    if let Some(on) = skip {
+        sim.set_skip(on);
+    }
+    let report = sim.run();
+    (report, sim.duty_history().to_vec())
+}
+
+#[test]
+fn idle_gap_skipping_is_byte_identical_across_random_cells() {
+    // Property: over random duty regimes (policy × heatsink × sampling
+    // interval), memory latencies, warmup windows, and stop conditions,
+    // the skipping fast loop, the non-skipping fast loop, and the
+    // reference loop produce byte-identical reports (including the
+    // gated-cycle counter) and identical duty histories.
+    tdtm_prng::cases(8, 0x1D1E_6A50, |rng| {
+        let mut cfg = SimConfig::quick_test();
+        cfg.dtm.policy = *rng.choose(&[
+            PolicyKind::Toggle1,
+            PolicyKind::Toggle2,
+            PolicyKind::Pid,
+            PolicyKind::VfScale,
+        ]);
+        cfg.heatsink_temp = rng.range_f64(105.0, 109.0);
+        cfg.dtm.sample_interval = *rng.choose(&[250, 500, 1000, 1337]);
+        cfg.core.mem_latency = rng.range_i64(40, 400) as u64;
+        cfg.thermal_warmup_cycles = *rng.choose(&[500, 2000, 4096]);
+        cfg.warm_start = rng.next_f64() < 0.5;
+        // Stop either on the instruction budget or on a cycle cap that
+        // can land anywhere relative to the sampling interval.
+        if rng.next_f64() < 0.5 {
+            cfg.max_insts = rng.range_i64(20_000, 40_000) as u64;
+            cfg.max_cycles = 150_000;
+        } else {
+            cfg.max_insts = 1_000_000;
+            cfg.max_cycles = rng.range_i64(30_000, 120_000) as u64;
+        }
+        let bench = *rng.choose(&["gcc", "art"]);
+        let what = format!(
+            "{bench} {:?} heatsink {:.2} interval {} mem {} stop ({}, {})",
+            cfg.dtm.policy,
+            cfg.heatsink_temp,
+            cfg.dtm.sample_interval,
+            cfg.core.mem_latency,
+            cfg.max_insts,
+            cfg.max_cycles,
+        );
+        let (skipping, skip_duty) = run_flavor(cfg.clone(), bench, false, Some(true));
+        let (plain, plain_duty) = run_flavor(cfg.clone(), bench, false, Some(false));
+        let (reference, ref_duty) = run_flavor(cfg, bench, true, None);
+        assert_byte_identical(&skipping, &plain, &format!("{what}: skip vs no-skip"));
+        assert_byte_identical(&skipping, &reference, &format!("{what}: skip vs reference"));
+        assert_eq!(skipping.gated_cycles, reference.gated_cycles, "{what}: gated cycles");
+        assert_eq!(skip_duty, plain_duty, "{what}: skip vs no-skip duty");
+        assert_eq!(skip_duty, ref_duty, "{what}: skip vs reference duty");
+    });
+}
+
+#[test]
+fn fully_gated_gaps_waking_on_sample_boundaries_are_byte_identical() {
+    // At a 108 C heatsink the toggle policy engages at the first sample
+    // and never releases, so every skipped window runs exactly to the
+    // next DTM-sample boundary — the wake == boundary case. The cycle
+    // cap then stops the run one cycle before a boundary, exactly on
+    // one, and one cycle after.
+    let interval = SimConfig::quick_test().dtm.sample_interval;
+    for max_cycles in [40 * interval - 1, 40 * interval, 40 * interval + 1] {
+        let mut cfg = hot_cfg(PolicyKind::Toggle1);
+        cfg.heatsink_temp = 108.0;
+        cfg.max_cycles = max_cycles;
+        let what = format!("fully gated, max_cycles {max_cycles}");
+        let (skipping, skip_duty) = run_flavor(cfg.clone(), "gcc", false, Some(true));
+        let (plain, plain_duty) = run_flavor(cfg.clone(), "gcc", false, Some(false));
+        let (reference, ref_duty) = run_flavor(cfg, "gcc", true, None);
+        assert_eq!(skipping.total_cycles, max_cycles, "{what}: stops on the cap");
+        assert!(skipping.gated_cycles > 0, "{what}: the run actually gated");
+        assert_byte_identical(&skipping, &plain, &format!("{what}: skip vs no-skip"));
+        assert_byte_identical(&skipping, &reference, &format!("{what}: skip vs reference"));
+        assert_eq!(skip_duty, plain_duty, "{what}: duty skip vs no-skip");
+        assert_eq!(skip_duty, ref_duty, "{what}: duty skip vs reference");
+    }
+}
+
+#[test]
+fn parked_multicore_chip_reports_are_byte_identical_with_skipping() {
+    // Unthrottled neighbors finish their instruction budget and park
+    // while the toggled core 0 keeps running — from then on the chip
+    // loop opens parked-reason gaps. The skipping and non-skipping chip
+    // runs must produce byte-identical ChipReports and duty histories.
+    use tdtm::core::MulticoreSim;
+    let mut cfg = hot_cfg(PolicyKind::Toggle1);
+    cfg.chip.cores = 4;
+    cfg.chip.neighbor_policy = Some(PolicyKind::None);
+    let w = by_name("gcc").expect("suite workload");
+    let run = |skip: bool| {
+        let mut sim = MulticoreSim::for_workload(cfg.clone(), &w);
+        sim.set_skip(skip);
+        let report = sim.run();
+        let duties: Vec<Vec<f64>> =
+            (0..4).map(|k| sim.duty_history(k).to_vec()).collect();
+        (report, duties)
+    };
+    let (skipping, skip_duty) = run(true);
+    let (plain, plain_duty) = run(false);
+    assert_eq!(skipping, plain, "parked chip: reports differ");
+    assert_eq!(
+        format!("{skipping:?}"),
+        format!("{plain:?}"),
+        "parked chip: bit patterns differ"
+    );
+    assert_eq!(skip_duty, plain_duty, "parked chip: duty histories differ");
+}
+
 #[test]
 fn telemetry_never_perturbs_the_simulation() {
     // Telemetry collection routes through the reference loop; a plain run
