@@ -25,10 +25,12 @@
 //! assert!(results.runs[0].obs.thermal_steps > 0);
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::cache::{self, CacheStats, CellArtifact, Claim, ResultCache};
 use crate::config::SimConfig;
 use crate::experiments::ExperimentScale;
 use crate::metrics::RunReport;
@@ -114,6 +116,93 @@ where
     });
     keyed.sort_by_key(|&(i, _)| i);
     keyed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Assembles one cell's [`RunResult`] from its report — the shared
+/// tail of the solo, batched, cached, and follower paths.
+fn result_from_report(cell: &GridCell, report: RunReport, wall: f64) -> RunResult {
+    RunResult {
+        index: cell.index,
+        bench: cell.workload.name.to_string(),
+        policy: cell.policy,
+        variant: cell.variant,
+        obs: RunObservation::from_report(&report, wall),
+        report,
+        extra: (),
+    }
+}
+
+/// Runs a set of cells with batched dispatch: consecutive batch-eligible
+/// cells pack into lockstep SoA batches ([`crate::batch`], up to
+/// [`crate::batch::BATCH_LANES`] per work item; a trailing group of one
+/// stays solo — the chunked fast loop is cheaper for a lone cell), and
+/// everything else runs the per-cell chip path. `publish` runs in the
+/// worker for each finished result (the cached path's publication hook;
+/// a no-op for plain runs). Results come back in completion order —
+/// callers sort or index by [`RunResult::index`].
+fn run_cells_batched(
+    cells: &[&GridCell],
+    threads: usize,
+    publish: &(dyn Fn(&RunResult) + Sync),
+) -> Vec<RunResult> {
+    enum Item<'a> {
+        Solo(&'a GridCell),
+        Group(Vec<&'a GridCell>),
+    }
+    let mut items: Vec<Item> = Vec::new();
+    let mut group: Vec<&GridCell> = Vec::new();
+    for &cell in cells {
+        if crate::batch::batch_eligible(&cell.config()) {
+            group.push(cell);
+            if group.len() == crate::batch::BATCH_LANES {
+                items.push(Item::Group(std::mem::take(&mut group)));
+            }
+        } else {
+            items.push(Item::Solo(cell));
+        }
+    }
+    match group.len() {
+        0 => {}
+        1 => items.push(Item::Solo(group[0])),
+        _ => items.push(Item::Group(group)),
+    }
+
+    let sharded = shard_map(&items, threads, |_, item| match item {
+        Item::Solo(cell) => {
+            let start = Instant::now();
+            let (report, _chip) = cell.run_chip();
+            let wall = start.elapsed().as_secs_f64();
+            let run = result_from_report(cell, report, wall);
+            publish(&run);
+            vec![run]
+        }
+        Item::Group(cells) => {
+            let start = Instant::now();
+            let mut batch = crate::batch::GridBatch::new();
+            for cell in cells {
+                batch.push(cell);
+            }
+            let reports = batch.run();
+            // Lanes finish at their own stop conditions inside one
+            // lockstep run, so per-cell wall time is not separable;
+            // each cell is charged an even share (wall_seconds is
+            // nondeterministic and never part of identity pins).
+            let wall = start.elapsed().as_secs_f64() / cells.len() as f64;
+            reports
+                .into_iter()
+                .map(|(index, report)| {
+                    let cell = cells
+                        .iter()
+                        .find(|c| c.index == index)
+                        .expect("report keyed by a pushed cell");
+                    let run = result_from_report(cell, report, wall);
+                    publish(&run);
+                    run
+                })
+                .collect()
+        }
+    });
+    sharded.into_iter().flatten().collect()
 }
 
 /// One cell of an [`ExperimentGrid`]: a workload under a policy with a
@@ -292,6 +381,10 @@ pub struct GridResults<R = ()> {
     /// Merged grid telemetry, populated by
     /// [`ExperimentGrid::run_telemetry`] (`None` for plain runs).
     pub telemetry: Option<GridTelemetry>,
+    /// Result-cache tallies for this grid (`None` when the grid ran
+    /// without a cache, e.g. `TDTM_CACHE=0` or an explicit uncached
+    /// path).
+    pub cache_stats: Option<CacheStats>,
 }
 
 impl<R> GridResults<R> {
@@ -399,24 +492,21 @@ impl ExperimentGrid {
     /// (power config, core config) pair across the whole grid — for most
     /// grids that is a single model serving every cell.
     pub fn cells(&self) -> Vec<GridCell> {
-        type PowerKey = (tdtm_power::PowerConfig, tdtm_uarch::CoreConfig);
-        let mut power_cache: Vec<(PowerKey, Arc<tdtm_power::PowerModel>)> = Vec::new();
+        // Models are deduped by content fingerprint (O(1) per cell,
+        // instead of the old O(cells) linear scan per cell): the
+        // fingerprint covers exactly the (power config, core config)
+        // pair that determines the model's tables.
+        let mut power_cache: HashMap<u128, Arc<tdtm_power::PowerModel>> = HashMap::new();
         let mut cells = Vec::with_capacity(self.len());
         for workload in &self.workloads {
             for &policy in &self.policies {
                 for &(variant, patch) in &self.variants {
                     let mut cfg = self.scale.config(policy);
                     patch(&mut cfg);
-                    let key = (cfg.power, cfg.core);
-                    let power = match power_cache.iter().find(|(k, _)| *k == key) {
-                        Some((_, model)) => Arc::clone(model),
-                        None => {
-                            let model =
-                                Arc::new(tdtm_power::PowerModel::new(&cfg.power, &cfg.core));
-                            power_cache.push((key, Arc::clone(&model)));
-                            model
-                        }
-                    };
+                    let key = cache::power_fingerprint(&cfg.power, &cfg.core);
+                    let power = Arc::clone(power_cache.entry(key).or_insert_with(|| {
+                        Arc::new(tdtm_power::PowerModel::new(&cfg.power, &cfg.core))
+                    }));
                     cells.push(GridCell {
                         index: cells.len(),
                         workload: workload.clone(),
@@ -448,13 +538,22 @@ impl ExperimentGrid {
     /// execution strategy that leaves every report byte-identical to
     /// the per-cell path (pinned by `tests/engine.rs`). Set
     /// `TDTM_BATCH=0` to force the per-cell reference path.
+    ///
+    /// Runs through the process-wide content-addressed result cache
+    /// ([`ResultCache::global`]) unless `TDTM_CACHE=0`: previously
+    /// simulated cells replay their byte-identical report without
+    /// simulating, and identical cells within the grid simulate once.
     pub fn run_threads(&self, threads: usize) -> GridResults {
-        self.run_threads_with_batching(threads, batching_default())
+        match ResultCache::global() {
+            Some(cache) => self.run_threads_cached(threads, batching_default(), cache),
+            None => self.run_threads_with_batching(threads, batching_default()),
+        }
     }
 
     /// [`run_threads`](ExperimentGrid::run_threads) with the batched
-    /// dispatch chosen explicitly instead of from `TDTM_BATCH` —
-    /// identity tests and benchmarks run both paths and compare.
+    /// dispatch chosen explicitly instead of from `TDTM_BATCH`, and no
+    /// result cache — the exact reference path identity tests and
+    /// benchmarks compare against.
     pub fn run_threads_with_batching(&self, threads: usize, batching: bool) -> GridResults {
         if !batching {
             return self.run_with_threads(threads, |cell| {
@@ -464,80 +563,115 @@ impl ExperimentGrid {
         }
         let cells = self.cells();
         let grid_start = Instant::now();
-
-        // Partition into work items: consecutive batch-eligible cells
-        // group into lockstep batches (a trailing group of one stays
-        // solo — the chunked fast loop is cheaper for a lone cell);
-        // everything else runs the per-cell chip path.
-        enum Item<'a> {
-            Solo(&'a GridCell),
-            Group(Vec<&'a GridCell>),
-        }
-        let mut items: Vec<Item> = Vec::new();
-        let mut group: Vec<&GridCell> = Vec::new();
-        for cell in &cells {
-            if crate::batch::batch_eligible(&cell.config()) {
-                group.push(cell);
-                if group.len() == crate::batch::BATCH_LANES {
-                    items.push(Item::Group(std::mem::take(&mut group)));
-                }
-            } else {
-                items.push(Item::Solo(cell));
-            }
-        }
-        match group.len() {
-            0 => {}
-            1 => items.push(Item::Solo(group[0])),
-            _ => items.push(Item::Group(group)),
-        }
-
-        let make_result = |cell: &GridCell, report: RunReport, wall: f64| RunResult {
-            index: cell.index,
-            bench: cell.workload.name.to_string(),
-            policy: cell.policy,
-            variant: cell.variant,
-            obs: RunObservation::from_report(&report, wall),
-            report,
-            extra: (),
-        };
-        let sharded = shard_map(&items, threads, |_, item| match item {
-            Item::Solo(cell) => {
-                let start = Instant::now();
-                let (report, _chip) = cell.run_chip();
-                let wall = start.elapsed().as_secs_f64();
-                vec![make_result(cell, report, wall)]
-            }
-            Item::Group(cells) => {
-                let start = Instant::now();
-                let mut batch = crate::batch::GridBatch::new();
-                for cell in cells {
-                    batch.push(cell);
-                }
-                let reports = batch.run();
-                // Lanes finish at their own stop conditions inside one
-                // lockstep run, so per-cell wall time is not separable;
-                // each cell is charged an even share (wall_seconds is
-                // nondeterministic and never part of identity pins).
-                let wall = start.elapsed().as_secs_f64() / cells.len() as f64;
-                reports
-                    .into_iter()
-                    .map(|(index, report)| {
-                        let cell = cells
-                            .iter()
-                            .find(|c| c.index == index)
-                            .expect("report keyed by a pushed cell");
-                        make_result(cell, report, wall)
-                    })
-                    .collect()
-            }
-        });
-        let mut runs: Vec<RunResult> = sharded.into_iter().flatten().collect();
+        let cell_refs: Vec<&GridCell> = cells.iter().collect();
+        let mut runs = run_cells_batched(&cell_refs, threads, &|_| {});
         runs.sort_by_key(|r| r.index);
         GridResults {
             runs,
             threads,
             wall_seconds: grid_start.elapsed().as_secs_f64(),
             telemetry: None,
+            cache_stats: None,
+        }
+    }
+
+    /// [`run_threads`](ExperimentGrid::run_threads) against an explicit
+    /// [`ResultCache`] (tests and benchmarks use their own instead of
+    /// the process-wide one). Cached cells replay without simulating;
+    /// misses run on the usual solo/batched paths and publish their
+    /// artifact as they complete; identical cells within the grid are
+    /// deduped against the in-flight leader. Reports are byte-identical
+    /// to [`run_threads_with_batching`](ExperimentGrid::run_threads_with_batching)
+    /// — pinned by `tests/engine.rs`.
+    pub fn run_threads_cached(
+        &self,
+        threads: usize,
+        batching: bool,
+        cache: &ResultCache,
+    ) -> GridResults {
+        let cells = self.cells();
+        let grid_start = Instant::now();
+        let fps = cache::cell_fingerprints(&cells);
+        let mut runs: Vec<Option<RunResult>> = (0..cells.len()).map(|_| None).collect();
+        let mut stats = CacheStats::default();
+
+        // Resolve each cell: cache hit, follower of an identical cell
+        // already claimed in this grid (resolved after the leader runs —
+        // a follower must not block inside a worker that could also hold
+        // its leader), or a claimed miss to simulate.
+        let mut leader_of: HashMap<u128, usize> = HashMap::new();
+        let mut followers: Vec<(usize, usize)> = Vec::new();
+        let mut guards = Vec::new();
+        let mut miss_cells: Vec<&GridCell> = Vec::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let start = Instant::now();
+            if let Some(&leader) = leader_of.get(&fps[i].0) {
+                followers.push((i, leader));
+                stats.cache_hits += 1;
+                stats.cache_inflight_waits += 1;
+                continue;
+            }
+            match cache.claim(fps[i]) {
+                Claim::Hit { artifact, waited } => {
+                    stats.cache_hits += 1;
+                    if waited {
+                        stats.cache_inflight_waits += 1;
+                    }
+                    let wall = start.elapsed().as_secs_f64().max(1e-9);
+                    runs[i] = Some(result_from_report(cell, artifact.report.clone(), wall));
+                }
+                Claim::Miss(guard) => {
+                    guards.push(guard);
+                    leader_of.insert(fps[i].0, i);
+                    miss_cells.push(cell);
+                }
+            }
+        }
+        stats.cache_misses = miss_cells.len() as u64;
+
+        // Simulate the misses on the normal paths, publishing each
+        // artifact the moment its cell completes (so concurrent grids
+        // sharing the cache can hit it while this grid still runs).
+        let publish = |run: &RunResult| {
+            cache.publish(
+                fps[run.index],
+                CellArtifact { report: run.report.clone(), record: None },
+            );
+        };
+        let miss_runs = if batching {
+            run_cells_batched(&miss_cells, threads, &publish)
+        } else {
+            shard_map(&miss_cells, threads, |_, cell| {
+                let start = Instant::now();
+                let (report, _chip) = cell.run_chip();
+                let wall = start.elapsed().as_secs_f64();
+                let run = result_from_report(cell, report, wall);
+                publish(&run);
+                run
+            })
+        };
+        for run in miss_runs {
+            let i = run.index;
+            runs[i] = Some(run);
+        }
+        drop(guards); // all claims published; drops are no-ops
+
+        // Followers replay their leader's report under their own cell
+        // identity.
+        for (i, leader) in followers {
+            let start = Instant::now();
+            let report =
+                runs[leader].as_ref().expect("leader cell was simulated").report.clone();
+            let wall = start.elapsed().as_secs_f64().max(1e-9);
+            runs[i] = Some(result_from_report(&cells[i], report, wall));
+        }
+
+        GridResults {
+            runs: runs.into_iter().map(|r| r.expect("every cell resolved")).collect(),
+            threads,
+            wall_seconds: grid_start.elapsed().as_secs_f64(),
+            telemetry: None,
+            cache_stats: Some(stats),
         }
     }
 
@@ -582,6 +716,7 @@ impl ExperimentGrid {
             threads,
             wall_seconds: grid_start.elapsed().as_secs_f64(),
             telemetry: None,
+            cache_stats: None,
         }
     }
 
@@ -640,17 +775,108 @@ impl ExperimentGrid {
     ///
     /// Returns the usual cell-ordered results with each cell's emitted
     /// record (including its stamp) as the extra payload.
+    ///
+    /// Runs through the process-wide result cache ([`ResultCache::global`])
+    /// unless `TDTM_CACHE=0`: a cached cell re-emits its stored record —
+    /// identical on every deterministic field, flagged `cached: true` —
+    /// without simulating. With the cache off, records carry `cached:
+    /// None` and the stream is byte-identical to pre-cache builds.
     pub fn run_streaming(
         &self,
         threads: usize,
         cfg: &TelemetryConfig,
         sink: &mut dyn StreamSink,
     ) -> GridResults<CellRecord> {
+        self.run_streaming_inner(threads, cfg, sink, ResultCache::global())
+    }
+
+    /// [`run_streaming`](ExperimentGrid::run_streaming) against an
+    /// explicit [`ResultCache`] (tests and benchmarks use their own
+    /// instead of the process-wide one).
+    pub fn run_streaming_cached(
+        &self,
+        threads: usize,
+        cfg: &TelemetryConfig,
+        sink: &mut dyn StreamSink,
+        cache: &ResultCache,
+    ) -> GridResults<CellRecord> {
+        self.run_streaming_inner(threads, cfg, sink, Some(cache))
+    }
+
+    fn run_streaming_inner(
+        &self,
+        threads: usize,
+        cfg: &TelemetryConfig,
+        sink: &mut dyn StreamSink,
+        cache: Option<&ResultCache>,
+    ) -> GridResults<CellRecord> {
         let cells = self.cells();
         let grid_start = Instant::now();
+        // Streamed artifacts live under their own fingerprint domain
+        // (cell key ⊕ telemetry config): the stored record embeds a
+        // metric snapshot, so the telemetry config is part of the key.
+        let fps = match cache {
+            Some(_) => cache::cell_fingerprints(&cells)
+                .into_iter()
+                .map(|fp| cache::stream_fingerprint(fp, cfg))
+                .collect(),
+            None => Vec::new(),
+        };
+        let hits = AtomicU64::new(0);
+        let misses = AtomicU64::new(0);
+        let inflight_waits = AtomicU64::new(0);
         let stamped = StampedSink::new(sink);
-        let runs = shard_map(&cells, threads, |_, cell| {
+        let runs = shard_map(&cells, threads, |i, cell| {
             let start = Instant::now();
+            // A worker holds at most one claim at a time, so blocking on
+            // an identical in-flight cell (another worker's claim) can
+            // never self-deadlock; a 1-thread run completes each cell —
+            // publishing its artifact — before claiming the next.
+            let mut claim = None;
+            if let Some(cache) = cache {
+                match cache.claim(fps[i]) {
+                    Claim::Hit { artifact, waited } if artifact.record.is_some() => {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        if waited {
+                            inflight_waits.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let wall = start.elapsed().as_secs_f64().max(1e-9);
+                        let stored = artifact.record.as_ref().expect("checked above");
+                        // Replay the stored record under this cell's
+                        // identity: the key is content, so everything
+                        // except identity and host-side stamps is the
+                        // stored bytes.
+                        let mut record = stored.clone();
+                        record.index = cell.index;
+                        record.label = cell.label();
+                        record.bench = cell.workload.name.to_string();
+                        record.policy = cell.policy.to_string();
+                        record.variant = cell.variant.to_string();
+                        record.wall_seconds = wall;
+                        record.cached = Some(true);
+                        stamped.emit(&mut record);
+                        return RunResult {
+                            index: cell.index,
+                            bench: cell.workload.name.to_string(),
+                            policy: cell.policy,
+                            variant: cell.variant,
+                            obs: RunObservation::from_report(&artifact.report, wall),
+                            report: artifact.report.clone(),
+                            extra: record,
+                        };
+                    }
+                    // An artifact without a record is a malformed entry
+                    // for this domain (e.g. hand-edited disk file):
+                    // recompute below and overwrite it.
+                    Claim::Hit { .. } => {
+                        misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Claim::Miss(guard) => {
+                        misses.fetch_add(1, Ordering::Relaxed);
+                        claim = Some(guard);
+                    }
+                };
+            }
             let cell_cfg = cell.config();
             let single = cell_cfg.chip.cores == 1 && cell_cfg.chip.supervisor.is_none();
             let (report, chip, snapshot) = if single {
@@ -713,7 +939,23 @@ impl ExperimentGrid {
                 metrics: snapshot
                     .map(|s| s.counters.iter().map(|&(n, v)| (n.to_string(), v)).collect())
                     .unwrap_or_default(),
+                cached: cache.map(|_| false),
             };
+            if let Some(cache) = cache {
+                // Publish before stamping: the stored record is the
+                // pre-stamp normal form (seq 0, zero wall/elapsed, no
+                // provenance flag) so the artifact's bytes are a pure
+                // function of the fingerprint.
+                let mut stored = record.clone();
+                stored.wall_seconds = 0.0;
+                stored.cached = None;
+                let artifact = CellArtifact { report: report.clone(), record: Some(stored) };
+                match claim.take() {
+                    Some(guard) => drop(guard.complete(artifact)),
+                    // Wrong-shaped hit (no record): overwrite in place.
+                    None => drop(cache.publish(fps[i], artifact)),
+                }
+            }
             stamped.emit(&mut record);
             RunResult {
                 index: cell.index,
@@ -730,6 +972,11 @@ impl ExperimentGrid {
             threads,
             wall_seconds: grid_start.elapsed().as_secs_f64(),
             telemetry: None,
+            cache_stats: cache.map(|_| CacheStats {
+                cache_hits: hits.load(Ordering::Relaxed),
+                cache_misses: misses.load(Ordering::Relaxed),
+                cache_inflight_waits: inflight_waits.load(Ordering::Relaxed),
+            }),
         }
     }
 }

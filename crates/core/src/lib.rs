@@ -39,6 +39,7 @@
 //! ```
 
 pub mod batch;
+pub mod cache;
 pub mod config;
 pub mod engine;
 pub mod experiments;
@@ -49,6 +50,7 @@ pub mod report;
 pub mod simulator;
 pub mod telemetry;
 
+pub use cache::{CacheStats, CellArtifact, Fingerprint, ResultCache};
 pub use config::{ChipConfig, SimConfig};
 pub use engine::{ExperimentGrid, GridResults, RunResult};
 pub use metrics::{BlockMetrics, RunReport};

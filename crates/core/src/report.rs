@@ -264,6 +264,21 @@ fn obs_run_section(title: &str, records: &[tdtm_telemetry::CellRecord]) -> Strin
         "- emergency cycles: {emergency}, stress cycles: {stress}\n"
     ));
 
+    // Cache hit rate: cells served from the content-addressed result
+    // cache vs. simulated fresh. Legacy streams (pre-cache) carry no
+    // `cached` field at all, so the rate is unknowable — say `n/a`,
+    // never a fake 0%.
+    let stamped = sorted.iter().filter(|r| r.cached.is_some()).count();
+    if stamped > 0 {
+        let hits = sorted.iter().filter(|r| r.cached == Some(true)).count();
+        out.push_str(&format!(
+            "- cache hit rate: {:.1}% ({hits}/{stamped} cells cached)\n",
+            100.0 * hits as f64 / stamped as f64
+        ));
+    } else {
+        out.push_str("- cache hit rate: n/a\n");
+    }
+
     // Hottest-block distribution: count of cells peaking in each block,
     // most frequent first (name breaks ties, for determinism).
     let mut dist: Vec<(&str, usize)> = Vec::new();
@@ -478,6 +493,7 @@ mod tests {
             stress_cycles: emerg * 10,
             hottest_block: "int reg. file".to_string(),
             hottest_temp_c: 111.5,
+            cached: None,
             metrics: Vec::new(),
         }
     }
@@ -500,6 +516,35 @@ mod tests {
         assert!(
             !s.contains("Run B"),
             "no baseline section without a baseline"
+        );
+    }
+
+    #[test]
+    fn obs_dashboard_reports_na_hit_rate_for_legacy_streams() {
+        // Pre-cache streams carry no `cached` field: the dashboard must
+        // say the rate is unknowable, not claim 0%.
+        let records = vec![obs_record(0, "gcc/PID", 40), obs_record(1, "art/PID", 7)];
+        let s = obs_dashboard(&records, None);
+        assert!(s.contains("- cache hit rate: n/a"), "got:\n{s}");
+        assert!(!s.contains("cells cached"), "got:\n{s}");
+    }
+
+    #[test]
+    fn obs_dashboard_reports_cache_hit_rate_when_records_are_stamped() {
+        let mut records = vec![
+            obs_record(0, "gcc/PID", 40),
+            obs_record(1, "art/PID", 7),
+            obs_record(2, "mcf/PID", 3),
+            obs_record(3, "eqk/PID", 1),
+        ];
+        records[0].cached = Some(true);
+        records[1].cached = Some(true);
+        records[2].cached = Some(true);
+        records[3].cached = Some(false);
+        let s = obs_dashboard(&records, None);
+        assert!(
+            s.contains("- cache hit rate: 75.0% (3/4 cells cached)"),
+            "got:\n{s}"
         );
     }
 

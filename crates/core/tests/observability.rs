@@ -15,7 +15,7 @@ use std::path::Path;
 
 use tdtm_core::experiments::ExperimentScale;
 use tdtm_core::report::{obs_dashboard, obs_dashboard_csv};
-use tdtm_core::{ExperimentGrid, MulticoreSim, SimConfig};
+use tdtm_core::{ExperimentGrid, MulticoreSim, ResultCache, SimConfig};
 use tdtm_dtm::{PolicyKind, SupervisorConfig};
 use tdtm_telemetry::{CellRecord, MemorySink, TelemetryConfig};
 use tdtm_workloads::by_name;
@@ -91,10 +91,13 @@ fn streaming_grid_is_deterministic_across_worker_counts() {
         .policies(&[PolicyKind::None, PolicyKind::Pid]);
     let cfg = TelemetryConfig::metrics_and_phases();
 
+    // One fresh cache per run: with the shared process-wide cache, the
+    // second run would replay the first's records and this test would
+    // stop exercising thread-count determinism.
     let mut one_sink = MemorySink::new();
-    let one = grid.run_streaming(1, &cfg, &mut one_sink);
+    let one = grid.run_streaming_cached(1, &cfg, &mut one_sink, &ResultCache::in_memory());
     let mut four_sink = MemorySink::new();
-    let four = grid.run_streaming(4, &cfg, &mut four_sink);
+    let four = grid.run_streaming_cached(4, &cfg, &mut four_sink, &ResultCache::in_memory());
 
     assert_eq!(one.reports(), four.reports(), "reports shard-independent");
     assert_eq!(one_sink.records.len(), 4);
@@ -126,6 +129,55 @@ fn streaming_grid_is_deterministic_across_worker_counts() {
     for (run, rec) in one.runs.iter().zip(&one_sink.records) {
         assert_eq!(run.extra.index, rec.index);
         assert!(run.extra.deterministic_eq(rec));
+    }
+}
+
+#[test]
+fn streaming_cache_replays_records_byte_identically() {
+    // One shared cache, two streamed runs of the same grid: the cold
+    // pass misses every cell (records flagged `cached: false`), the
+    // warm pass replays every stored record (`cached: true`) without
+    // simulating — identical on every deterministic field, and with
+    // reports bit-identical to the cold pass.
+    let grid = ExperimentGrid::new(ExperimentScale::quick())
+        .workload(by_name("gcc").expect("suite workload"))
+        .workload(by_name("art").expect("suite workload"))
+        .policies(&[PolicyKind::None, PolicyKind::Pid]);
+    let cfg = TelemetryConfig::metrics_and_phases();
+    let cache = ResultCache::in_memory();
+
+    let mut cold_sink = MemorySink::new();
+    let cold = grid.run_streaming_cached(2, &cfg, &mut cold_sink, &cache);
+    let mut warm_sink = MemorySink::new();
+    let warm = grid.run_streaming_cached(2, &cfg, &mut warm_sink, &cache);
+
+    let cold_stats = cold.cache_stats.expect("cached run reports stats");
+    assert_eq!((cold_stats.cache_hits, cold_stats.cache_misses), (0, 4));
+    let warm_stats = warm.cache_stats.expect("cached run reports stats");
+    assert_eq!((warm_stats.cache_hits, warm_stats.cache_misses), (4, 0));
+
+    assert!(cold_sink.records.iter().all(|r| r.cached == Some(false)));
+    assert!(warm_sink.records.iter().all(|r| r.cached == Some(true)));
+
+    let mut cold_sorted = cold_sink.records.clone();
+    cold_sorted.sort_by_key(|r| r.index);
+    let mut warm_sorted = warm_sink.records.clone();
+    warm_sorted.sort_by_key(|r| r.index);
+    for (a, b) in cold_sorted.iter().zip(&warm_sorted) {
+        assert!(
+            a.deterministic_eq(b),
+            "cell {} diverges between fresh and replayed streams:\n{a:?}\n{b:?}",
+            a.index
+        );
+        assert!(b.wall_seconds > 0.0, "replayed records still carry a wall clock");
+    }
+    for (a, b) in cold.runs.iter().zip(&warm.runs) {
+        assert_eq!(
+            format!("{:?}", a.report),
+            format!("{:?}", b.report),
+            "cell {}: replayed report not bit-identical",
+            a.index
+        );
     }
 }
 

@@ -1,0 +1,180 @@
+//! A 128-bit FNV-1a hasher for content-addressed artifact fingerprints.
+//!
+//! The result cache (ROADMAP item 4) keys immutable artifacts by a hash
+//! of their full specification, so the hash must be *deterministic across
+//! processes, platforms, and versions of this workspace* — `std`'s
+//! `DefaultHasher` is explicitly allowed to change between releases and
+//! is seeded per-process, so it cannot name an on-disk cache entry.
+//! FNV-1a at 128 bits is the standard dependency-free choice: pure
+//! `u128` arithmetic, byte-order independent (input is consumed as a
+//! byte stream), and wide enough that accidental collisions are not a
+//! practical concern (the cache treats the fingerprint as identity).
+//!
+//! Canonicalization of floats is the caller's contract and
+//! [`Fnv128::write_f64`] implements it: every NaN hashes as the one
+//! canonical quiet-NaN bit pattern (payloads must not split keys), while
+//! `-0.0` and `+0.0` hash differently (they are distinct specifications
+//! — a negated coupling resistance is not the same network).
+//!
+//! The hasher also implements [`std::fmt::Write`], so a `Debug`
+//! rendering can be streamed straight into it without allocating:
+//! `write!(h, "{config:?}")`. Rust's `Debug` for `f64` prints the
+//! shortest string that round-trips (distinct finite values never
+//! collide), prints every NaN as `NaN`, and keeps the sign of `-0.0` —
+//! exactly the canonicalization above.
+
+/// FNV-1a 128-bit offset basis.
+const OFFSET_BASIS: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+
+/// FNV-1a 128-bit prime (2^88 + 2^8 + 0x3b).
+const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+
+/// An incremental FNV-1a 128-bit hasher.
+///
+/// # Examples
+///
+/// ```
+/// use tdtm_prng::Fnv128;
+/// use std::fmt::Write as _;
+///
+/// let mut a = Fnv128::new();
+/// a.write(b"spec v1");
+/// let mut b = Fnv128::new();
+/// write!(b, "spec v1").unwrap();
+/// assert_eq!(a.finish(), b.finish());
+/// assert_ne!(Fnv128::new().finish(), a.finish());
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Fnv128 {
+    state: u128,
+}
+
+impl Default for Fnv128 {
+    fn default() -> Fnv128 {
+        Fnv128::new()
+    }
+}
+
+impl Fnv128 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv128 {
+        Fnv128 { state: OFFSET_BASIS }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u128;
+            self.state = self.state.wrapping_mul(PRIME);
+        }
+    }
+
+    /// Absorbs a `u32` as little-endian bytes.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u64` as little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u128` as little-endian bytes (e.g. a sub-fingerprint).
+    pub fn write_u128(&mut self, v: u128) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `f64` in canonical form: any NaN hashes as the one
+    /// canonical quiet NaN (payloads and NaN signs must not split keys),
+    /// every other value by its exact bit pattern — so `-0.0` and `0.0`
+    /// hash differently, and distinct finite values never collide.
+    pub fn write_f64(&mut self, v: f64) {
+        let bits = if v.is_nan() { f64::NAN.to_bits() } else { v.to_bits() };
+        self.write_u64(bits);
+    }
+
+    /// The 128-bit digest of everything absorbed so far.
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+
+    /// The digest as 32 lowercase hex digits (on-disk entry names).
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.state)
+    }
+}
+
+impl std::fmt::Write for Fnv128 {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.write(s.as_bytes());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fmt::Write as _;
+
+    #[test]
+    fn known_vectors_pin_the_algorithm() {
+        // The empty input is the offset basis by definition; the others
+        // pin the multiply/xor order (FNV-1a, not FNV-1). A change here
+        // silently invalidates every on-disk cache entry, so fail loudly.
+        assert_eq!(Fnv128::new().finish(), 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d);
+        let mut h = Fnv128::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xd228_cb69_6f1a_8caf_7891_2b70_4e4a_8964);
+        let mut h = Fnv128::new();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), 0x343e_1662_793c_64bf_6f0d_3597_ba44_6f18);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let mut one = Fnv128::new();
+        one.write(b"hello world");
+        let mut parts = Fnv128::new();
+        parts.write(b"hello");
+        parts.write(b" ");
+        parts.write(b"world");
+        assert_eq!(one.finish(), parts.finish());
+    }
+
+    #[test]
+    fn fmt_write_streams_debug_renderings() {
+        let mut via_fmt = Fnv128::new();
+        write!(via_fmt, "{:?}", (1.5f64, "x")).unwrap();
+        let mut via_bytes = Fnv128::new();
+        via_bytes.write(format!("{:?}", (1.5f64, "x")).as_bytes());
+        assert_eq!(via_fmt.finish(), via_bytes.finish());
+    }
+
+    #[test]
+    fn f64_canonicalization() {
+        let hash_of = |v: f64| {
+            let mut h = Fnv128::new();
+            h.write_f64(v);
+            h.finish()
+        };
+        // All NaNs collapse to one key...
+        let payload_nan = f64::from_bits(0x7ff8_0000_0000_beef);
+        let negative_nan = f64::from_bits(0xfff8_0000_0000_0001);
+        assert_eq!(hash_of(f64::NAN), hash_of(payload_nan));
+        assert_eq!(hash_of(f64::NAN), hash_of(negative_nan));
+        // ...while signed zeros stay distinct, as do ordinary values.
+        assert_ne!(hash_of(0.0), hash_of(-0.0));
+        assert_ne!(hash_of(1.0), hash_of(1.0 + f64::EPSILON));
+        assert_ne!(hash_of(f64::NAN), hash_of(0.0));
+    }
+
+    #[test]
+    fn hex_is_32_lowercase_digits() {
+        let mut h = Fnv128::new();
+        h.write(b"entry");
+        let hex = h.hex();
+        assert_eq!(hex.len(), 32);
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+        assert_eq!(u128::from_str_radix(&hex, 16).unwrap(), h.finish());
+    }
+}

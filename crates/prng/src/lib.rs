@@ -23,6 +23,10 @@
 //! assert!((-64..64).contains(&roll));
 //! ```
 
+pub mod fnv;
+
+pub use fnv::Fnv128;
+
 /// A deterministic xoshiro256** generator.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Rng {

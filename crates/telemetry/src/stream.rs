@@ -76,6 +76,13 @@ pub struct CellRecord {
     pub hottest_temp_c: f64,
     /// Merged per-cell counter snapshot, in registry (schema) order.
     pub metrics: Vec<(String, u64)>,
+    /// Result-cache provenance: `None` when the grid ran without a cache
+    /// (the field is omitted from JSON, keeping legacy streams
+    /// byte-identical), `Some(false)` for a freshly simulated cell, and
+    /// `Some(true)` for a cell replayed from the content-addressed cache.
+    /// Host-side provenance, not simulation output — excluded from
+    /// [`deterministic_eq`](CellRecord::deterministic_eq).
+    pub cached: Option<bool>,
 }
 
 impl CellRecord {
@@ -108,7 +115,7 @@ impl CellRecord {
             "{{\"seq\":{},\"index\":{},\"label\":{},\"bench\":{},\"policy\":{},\"variant\":{},\
              \"wall_seconds\":{},\"elapsed_seconds\":{},\"thermal_steps\":{},\"committed\":{},\"dtm_samples\":{},\
              \"ipc\":{},\"emergency_cycles\":{},\"stress_cycles\":{},\"hottest_block\":{},\
-             \"hottest_temp_c\":{},\"metrics\":{{",
+             \"hottest_temp_c\":{}",
             self.seq,
             self.index,
             json_str(&self.label),
@@ -126,6 +133,12 @@ impl CellRecord {
             json_str(&self.hottest_block),
             json_f64(self.hottest_temp_c),
         );
+        // Emitted only when a cache was in play: cache-off streams stay
+        // byte-identical to streams written before the field existed.
+        if let Some(cached) = self.cached {
+            let _ = write!(s, ",\"cached\":{cached}");
+        }
+        s.push_str(",\"metrics\":{");
         for (i, (name, count)) in self.metrics.iter().enumerate() {
             if i > 0 {
                 s.push(',');
@@ -142,7 +155,14 @@ impl CellRecord {
     /// their [`Default`] value. Errors on malformed JSON or a field of the
     /// wrong type.
     pub fn from_json(line: &str) -> Result<CellRecord, String> {
-        let value = json::parse(line)?;
+        CellRecord::from_value(&json::parse(line)?)
+    }
+
+    /// Builds a record from an already-parsed [`json::Value`] — the hook
+    /// for container formats that embed a record inside a larger object
+    /// (e.g. the result cache's on-disk artifact entries). Same rules as
+    /// [`from_json`](CellRecord::from_json).
+    pub fn from_value(value: &json::Value) -> Result<CellRecord, String> {
         let obj = value.as_object().ok_or("top level is not an object")?;
         let mut r = CellRecord::default();
         for (key, v) in obj {
@@ -175,6 +195,7 @@ impl CellRecord {
                 "hottest_temp_c" => {
                     r.hottest_temp_c = v.as_f64().ok_or("hottest_temp_c: not a number")?
                 }
+                "cached" => r.cached = Some(v.as_bool().ok_or("cached: not a bool")?),
                 "metrics" => {
                     let m = v.as_object().ok_or("metrics: not an object")?;
                     r.metrics = m
@@ -205,8 +226,10 @@ impl CellRecord {
     }
 }
 
-/// JSON string literal with the escapes our labels can contain.
-fn json_str(s: &str) -> String {
+/// JSON string literal with the escapes our labels can contain. Public so
+/// other crates' artifact serializers (e.g. the result cache in
+/// `tdtm-core`) share one escaping convention with the stream format.
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -227,7 +250,10 @@ fn json_str(s: &str) -> String {
 }
 
 /// JSON-safe float formatting (JSON has no NaN/Infinity literals).
-fn json_f64(v: f64) -> String {
+/// Finite values use Rust's shortest round-trip rendering, so parsing the
+/// emitted literal recovers the exact bit pattern; non-finite values
+/// become `null`, which [`json::Value::as_f64`] reads back as NaN.
+pub fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -236,9 +262,11 @@ fn json_f64(v: f64) -> String {
 }
 
 /// Minimal recursive-descent parser for the JSON subset this crate emits:
-/// objects, strings, numbers, booleans, null. No external dependencies —
-/// the workspace is std-only and offline.
-mod json {
+/// objects, arrays, strings, numbers, booleans, null. No external
+/// dependencies — the workspace is std-only and offline. Public so other
+/// crates' artifact formats (e.g. the `tdtm-core` result cache and the
+/// compact-model store) can parse without a second JSON implementation.
+pub mod json {
     /// Parsed JSON value (subset; arrays are accepted but only as opaque
     /// nesting — the stream format does not use them).
     #[derive(Clone, PartialEq, Debug)]
@@ -252,6 +280,7 @@ mod json {
     }
 
     impl Value {
+        /// The object's key/value pairs, in source order.
         pub fn as_object(&self) -> Option<&[(String, Value)]> {
             match self {
                 Value::Obj(fields) => Some(fields),
@@ -259,6 +288,15 @@ mod json {
             }
         }
 
+        /// The array's items, in source order.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The string's contents.
         pub fn as_str(&self) -> Option<&str> {
             match self {
                 Value::Str(s) => Some(s),
@@ -266,6 +304,16 @@ mod json {
             }
         }
 
+        /// A boolean literal.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        /// A number; `null` reads as NaN (the emit side writes non-finite
+        /// floats as `null`).
         pub fn as_f64(&self) -> Option<f64> {
             match self {
                 Value::Num(n) => Some(*n),
@@ -275,6 +323,7 @@ mod json {
             }
         }
 
+        /// A non-negative integer that fits a `u64` exactly.
         pub fn as_u64(&self) -> Option<u64> {
             match self {
                 Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
@@ -285,6 +334,7 @@ mod json {
         }
     }
 
+    /// Parses one complete JSON value; trailing input is an error.
     pub fn parse(text: &str) -> Result<Value, String> {
         let bytes = text.as_bytes();
         let mut pos = 0;
@@ -580,6 +630,7 @@ mod tests {
             hottest_block: "IntReg".to_string(),
             hottest_temp_c: 112.625,
             metrics: vec![("sim_runs".to_string(), 1), ("cycles".to_string(), 147_692)],
+            cached: None,
         }
     }
 
@@ -612,6 +663,30 @@ mod tests {
         assert_ne!(a, b, "full equality still sees the host-side fields");
         b.committed += 1;
         assert!(!a.deterministic_eq(&b));
+    }
+
+    #[test]
+    fn cached_field_is_omitted_when_none_and_roundtrips_when_some() {
+        let r = sample(2);
+        assert!(!r.to_json().contains("\"cached\""), "None must keep legacy wire format");
+        assert_eq!(CellRecord::from_json(&r.to_json()).unwrap().cached, None);
+        for flag in [false, true] {
+            let mut c = sample(2);
+            c.cached = Some(flag);
+            let line = c.to_json();
+            assert!(line.contains(&format!("\"cached\":{flag}")), "line: {line}");
+            let parsed = CellRecord::from_json(&line).unwrap();
+            assert_eq!(parsed, c);
+        }
+    }
+
+    #[test]
+    fn deterministic_eq_ignores_cache_provenance() {
+        let a = sample(4);
+        let mut b = sample(4);
+        b.cached = Some(true);
+        assert!(a.deterministic_eq(&b), "a cache hit replays the same deterministic cell");
+        assert_ne!(a, b, "full equality still sees provenance");
     }
 
     #[test]

@@ -1,0 +1,489 @@
+//! # Compact-model artifact cache — pay the eigendecomposition once
+//!
+//! [`CompactModel::extract`](crate::CompactModel::extract) runs a dense
+//! Jacobi eigensolver over the free-node Laplacian — O(n³) per sweep —
+//! yet in a fleet sweep every cell of an experiment grid extracts the
+//! *same* model: the floorplan (and therefore the RC network) is shared
+//! across workloads, policies, and variants. This module memoizes
+//! extraction behind a content-addressed key so the decomposition is
+//! paid once per distinct (network, tolerance) pair and replayed from
+//! cache everywhere else.
+//!
+//! ## Keying
+//!
+//! [`network_fingerprint`] folds everything extraction reads out of an
+//! [`RcNetwork`] into a 128-bit FNV-1a fingerprint: the ambient
+//! reference, every node's fixed flag / capacitance / temperature /
+//! power, and every resistive edge `(a, b, conductance)` in insertion
+//! order. Floats are canonicalized the same way the result cache in
+//! `tdtm-core` canonicalizes them — every NaN payload collapses to one
+//! key, while `-0.0` and `+0.0` stay distinct (they are distinct inputs
+//! to the solver). The cache key is `(network fingerprint, tol bits)`:
+//! the tolerance participates because it decides how many modes
+//! truncation keeps.
+//!
+//! ## Tiers and invalidation
+//!
+//! [`ModelCache`] holds an in-memory map and, optionally, a disk tier
+//! (one `cm-<fingerprint>-<tolbits>.json` file per entry, serialized
+//! via [`CompactModel::to_json`](crate::CompactModel::to_json)). Keys
+//! are content: there is no invalidation protocol, because a different
+//! network or tolerance *is* a different key. Corrupt, truncated, or
+//! schema-drifted disk entries parse as misses and are overwritten by
+//! the recomputation; an unwritable directory degrades to memory-only
+//! with a single warning. The domain tag below is versioned — bump it
+//! to deliberately orphan old entries if the canonical encoding ever
+//! changes.
+//!
+//! The process-wide entry point
+//! [`CompactModel::extract_cached`](crate::CompactModel::extract_cached)
+//! follows the same environment convention as the result cache in
+//! `tdtm-core`: `TDTM_CACHE=0` (or `off`) disables it entirely, and
+//! `TDTM_CACHE_DIR` adds the disk tier so warm repeats across process
+//! restarts skip extraction too.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use tdtm_prng::Fnv128;
+
+use crate::network::RcNetwork;
+use crate::reduction::CompactModel;
+
+/// Versioned domain tag folded into every network fingerprint. Bumping
+/// the version deliberately invalidates all previously stored entries.
+const DOMAIN: &[u8] = b"tdtm/rcnet/v1\0";
+
+/// Content fingerprint of everything [`CompactModel::extract`] reads
+/// out of `net`: ambient, per-node state (fixed flag, capacitance,
+/// temperature, power), and the resistive edge list in insertion
+/// order. NaNs collapse to one canonical key; `-0.0` and `+0.0` hash
+/// differently (they are distinct solver inputs). The elapsed
+/// simulation time is deliberately excluded — extraction never reads
+/// it.
+pub fn network_fingerprint(net: &RcNetwork) -> u128 {
+    let mut h = Fnv128::new();
+    h.write(DOMAIN);
+    h.write_f64(net.ambient());
+    h.write_u64(net.len() as u64);
+    for id in net.node_ids() {
+        h.write(&[u8::from(net.is_fixed(id))]);
+        h.write_f64(net.capacitance(id));
+        h.write_f64(net.temperature(id));
+        h.write_f64(net.power(id));
+    }
+    for (a, b, conductance) in net.edge_list() {
+        h.write_u64(a.0 as u64);
+        // Ambient edges get a sentinel index no real node can hold.
+        h.write_u64(b.map_or(u64::MAX, |b| b.0 as u64));
+        h.write_f64(conductance);
+    }
+    h.finish()
+}
+
+/// Two-tier memoization store for extracted [`CompactModel`]s, keyed by
+/// `(network fingerprint, tolerance bits)`. See the module docs for the
+/// keying and invalidation rules. Shared across threads by reference;
+/// all methods take `&self`.
+pub struct ModelCache {
+    mem: Mutex<HashMap<(u128, u64), Arc<CompactModel>>>,
+    disk: Option<PathBuf>,
+    disk_failed: AtomicBool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ModelCache {
+    /// A memory-only cache (entries live as long as the value).
+    pub fn in_memory() -> ModelCache {
+        ModelCache {
+            mem: Mutex::new(HashMap::new()),
+            disk: None,
+            disk_failed: AtomicBool::new(false),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache backed by `dir` (created if missing). If the directory
+    /// cannot be created or written, prints one warning and degrades to
+    /// memory-only — an unusable cache dir must never fail extraction.
+    pub fn with_disk(dir: impl Into<PathBuf>) -> ModelCache {
+        let dir = dir.into();
+        let probe = (|| -> std::io::Result<()> {
+            std::fs::create_dir_all(&dir)?;
+            let p = dir.join(format!(".probe.cm.{}", std::process::id()));
+            std::fs::write(&p, b"ok")?;
+            std::fs::remove_file(&p)
+        })();
+        match probe {
+            Ok(()) => {
+                let mut cache = ModelCache::in_memory();
+                cache.disk = Some(dir);
+                cache
+            }
+            Err(e) => {
+                eprintln!(
+                    "compact-model cache: cache dir {} is unusable ({e}); \
+                     continuing in-memory only",
+                    dir.display()
+                );
+                ModelCache::in_memory()
+            }
+        }
+    }
+
+    /// Whether the disk tier is active.
+    pub fn has_disk_tier(&self) -> bool {
+        self.disk.is_some() && !self.disk_failed.load(Ordering::Relaxed)
+    }
+
+    /// Extractions served from cache since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Extractions actually computed since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Returns the compact model for `(net, tol)`, extracting and
+    /// storing it on first use. Extraction errors (non-positive `tol`,
+    /// eigensolver failure) propagate uncached — errors are not
+    /// memoized.
+    pub fn get_or_extract(
+        &self,
+        net: &RcNetwork,
+        tol: f64,
+    ) -> Result<Arc<CompactModel>, String> {
+        if !tol.is_finite() || tol <= 0.0 {
+            // Reject before fingerprinting so a NaN tolerance cannot
+            // reach the (NaN-canonicalizing) key.
+            return CompactModel::extract(net, tol).map(Arc::new);
+        }
+        let key = (network_fingerprint(net), tol.to_bits());
+        if let Some(model) = self.mem.lock().expect("model cache lock poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(model));
+        }
+        if let Some(model) = self.disk_lookup(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            let model = Arc::new(model);
+            self.mem
+                .lock()
+                .expect("model cache lock poisoned")
+                .insert(key, Arc::clone(&model));
+            return Ok(model);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let model = Arc::new(CompactModel::extract(net, tol)?);
+        self.disk_store(key, &model);
+        self.mem
+            .lock()
+            .expect("model cache lock poisoned")
+            .insert(key, Arc::clone(&model));
+        Ok(model)
+    }
+
+    fn entry_path(&self, key: (u128, u64)) -> Option<PathBuf> {
+        Some(self.disk.as_ref()?.join(format!("cm-{:032x}-{:016x}.json", key.0, key.1)))
+    }
+
+    fn disk_lookup(&self, key: (u128, u64)) -> Option<CompactModel> {
+        let text = std::fs::read_to_string(self.entry_path(key)?).ok()?;
+        // Any parse failure — truncation, garbage, schema drift — is a
+        // miss; the recomputation overwrites the bad entry.
+        let model = CompactModel::from_json(&text).ok()?;
+        // Defensive: an entry whose recorded tolerance disagrees with
+        // its file name was written by something else entirely.
+        (model.tolerance().to_bits() == key.1).then_some(model)
+    }
+
+    fn disk_store(&self, key: (u128, u64), model: &CompactModel) {
+        let Some(path) = self.entry_path(key) else { return };
+        if self.disk_failed.load(Ordering::Relaxed) {
+            return;
+        }
+        // Write-then-rename so a concurrent reader never sees a
+        // truncated entry.
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let result = std::fs::write(&tmp, model.to_json())
+            .and_then(|()| std::fs::rename(&tmp, &path));
+        if let Err(e) = result {
+            let _ = std::fs::remove_file(&tmp);
+            if !self.disk_failed.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "compact-model cache: disk tier write failed ({e}); \
+                     continuing in-memory only"
+                );
+            }
+        }
+    }
+}
+
+/// The process-wide cache [`CompactModel::extract_cached`] uses:
+/// `None` when `TDTM_CACHE=0`/`off`, disk-backed when `TDTM_CACHE_DIR`
+/// is set, in-memory otherwise. Resolved once per process.
+pub fn global() -> Option<&'static ModelCache> {
+    static GLOBAL: OnceLock<Option<ModelCache>> = OnceLock::new();
+    GLOBAL
+        .get_or_init(|| {
+            let enabled = !matches!(
+                std::env::var("TDTM_CACHE").ok().as_deref().map(str::trim),
+                Some("0") | Some("off")
+            );
+            if !enabled {
+                return None;
+            }
+            match std::env::var("TDTM_CACHE_DIR") {
+                Ok(dir) if !dir.trim().is_empty() => Some(ModelCache::with_disk(dir.trim())),
+                _ => Some(ModelCache::in_memory()),
+            }
+        })
+        .as_ref()
+}
+
+impl CompactModel {
+    /// Like [`extract`](CompactModel::extract), but memoized through the
+    /// process-wide [`ModelCache`] so the eigendecomposition is paid
+    /// once per distinct `(network, tol)` pair. With `TDTM_CACHE=0` this
+    /// is exactly `extract`; with `TDTM_CACHE_DIR` set, warm repeats
+    /// across process restarts skip extraction too. The returned model
+    /// is an owned clone — stepping it does not perturb the cached
+    /// copy.
+    pub fn extract_cached(net: &RcNetwork, tol: f64) -> Result<CompactModel, String> {
+        match global() {
+            Some(cache) => cache.get_or_extract(net, tol).map(|m| (*m).clone()),
+            None => CompactModel::extract(net, tol),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Section 4.1 worked example topology, with enough distinct
+    /// parameters that single-field perturbations are visible.
+    fn sample_net() -> RcNetwork {
+        let mut net = RcNetwork::new(27.0);
+        let die = net.add_node(0.5, 31.0);
+        let spreader = net.add_node(8.0, 29.0);
+        let sink = net.add_node(60.0, 27.5);
+        let case = net.add_fixed_node(45.0);
+        net.connect(die, spreader, 2.5);
+        net.connect(spreader, sink, 1.25);
+        net.connect(die, case, 0.125);
+        net.connect_to_ambient(sink, 1.0);
+        net.set_power(die, 25.0);
+        net.set_power(spreader, 0.5);
+        net
+    }
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("tdtm-modelcache-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_identical_builds() {
+        assert_eq!(network_fingerprint(&sample_net()), network_fingerprint(&sample_net()));
+    }
+
+    #[test]
+    fn fingerprint_separates_every_extraction_input() {
+        let base = network_fingerprint(&sample_net());
+        let nodes: Vec<_> = sample_net().node_ids().collect();
+        let (die, case) = (nodes[0], nodes[3]);
+
+        let mut control = sample_net();
+        control.set_temperature(die, 31.0); // no-op overwrite
+        assert_eq!(network_fingerprint(&control), base, "control perturbation");
+
+        let mut capacitance = RcNetwork::new(27.0);
+        {
+            // Rebuild with only the die capacitance changed.
+            let d = capacitance.add_node(0.5 + 1e-9, 31.0);
+            let sp = capacitance.add_node(8.0, 29.0);
+            let sk = capacitance.add_node(60.0, 27.5);
+            let ca = capacitance.add_fixed_node(45.0);
+            capacitance.connect(d, sp, 2.5);
+            capacitance.connect(sp, sk, 1.25);
+            capacitance.connect(d, ca, 0.125);
+            capacitance.connect_to_ambient(sk, 1.0);
+            capacitance.set_power(d, 25.0);
+            capacitance.set_power(sp, 0.5);
+        }
+        assert_ne!(network_fingerprint(&capacitance), base, "capacitance");
+
+        let mut ambient = RcNetwork::new(27.5);
+        {
+            // Rebuild with only the ambient changed.
+            let d = ambient.add_node(0.5, 31.0);
+            let sp = ambient.add_node(8.0, 29.0);
+            let sk = ambient.add_node(60.0, 27.5);
+            let ca = ambient.add_fixed_node(45.0);
+            ambient.connect(d, sp, 2.5);
+            ambient.connect(sp, sk, 1.25);
+            ambient.connect(d, ca, 0.125);
+            ambient.connect_to_ambient(sk, 1.0);
+            ambient.set_power(d, 25.0);
+            ambient.set_power(sp, 0.5);
+        }
+        assert_ne!(network_fingerprint(&ambient), base, "ambient");
+
+        let mut temp = sample_net();
+        temp.set_temperature(die, 31.0 + 1e-12);
+        assert_ne!(network_fingerprint(&temp), base, "free-node temperature");
+
+        let mut fixed_temp = sample_net();
+        fixed_temp.set_temperature(case, 45.5);
+        assert_ne!(network_fingerprint(&fixed_temp), base, "fixed-node temperature");
+
+        let mut power = sample_net();
+        power.set_power(die, 25.0 + 1e-9);
+        assert_ne!(network_fingerprint(&power), base, "power");
+
+        let mut extra_edge = sample_net();
+        extra_edge.connect_to_ambient(die, 100.0);
+        assert_ne!(network_fingerprint(&extra_edge), base, "edge list");
+
+        let mut conductance = RcNetwork::new(27.0);
+        {
+            // Rebuild with only one edge conductance changed.
+            let d = conductance.add_node(0.5, 31.0);
+            let sp = conductance.add_node(8.0, 29.0);
+            let sk = conductance.add_node(60.0, 27.5);
+            let ca = conductance.add_fixed_node(45.0);
+            conductance.connect(d, sp, 2.5 + 1e-9);
+            conductance.connect(sp, sk, 1.25);
+            conductance.connect(d, ca, 0.125);
+            conductance.connect_to_ambient(sk, 1.0);
+            conductance.set_power(d, 25.0);
+            conductance.set_power(sp, 0.5);
+        }
+        assert_ne!(network_fingerprint(&conductance), base, "conductance");
+    }
+
+    #[test]
+    fn fingerprint_canonicalizes_nan_but_not_signed_zero() {
+        let mut a = sample_net();
+        let mut b = sample_net();
+        let die = a.node_ids().next().unwrap();
+        a.set_power(die, f64::NAN);
+        b.set_power(die, f64::from_bits(f64::NAN.to_bits() ^ 1)); // different payload
+        assert_eq!(
+            network_fingerprint(&a),
+            network_fingerprint(&b),
+            "NaN payloads must collapse to one key"
+        );
+
+        let mut pos = sample_net();
+        let mut neg = sample_net();
+        pos.set_power(die, 0.0);
+        neg.set_power(die, -0.0);
+        assert_ne!(
+            network_fingerprint(&pos),
+            network_fingerprint(&neg),
+            "-0.0 and +0.0 are distinct solver inputs"
+        );
+    }
+
+    #[test]
+    fn cached_extraction_is_byte_identical_to_fresh() {
+        let net = sample_net();
+        let cache = ModelCache::in_memory();
+        let fresh = CompactModel::extract(&net, 1e-6).unwrap();
+        let first = cache.get_or_extract(&net, 1e-6).unwrap();
+        let second = cache.get_or_extract(&net, 1e-6).unwrap();
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(fresh.to_json(), first.to_json());
+        assert_eq!(fresh.to_json(), second.to_json());
+        assert!(Arc::ptr_eq(&first, &second), "memory tier returns the shared entry");
+
+        // A different tolerance is a different key, not a hit.
+        let loose = cache.get_or_extract(&net, 5.0).unwrap();
+        assert_eq!(cache.misses(), 2);
+        assert!(loose.order() <= first.order());
+    }
+
+    #[test]
+    fn extract_cached_matches_extract() {
+        // Process-wide entry point (whatever the ambient env says, both
+        // paths must produce byte-identical serializations).
+        let net = sample_net();
+        let fresh = CompactModel::extract(&net, 1e-6).unwrap();
+        let cached = CompactModel::extract_cached(&net, 1e-6).unwrap();
+        assert_eq!(fresh.to_json(), cached.to_json());
+        // Errors propagate uncached.
+        assert!(CompactModel::extract_cached(&net, -1.0).is_err());
+        assert!(CompactModel::extract_cached(&net, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn disk_tier_survives_process_boundaries_and_corruption() {
+        let dir = test_dir("disk");
+        let net = sample_net();
+        let reference = CompactModel::extract(&net, 1e-6).unwrap().to_json();
+
+        let writer = ModelCache::with_disk(&dir);
+        assert!(writer.has_disk_tier());
+        writer.get_or_extract(&net, 1e-6).unwrap();
+        assert_eq!(writer.misses(), 1);
+        let entry = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| {
+                p.file_name().unwrap().to_str().unwrap().starts_with("cm-")
+            })
+            .expect("one cm- entry on disk");
+
+        // A fresh cache on the same dir models a new process: disk hit,
+        // no extraction.
+        let reader = ModelCache::with_disk(&dir);
+        let warm = reader.get_or_extract(&net, 1e-6).unwrap();
+        assert_eq!((reader.hits(), reader.misses()), (1, 0));
+        assert_eq!(warm.to_json(), reference);
+
+        // Corrupt entries are misses → recompute + overwrite, never a
+        // panic. Exercise truncation, garbage, empty, and schema drift.
+        for bad in [
+            &reference[..reference.len() / 2],
+            "{not json",
+            "",
+            "{\"v\":1,\"wrong\":\"schema\"}",
+        ] {
+            std::fs::write(&entry, bad).unwrap();
+            let recover = ModelCache::with_disk(&dir);
+            let again = recover.get_or_extract(&net, 1e-6).unwrap();
+            assert_eq!((recover.hits(), recover.misses()), (0, 1), "entry: {bad:.20}");
+            assert_eq!(again.to_json(), reference);
+            let rewritten = std::fs::read_to_string(&entry).unwrap();
+            assert_eq!(rewritten, reference, "recomputation overwrites the bad entry");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unusable_disk_dir_degrades_to_memory_only() {
+        let dir = test_dir("notdir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("plain-file");
+        std::fs::write(&file, b"x").unwrap();
+        // Using a regular file as the cache dir fails the probe.
+        let cache = ModelCache::with_disk(&file);
+        assert!(!cache.has_disk_tier());
+        let net = sample_net();
+        let a = cache.get_or_extract(&net, 1e-6).unwrap();
+        let b = cache.get_or_extract(&net, 1e-6).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(Arc::ptr_eq(&a, &b));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

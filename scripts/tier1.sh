@@ -26,12 +26,34 @@ echo "== tier 1: obs_report smoke (streaming grid -> JSONL -> dashboard) =="
 # End-to-end through the observability stack: run a 2x2 grid with
 # streaming, then assert the JSONL parses and the dashboard renders.
 OBS_STREAM="$(mktemp /tmp/tier1_obs.XXXXXX.jsonl)"
-trap 'rm -f "$OBS_STREAM"' EXIT
+CACHE_DIR="$(mktemp -d /tmp/tier1_cache.XXXXXX)"
+trap 'rm -f "$OBS_STREAM" "$OBS_STREAM".s1 "$OBS_STREAM".s2 "$OBS_STREAM".s3; rm -rf "$CACHE_DIR"' EXIT
 OBS_OUT="$(cargo run -q --release -p tdtm-bench --bin obs_report -- --demo-grid "$OBS_STREAM" 2> /dev/null)"
 test "$(wc -l < "$OBS_STREAM")" -eq 4 || { echo "obs stream: expected 4 JSONL records"; exit 1; }
 grep -q '"label":"gcc/PID"' "$OBS_STREAM" || { echo "obs stream: missing cell record"; exit 1; }
 echo "$OBS_OUT" | grep -q '^# Grid observability dashboard' || { echo "obs_report: dashboard did not render"; exit 1; }
 echo "$OBS_OUT" | grep -q '| art/stability |' || { echo "obs_report: missing per-cell row"; exit 1; }
+
+echo "== tier 1: result cache smoke (cold -> warm -> TDTM_CACHE=0) =="
+# The same 2x2 streaming grid three ways through fresh processes sharing
+# one TDTM_CACHE_DIR: the cold pass populates the disk tier, the warm
+# pass must replay every cell ("cached":true) with a 100% dashboard hit
+# rate, and the TDTM_CACHE=0 pass must reproduce pre-cache behavior
+# exactly (no "cached" field at all). Up to host-side stamps/timing and
+# cache provenance, all three streams are identical.
+S1_OUT="$(TDTM_CACHE_DIR="$CACHE_DIR" cargo run -q --release -p tdtm-bench --bin obs_report -- --demo-grid "$OBS_STREAM".s1 2> /dev/null)"
+S2_OUT="$(TDTM_CACHE_DIR="$CACHE_DIR" cargo run -q --release -p tdtm-bench --bin obs_report -- --demo-grid "$OBS_STREAM".s2 2> /dev/null)"
+TDTM_CACHE=0 TDTM_CACHE_DIR="$CACHE_DIR" cargo run -q --release -p tdtm-bench --bin obs_report -- --demo-grid "$OBS_STREAM".s3 > /dev/null 2>&1
+test "$(grep -c '"cached":false' "$OBS_STREAM".s1)" -eq 4 || { echo "cache smoke: cold pass must stream 4 fresh records"; exit 1; }
+test "$(grep -c '"cached":true' "$OBS_STREAM".s2)" -eq 4 || { echo "cache smoke: warm pass must replay all 4 records"; exit 1; }
+grep -q '"cached"' "$OBS_STREAM".s3 && { echo "cache smoke: TDTM_CACHE=0 must not stamp cache provenance"; exit 1; }
+echo "$S1_OUT" | grep -q 'cache hit rate: 0.0% (0/4 cells cached)' || { echo "cache smoke: cold dashboard hit rate wrong"; exit 1; }
+echo "$S2_OUT" | grep -q 'cache hit rate: 100.0% (4/4 cells cached)' || { echo "cache smoke: warm dashboard hit rate wrong"; exit 1; }
+# Strip stamps, timing, and provenance; the remaining bytes must agree.
+obs_norm() { sed -E 's/"seq":[0-9]+/"seq":0/g; s/"(wall_seconds|elapsed_seconds)":[0-9.eE+-]+/"\1":0/g; s/"cached":(true|false),//g' "$1"; }
+diff <(obs_norm "$OBS_STREAM".s1) <(obs_norm "$OBS_STREAM".s2) || { echo "cache smoke: warm replay diverged from cold stream"; exit 1; }
+diff <(obs_norm "$OBS_STREAM".s1) <(obs_norm "$OBS_STREAM".s3) || { echo "cache smoke: TDTM_CACHE=0 diverged from cold stream"; exit 1; }
+test "$(ls "$CACHE_DIR" | wc -l)" -ge 4 || { echo "cache smoke: disk tier holds no entries"; exit 1; }
 
 echo "== tier 1: multicore interference smoke =="
 # The cross-core figure end-to-end at a tiny budget: coupled chips, the
@@ -67,6 +89,12 @@ echo "== tier 1: grid throughput smoke (grid_throughput vs BENCH_grid.json) =="
 # Full 18x5 hot grid through both dispatches (reference and batched SoA);
 # fails if either regresses >3x against the committed cells/sec baseline.
 cargo bench -p tdtm-bench --bench grid_throughput -- --quick --check "$PWD/BENCH_grid.json"
+
+echo "== tier 1: warm-repeat throughput smoke (grid_repeat_throughput vs BENCH_grid.json) =="
+# Cold vs warm-memory vs warm-disk repeats of the same 18x5 hot grid
+# through the content-addressed result cache; self-gates warm-mem >= 5x
+# cold cells/s and fails on >3x regression vs the committed rows.
+cargo bench -p tdtm-bench --bench grid_repeat_throughput -- --quick --check "$PWD/BENCH_grid.json"
 
 echo "== tier 1: reduction accuracy smoke (Table-3 compact extraction) =="
 # Extracts the Table-3 floorplan into a compact model and asserts the

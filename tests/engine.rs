@@ -6,7 +6,7 @@
 use tdtm::core::engine::{shard_map, ExperimentGrid};
 use tdtm::core::experiments::ExperimentScale;
 use tdtm::core::report::reports_to_csv;
-use tdtm::core::SimConfig;
+use tdtm::core::{ResultCache, SimConfig};
 use tdtm::dtm::{PolicyKind, SupervisorConfig};
 use tdtm::workloads::by_name;
 
@@ -27,9 +27,12 @@ fn small_grid() -> ExperimentGrid {
 
 #[test]
 fn one_thread_reproduces_many_threads_byte_for_byte() {
+    // Explicitly uncached: with the default-on result cache, a second
+    // `run_threads` call would replay the first run's reports and this
+    // test would stop exercising thread-count determinism.
     let grid = small_grid();
-    let serial = grid.run_threads(1);
-    let parallel = grid.run_threads(4);
+    let serial = grid.run_threads_with_batching(1, true);
+    let parallel = grid.run_threads_with_batching(4, true);
     assert_eq!(serial.threads, 1);
     assert_eq!(parallel.threads, 4);
 
@@ -125,6 +128,76 @@ fn every_cell_appears_exactly_once() {
         assert_eq!(run.label(), cell.label());
         assert_eq!(run.report.name, cell.workload.name);
         assert_eq!(run.report.policy, cell.policy.to_string());
+    }
+}
+
+#[test]
+fn cached_rerun_replays_byte_identical_reports() {
+    // One explicit cache shared by two runs of the same grid: the first
+    // run misses every cell and publishes, the second replays everything
+    // from memory. Both must be bit-identical to the uncached reference
+    // path (the Debug rendering distinguishes every bit pattern short
+    // of NaN).
+    let grid = small_grid();
+    let cache = ResultCache::in_memory();
+    let reference = grid.run_threads_with_batching(1, false);
+    let cold = grid.run_threads_cached(4, true, &cache);
+    let warm = grid.run_threads_cached(4, true, &cache);
+
+    let n = reference.runs.len() as u64;
+    let cold_stats = cold.cache_stats.expect("cached run reports stats");
+    assert_eq!((cold_stats.cache_hits, cold_stats.cache_misses), (0, n));
+    let warm_stats = warm.cache_stats.expect("cached run reports stats");
+    assert_eq!((warm_stats.cache_hits, warm_stats.cache_misses), (n, 0));
+    assert_eq!(warm_stats.hit_rate(), Some(1.0));
+
+    for (r, c, w) in reference.runs.iter().zip(&cold.runs).zip(&warm.runs).map(|((a, b), c)| (a, b, c)) {
+        assert_eq!(r.index, c.index);
+        assert_eq!(r.index, w.index);
+        assert_eq!(
+            format!("{:?}", r.report),
+            format!("{:?}", c.report),
+            "cell {}: cold cached run diverged from the uncached reference",
+            r.label()
+        );
+        assert_eq!(
+            format!("{:?}", r.report),
+            format!("{:?}", w.report),
+            "cell {}: warm replay diverged from the uncached reference",
+            r.label()
+        );
+        assert!(w.obs.wall_seconds > 0.0, "replayed cells still carry a wall clock");
+    }
+}
+
+#[test]
+fn identical_cells_within_a_grid_simulate_once() {
+    // Two variants with byte-identical configs fingerprint identically:
+    // the engine claims the first as leader, marks the twin a follower,
+    // and simulates only once. The follower replays the leader's report
+    // under its own label.
+    let grid = ExperimentGrid::new(ExperimentScale::quick())
+        .workload(by_name("gcc").expect("suite workload"))
+        .policies(&[PolicyKind::None, PolicyKind::Pid])
+        .variants(&[("base", |_| {}), ("twin", |_| {})]);
+    let cache = ResultCache::in_memory();
+    let results = grid.run_threads_cached(4, true, &cache);
+    let stats = results.cache_stats.expect("cached run reports stats");
+    assert_eq!(stats.cache_misses, 2, "one simulation per distinct fingerprint");
+    assert_eq!(stats.cache_hits, 2, "each twin replays its leader");
+    assert_eq!(stats.cache_inflight_waits, 2);
+    assert_eq!(results.runs.len(), 4);
+    for run in &results.runs {
+        let leader = results
+            .runs
+            .iter()
+            .find(|r| r.report.policy == run.report.policy && r.index != run.index)
+            .expect("every cell has a twin");
+        assert_eq!(
+            format!("{:?}", run.report),
+            format!("{:?}", leader.report),
+            "twin cells must carry identical reports"
+        );
     }
 }
 
